@@ -1,0 +1,27 @@
+"""Regenerates paper Figure 7 (reallocation time vs number of machines)."""
+
+import numpy as np
+
+from repro.experiments import run_fig7
+
+
+def bench_fig7(run_once):
+    table = run_once(run_fig7)
+    print()
+    print(table)
+
+    sizes = np.array(table.meta["sizes"], dtype=float)
+    times = np.array([row.values[0] for row in table.rows], dtype=float)
+
+    # "The reallocation completes in approximately 1 second per machine,
+    # and this number scales linearly to at least 16 machines."
+    slope, intercept = np.polyfit(sizes, times, 1)
+    assert 0.8 <= slope <= 1.2, f"slope {slope:.3f} s/machine"
+    predicted = slope * sizes + intercept
+    residual = times - predicted
+    ss_res = float((residual**2).sum())
+    ss_tot = float(((times - times.mean()) ** 2).sum())
+    r_squared = 1.0 - ss_res / ss_tot
+    assert r_squared > 0.995, f"reallocation not linear (R^2={r_squared:.4f})"
+    # Monotone in the request size.
+    assert list(times) == sorted(times)

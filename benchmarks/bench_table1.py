@@ -1,0 +1,29 @@
+"""Regenerates paper Table 1 (rsh vs rsh' micro-benchmarks)."""
+
+from repro.experiments import run_table1
+
+
+def bench_table1(run_once):
+    table = run_once(run_table1)
+    print()
+    print(table)
+
+    rsh_null = table.value("rsh n01 null")
+    rshp_null = table.value("rsh' n01 null")
+    any_null = table.value("rsh' anylinux null")
+    rsh_loop = table.value("rsh n01 loop")
+    rshp_loop = table.value("rsh' n01 loop")
+    any_loop = table.value("rsh' anylinux loop")
+
+    # Paper: plain rsh ~0.3 s; the rsh' overhead is ~0.3 s, "hardly
+    # noticeable by users"; anylinux costs about the same as a named host.
+    assert 0.2 <= rsh_null <= 0.45
+    assert 0.15 <= rshp_null - rsh_null <= 0.45
+    assert abs(any_null - rshp_null) <= 0.2
+    # loop rows = the corresponding null row + the ~6.5 s burst.
+    for null_t, loop_t in [
+        (rsh_null, rsh_loop),
+        (rshp_null, rshp_loop),
+        (any_null, any_loop),
+    ]:
+        assert 6.0 <= loop_t - null_t <= 7.0

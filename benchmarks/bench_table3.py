@@ -1,0 +1,27 @@
+"""Regenerates paper Table 3 (adding resources to PVM and LAM programs)."""
+
+from repro.experiments import run_table3
+
+
+def bench_table3(run_once):
+    table = run_once(run_table3)
+    print()
+    print(table)
+
+    host_pvm = table.meta["pvm_host_overhead_per_machine"]
+    host_lam = table.meta["lam_host_overhead_per_machine"]
+    any_pvm = table.meta["pvm_anylinux_overhead_per_machine"]
+    any_lam = table.meta["lam_anylinux_overhead_per_machine"]
+
+    # "When the machines are explicitly named, ResourceBroker introduces
+    # less than 0.3 milliseconds of overhead per machine."
+    assert all(0.0 <= o < 0.0003 for o in host_pvm + host_lam)
+    # "Approximately 1.2 seconds overhead for PVM and 1.4 seconds for LAM."
+    assert all(0.9 <= o <= 1.5 for o in any_pvm)
+    assert all(1.1 <= o <= 1.7 for o in any_lam)
+    # LAM's module path is consistently costlier than PVM's.
+    assert all(l > p for l, p in zip(any_lam, any_pvm))
+    # Baseline growth is roughly linear in the number of machines.
+    pvm_rsh = [table.value("pvm w/ rsh", c) for c in table.columns[1:]]
+    increments = [b - a for a, b in zip(pvm_rsh, pvm_rsh[1:])]
+    assert max(increments) - min(increments) < 0.1

@@ -1,0 +1,22 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` module regenerates one table or figure of the paper.  The
+pytest-benchmark timer measures the wall-clock cost of the whole experiment
+harness (the simulation is deterministic, so a single round suffices); the
+*reproduced results* are printed to stdout and pinned by shape assertions —
+run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

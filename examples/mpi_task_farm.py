@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""An unmodified self-scheduling MPI program on just-in-time machines.
+
+The paper's opening example of an adaptive program is the "self-scheduling
+MPI program".  Here one runs, end to end, over LAM under ResourceBroker:
+
+1. a LAM universe is submitted as a managed job (``(module="lam")``);
+2. the user grows it with ``lamgrow anylinux`` — phase I fails by design,
+   phase II feeds LAM the broker-chosen host names;
+3. ``mpirun`` places a task farm across the universe; killed workers just
+   mean requeued tasks.
+
+Run:  python examples/mpi_task_farm.py
+"""
+
+from repro.cluster import Cluster, ClusterSpec
+
+
+def universe(cluster, uid):
+    fs = cluster.machine("n00").fs
+    path = f"/home/{uid}/.lam_nodes"
+    return fs.read_lines(path) if fs.exists(path) else []
+
+
+def main() -> None:
+    cluster = Cluster(ClusterSpec.uniform(5, seed=9))
+    service = cluster.start_broker()
+    service.wait_ready()
+
+    service.submit("n00", ["lam"], rsl='+(module="lam")', uid="mia")
+    cluster.env.run(until=cluster.now + 3.0)
+    print(f"LAM universe: {universe(cluster, 'mia')}")
+
+    print("\ngrowing with three broker-chosen machines (lamgrow anylinux)...")
+    for _ in range(3):
+        grow = cluster.run_command("n00", ["lamgrow", "anylinux"], uid="mia")
+        cluster.env.run(until=grow.terminated)
+    while len(universe(cluster, "mia")) < 4:
+        cluster.env.run(until=cluster.now + 0.5)
+    print(f"LAM universe: {universe(cluster, 'mia')}")
+
+    print("\nrunning: mpirun the task farm (24 tasks x 2 CPU-seconds)")
+    t0 = cluster.now
+    farm = cluster.run_command("n00", ["mpi_farm", "24", "2.0"], uid="mia")
+    cluster.env.run(until=farm.terminated)
+    elapsed = cluster.now - t0
+    print(f"farm finished: exit={farm.exit_code}, elapsed={elapsed:.2f}s "
+          f"(ideal on 4 machines: {24 * 2.0 / 4:.0f}s of compute)")
+    cluster.assert_no_crashes()
+
+
+if __name__ == "__main__":
+    main()

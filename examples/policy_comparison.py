@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Mechanism/policy separation in action: swap the allocation policy.
+
+The paper's design goal 5: "Mechanism and policy are separated, making the
+latter an easily plug-in module."  This example runs the same workload —
+sequential jobs arriving while an adaptive computation holds the cluster —
+under three interchangeable policies and compares the sequential jobs'
+turnaround times.  Not one line of broker/mechanism code differs between
+runs.
+
+Run:  python examples/policy_comparison.py
+"""
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.policy import DefaultPolicy, FifoPolicy, RandomIdlePolicy
+
+
+def run_workload(policy) -> dict:
+    cluster = Cluster(ClusterSpec.uniform(5, seed=21))
+    service = cluster.start_broker(policy=policy)
+    service.wait_ready()
+
+    # A finite adaptive job holding everything (~200 s of remaining work).
+    service.submit(
+        "n00", ["calypso", "160", "5.0", "4"], rsl="+(adaptive)", uid="cal"
+    )
+    cluster.env.run(until=cluster.now + 5.0)
+
+    turnarounds = []
+    for _ in range(3):
+        t0 = cluster.now
+        seq = service.submit("n00", ["rsh", "anylinux", "compute", "5.0"])
+        cluster.env.run(until=seq.proc.terminated)
+        turnarounds.append(cluster.now - t0)
+        cluster.env.run(until=cluster.now + 2.0)
+    return {
+        "policy": policy.name,
+        "turnarounds": turnarounds,
+        "revocations": len(service.events_of("revoke")),
+    }
+
+
+def main() -> None:
+    print(f"{'policy':<10} {'seq turnarounds (s)':<28} revocations")
+    for policy in (DefaultPolicy(), FifoPolicy(), RandomIdlePolicy(seed=4)):
+        result = run_workload(policy)
+        times = "  ".join(f"{t:6.2f}" for t in result["turnarounds"])
+        print(f"{result['policy']:<10} {times:<28} {result['revocations']}")
+    print(
+        "\ndefault preempts the adaptive job: every sequential job runs "
+        "after a ~1.6 s reallocation.\nfifo/random never preempt: the first "
+        "arrival waits for the adaptive job to finish\n(the later ones find "
+        "the machines already free)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Growing an unmodified PVM virtual machine through the broker.
+
+Demonstrates the external-module mechanism (paper §5.3, Figure 6): PVM
+refuses machines it did not ask for, so redirecting its rsh is not enough.
+Instead:
+
+  phase I  — the user types ``pvm> add anylinux``; the intercepted rsh'
+             reports the request to the broker and *fails*; PVM shrugs
+             (a failed add is ordinary);
+  phase II — the broker-chosen machine's name is fed back to PVM through the
+             five-line ``pvm_grow`` script (it writes ``add n0X`` into
+             ~/.pvmrc and opens a console), so PVM asks for the real host
+             itself and happily accepts the slave daemon.
+
+Run:  python examples/pvm_virtual_machine.py
+"""
+
+from repro.cluster import Cluster, ClusterSpec
+
+
+def vm_membership(cluster, uid):
+    fs = cluster.machine("n00").fs
+    path = f"/home/{uid}/.pvm_hosts"
+    return fs.read_lines(path) if fs.exists(path) else []
+
+
+def main() -> None:
+    cluster = Cluster(ClusterSpec.uniform(5, seed=3))
+    service = cluster.start_broker()
+    service.wait_ready()
+
+    # Submit the PVM console as a managed job with the pvm module.
+    service.submit("n00", ["pvm"], rsl='+(module="pvm")', uid="pat")
+    cluster.env.run(until=cluster.now + 3.0)
+    print(f"virtual machine: {vm_membership(cluster, 'pat')}")
+
+    print("\nuser: pvm> add anylinux anylinux")
+    add = cluster.run_command(
+        "n00", ["pvm", "add", "anylinux", "anylinux"], uid="pat"
+    )
+    cluster.env.run(until=add.terminated)
+    print(f"console exit={add.exit_code} (phase I: the adds 'failed' — "
+          "that is the protocol working)")
+
+    for _ in range(10):
+        cluster.env.run(until=cluster.now + 1.0)
+        members = vm_membership(cluster, "pat")
+        print(f"t={cluster.now:7.2f}  virtual machine: {members}")
+        if len(members) == 3:
+            break
+
+    print("\nbroker log of the two-phase exchange:")
+    for event in service.events:
+        if event["event"] in ("machine_request", "grant", "released"):
+            fields = {
+                k: v for k, v in event.items() if k not in ("event", "time")
+            }
+            print(f"  t={event['time']:8.3f}  {event['event']:<16} {fields}")
+
+    slaves = [
+        p
+        for m in cluster.machines.values()
+        for p in m.procs.values()
+        if p.argv[0] == "pvmd" and "-slave" in p.argv
+    ]
+    for slave in slaves:
+        print(f"slave pvmd on {slave.machine.name}, parent="
+              f"{slave.parent.argv[0]} (wrapped by a subapp for revocability)")
+    cluster.assert_no_crashes()
+
+
+if __name__ == "__main__":
+    main()

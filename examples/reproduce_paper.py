@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure from the paper's evaluation (§6).
+
+Run:  python examples/reproduce_paper.py [--quick]
+
+``--quick`` shortens the five-hour utilization run to 30 simulated minutes.
+"""
+
+import sys
+
+from repro.experiments import (
+    run_fig7,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_utilization,
+)
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+
+    print(run_table1())
+    print()
+    print(run_table2())
+    print()
+    print(run_table3())
+    print()
+    print(run_fig7())
+    print()
+    horizon = 1800.0 if quick else 5 * 3600.0
+    print(run_utilization(horizon=horizon))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro — ResourceBroker (IPPS 1999) over a deterministic cluster simulator.
+
+Reproduction of Baratloo, Itzkovitz, Kedem & Zhao, *Mechanisms for
+Just-in-Time Allocation of Resources to Adaptive Parallel Programs*.
+
+Public API tour
+---------------
+>>> from repro import Cluster, ClusterSpec
+>>> cluster = Cluster(ClusterSpec.uniform(4))
+>>> service = cluster.start_broker()
+>>> service.wait_ready()
+>>> handle = service.submit("n00", ["rsh", "anylinux", "loop"])
+>>> handle.wait()
+0
+
+Layers (bottom up): :mod:`repro.sim` (DES kernel), :mod:`repro.os`
+(machines/processes/signals), :mod:`repro.cluster` (LAN + builder),
+:mod:`repro.rsh` (commodity remote shell), :mod:`repro.systems`
+(PVM/LAM/Calypso/PLinda substrates), :mod:`repro.broker` (ResourceBroker),
+:mod:`repro.policy` (pluggable allocation policies), :mod:`repro.rsl`
+(specification language), :mod:`repro.experiments` (the paper's tables and
+figures).
+"""
+
+from repro.calibration import DEFAULT as DEFAULT_CALIBRATION
+from repro.calibration import Calibration
+from repro.cluster import Cluster, ClusterSpec, MachineSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Calibration",
+    "Cluster",
+    "ClusterSpec",
+    "DEFAULT_CALIBRATION",
+    "MachineSpec",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""ResourceBroker — the paper's inter-job resource manager.
+
+Layout mirrors the paper's architecture (§3):
+
+* :mod:`repro.broker.core` — the single network-wide **broker process**
+  (resource-management layer, upper half).
+* :mod:`repro.broker.daemon` — the per-machine **monitoring daemon**
+  (resource-management layer, lower half).
+* :mod:`repro.broker.app` — the **app / subapp** processes (application
+  layer): one app per submitted job, one subapp per remotely-acquired
+  machine.
+* :mod:`repro.broker.rshprime` — **rsh'**, the interposed remote shell that
+  turns symbolic host names into just-in-time allocation requests.
+* :mod:`repro.broker.modules` — the **external module** mechanism
+  (``<module>_grow`` / ``_shrink`` / ``_halt`` scripts).
+* :mod:`repro.broker.state` — broker-side bookkeeping (machines, jobs,
+  allocations, pending requests).
+* :mod:`repro.broker.service` — host-side harness that installs the broker
+  onto a :class:`~repro.cluster.builder.Cluster` and offers a typed
+  submission API.
+"""
+
+from repro.broker.service import BrokerService, JobHandle
+from repro.broker.state import (
+    AllocationState,
+    BrokerState,
+    JobRecord,
+    MachineRecord,
+    PendingRequest,
+)
+
+__all__ = [
+    "AllocationState",
+    "BrokerService",
+    "BrokerState",
+    "JobHandle",
+    "JobRecord",
+    "MachineRecord",
+    "PendingRequest",
+]

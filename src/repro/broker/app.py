@@ -1,0 +1,509 @@
+"""The application layer: ``app`` and ``subapp`` (paper §3, §5).
+
+One **app** process runs per submitted job, on the machine where the user
+submitted it.  It registers the job with the broker, spawns the actual
+command as its child (with ``RB_APP_HOST``/``RB_APP_PORT`` in the inherited
+environment — the breadcrumb every descendant ``rsh'`` follows home), and then
+brokers between the job and the resource-management layer:
+
+* answers intercepted ``rsh'`` requests (default redirection, or the
+  two-phase external-module protocol for PVM/LAM-style systems);
+* carries out revocations — **sequentially**, one machine at a time, which is
+  where Figure 7's linear reallocation cost comes from;
+* reports released machines and job completion to the broker.
+
+One **subapp** process runs per remotely acquired machine.  It fetches the
+real command from the app, spawns it *as the job's user* (so Unix signal
+permissions work out even though the broker itself is another user), reports
+its exit, and on revocation sends SIGTERM, waits out the grace period, then
+SIGKILLs — the paper's "sends a standard Unix signal to the child process,
+and if the child does not terminate within a specified amount of time, the
+subapp terminates the child process".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set
+
+from repro.broker import protocol
+from repro.broker.modules import (
+    expect_marker_path,
+    grow_program,
+    halt_program,
+    shrink_program,
+)
+from repro.cluster import ports
+from repro.os.errors import (
+    ConnectionClosed,
+    ConnectionRefused,
+    NoSuchHost,
+    NoSuchProgram,
+)
+from repro.os.signals import SIGKILL, SIGTERM
+from repro.rsl import is_symbolic_hostname, parse_rsl
+from repro.sim.stores import Store
+
+
+# ---------------------------------------------------------------------------
+# app
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _SubappRecord:
+    host: str
+    conn: Any
+    exited: Any  # Event fired with the child's exit code
+    pid: Optional[int] = None
+
+
+@dataclass
+class _AppState:
+    jobid: int = -1
+    module: Optional[str] = None
+    firm: bool = True
+    broker: Any = None
+    inbox: Store = None  # type: ignore[assignment]
+    waiters: Dict[int, Any] = field(default_factory=dict)
+    tokens: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    subapps: Dict[str, _SubappRecord] = field(default_factory=dict)
+    pending_add: Set[str] = field(default_factory=set)
+    revoking: Set[str] = field(default_factory=set)
+    broker_lost: bool = False
+    reqids: Any = None
+    tokenids: Any = None
+    #: FIFO of ("grow"|"shrink", host): module scripts run one at a time —
+    #: they share user-level state like ~/.pvmrc, exactly as the real
+    #: scripts in the paper do.
+    module_queue: Store = None  # type: ignore[assignment]
+
+
+def app_main(proc):
+    """Program body: ``argv = ["app", rsl_text, command, args...]``."""
+    if len(proc.argv) < 3:
+        return 1
+    rsl_text, command = proc.argv[1], proc.argv[2:]
+    broker_host = proc.environ.get("RB_BROKER_HOST")
+    if broker_host is None:
+        return 1
+    cal = proc.machine.network.calibration
+    rsl = parse_rsl(rsl_text)
+
+    # One-time submission cost (app startup + registration bookkeeping).
+    yield proc.sleep(cal.app_submit)
+
+    port = proc.machine.network.ephemeral_port(proc.machine)
+    listener = proc.listen(port)
+    try:
+        broker = yield proc.connect(broker_host, ports.BROKER)
+    except (ConnectionRefused, NoSuchHost):
+        return 1
+    broker.send(
+        protocol.submit(
+            user=proc.uid,
+            host=proc.machine.name,
+            rsl=rsl_text,
+            argv=command,
+            adaptive=rsl.adaptive,
+        )
+    )
+    try:
+        ack = yield broker.recv()
+    except ConnectionClosed:
+        return 1
+
+    st = _AppState(
+        jobid=int(ack["jobid"]),
+        module=rsl.module,
+        # Firmness of this job's machine requests: explicit demand (module
+        # consoles, rigid jobs) preempts; pure adaptive expansion does not.
+        firm=(not rsl.adaptive) or (rsl.module is not None),
+        broker=broker,
+        inbox=Store(proc.env),
+        reqids=itertools.count(1),
+        tokenids=itertools.count(1),
+        module_queue=Store(proc.env),
+    )
+
+    # The paper's start_script RSL extension: a user-supplied setup program
+    # (e.g. one that writes the job's hostfile) runs to completion before
+    # the job itself starts.
+    if rsl.start_script is not None:
+        try:
+            script = proc.spawn([rsl.start_script])
+        except NoSuchProgram:
+            broker.send(protocol.job_done(st.jobid, 1))
+            return 1
+        script_code = yield proc.wait(script)
+        if script_code != 0:
+            broker.send(protocol.job_done(st.jobid, script_code))
+            return int(script_code)
+
+    child = proc.spawn(
+        command,
+        environ={
+            "RB_APP_HOST": proc.machine.name,
+            "RB_APP_PORT": str(port),
+            "RB_JOBID": str(st.jobid),
+        },
+    )
+
+    proc.thread(_broker_reader(proc, st), name="broker-reader")
+    proc.thread(_acceptor(proc, st, listener), name="acceptor")
+    if st.module is not None:
+        proc.thread(_module_runner(proc, st), name="module-runner")
+        # The paper's count extension: "(count>=4) ... is a request to
+        # execute a PVM program on at least four machines."  Ask the broker
+        # for the extra machines as part of startup; each grant arrives as
+        # an async_grant and flows through the module-grow path, so the
+        # virtual machine reaches the requested size.  The requests go out
+        # only after the runtime has had a moment to boot — a grow script
+        # poking a master daemon that does not exist yet helps nobody.
+        if rsl.count_min > 1:
+            proc.thread(
+                _presize(proc, st, rsl.count_min - 1), name="presize"
+            )
+
+    # -- main control loop (serializes revocations) -------------------------
+    while True:
+        get = st.inbox.get()
+        outcome = yield proc.env.any_of([get, child.terminated])
+        if child.terminated in outcome:
+            st.inbox.cancel(get)
+            break
+        msg = get.value
+        kind = msg.get("type")
+        if kind == "revoke":
+            yield from _handle_revoke(proc, st, msg["host"], cal)
+        elif kind == "async_grant":
+            _begin_module_add(proc, st, msg["host"])
+        elif kind == "subapp_gone":
+            _handle_subapp_gone(st, msg["host"])
+        elif kind == "halt":
+            # Broker-initiated job stop: through the halt module when there
+            # is one (a graceful virtual-machine teardown), otherwise via a
+            # plain SIGTERM to the job.  Either way the child's exit drives
+            # the normal shutdown path.
+            if st.module is not None:
+                try:
+                    proc.spawn([halt_program(st.module)])
+                except NoSuchProgram:
+                    child.kill_tree(SIGTERM, sender=proc)
+            elif child.is_alive:
+                child.kill_tree(SIGTERM, sender=proc)
+        elif kind == "broker_lost":
+            st.broker_lost = True
+            # Keep the job running unmanaged; nothing more to do here.
+
+    # -- shutdown -------------------------------------------------------------
+    code = child.exit_code
+    if not st.broker_lost:
+        try:
+            broker.send(protocol.job_done(st.jobid, code))
+        except ConnectionClosed:
+            pass
+    for record in list(st.subapps.values()):
+        try:
+            record.conn.send(protocol.subapp_revoke())
+        except ConnectionClosed:
+            pass
+    return code
+
+
+def _presize(proc, st, extra_machines):
+    """Request the RSL count's extra machines once the runtime is up."""
+    yield proc.sleep(3.0)
+    for _ in range(extra_machines):
+        reqid = next(st.reqids)
+        st.broker.send(
+            protocol.machine_request(st.jobid, "anyhost", reqid, firm=True)
+        )
+
+
+def _broker_reader(proc, st):
+    """Route broker messages: grants to waiters, control to the inbox."""
+    while True:
+        try:
+            msg = yield st.broker.recv()
+        except ConnectionClosed:
+            st.inbox.put_nowait({"type": "broker_lost"})
+            return
+        kind = msg.get("type")
+        if kind == "machine_grant":
+            waiter = st.waiters.pop(msg["reqid"], None)
+            if waiter is not None:
+                waiter.succeed(msg["host"])
+            else:
+                # Asynchronous phase-II grant for a module job.
+                st.inbox.put_nowait(
+                    {"type": "async_grant", "host": msg["host"]}
+                )
+        elif kind == "machine_denied":
+            waiter = st.waiters.pop(msg["reqid"], None)
+            if waiter is not None:
+                waiter.succeed(None)
+        elif kind in ("revoke", "grow", "halt"):
+            st.inbox.put_nowait(msg)
+
+
+def _acceptor(proc, st, listener):
+    while True:
+        try:
+            conn = yield listener.accept()
+        except ConnectionClosed:
+            return
+        proc.thread(_client_handler(proc, st, conn), name="app-client")
+
+
+def _client_handler(proc, st, conn):
+    try:
+        first = yield conn.recv()
+    except ConnectionClosed:
+        conn.close()
+        return
+    kind = first.get("type")
+    if kind == "rsh_request":
+        yield from _handle_rsh_request(proc, st, conn, first)
+        conn.close()
+    elif kind == "subapp_hello":
+        yield from _handle_subapp(proc, st, conn, first)
+    else:
+        conn.close()
+
+
+# -- rsh' requests -------------------------------------------------------------
+
+
+def _make_token(proc, st, argv, host):
+    token = f"tok{proc.pid}-{next(st.tokenids)}"
+    st.tokens[token] = {"argv": list(argv), "host": host}
+    return token
+
+
+def _handle_rsh_request(proc, st, conn, msg):
+    cal = proc.machine.network.calibration
+    host, argv = msg["host"], msg["argv"]
+
+    if not is_symbolic_hostname(host):
+        # Phase II of the module protocol: a real name we just arranged.
+        if host in st.pending_add:
+            st.pending_add.discard(host)
+            proc.unlink_file(expect_marker_path(host))
+            token = _make_token(proc, st, argv, host)
+            conn.send(protocol.rsh_exec(host, wrap=True, token=token))
+        else:
+            # A host the user named explicitly: let it proceed untouched.
+            conn.send(protocol.rsh_exec(host, wrap=False))
+        return
+
+    # Symbolic name: a just-in-time allocation request.
+    reqid = next(st.reqids)
+    waiter = proc.env.event()
+    st.waiters[reqid] = waiter
+    st.broker.send(
+        protocol.machine_request(st.jobid, host, reqid, firm=st.firm)
+    )
+    if st.module is not None:
+        # Module path: bounded wait, then report failure (phase I).  The
+        # request stays queued broker-side; a later grant arrives as an
+        # async_grant and triggers phase II then.
+        outcome = yield proc.env.any_of(
+            [waiter, proc.env.timeout(cal.module_request_timeout)]
+        )
+        if waiter in outcome and waiter.value is not None:
+            target = waiter.value
+            conn.send(protocol.rsh_fail("deferred to module grow"))
+            _begin_module_add(proc, st, target)
+        else:
+            st.waiters.pop(reqid, None)  # future grant -> async path
+            conn.send(protocol.rsh_fail("request queued"))
+        return
+
+    # Default path: block until the broker produces a machine, then
+    # redirect the rsh there, wrapped with a subapp.
+    target = yield waiter
+    if target is None:
+        conn.send(protocol.rsh_fail("request denied"))
+        return
+    token = _make_token(proc, st, argv, target)
+    conn.send(protocol.rsh_exec(target, wrap=True, token=token))
+
+
+def _begin_module_add(proc, st, target):
+    """Phase II: mark the host expected and queue ``<module>_grow <host>``."""
+    st.pending_add.add(target)
+    proc.write_file(expect_marker_path(target), "1\n")
+    st.module_queue.put_nowait(("grow", target))
+
+
+def _module_runner(proc, st):
+    """Run the job's module scripts strictly one at a time."""
+    while True:
+        verb, host = yield st.module_queue.get()
+        program = (
+            grow_program(st.module) if verb == "grow" else shrink_program(st.module)
+        )
+        try:
+            script = proc.spawn([program, host])
+        except NoSuchProgram:
+            if verb == "grow":
+                # Misconfigured module: give the machine back, don't leak it.
+                st.pending_add.discard(host)
+                proc.unlink_file(expect_marker_path(host))
+                st.broker.send(protocol.released(st.jobid, host))
+            else:
+                # Fall back to the blunt instrument.
+                record = st.subapps.get(host)
+                if record is not None:
+                    record.conn.send(protocol.subapp_revoke())
+            continue
+        yield proc.wait(script)
+        if verb == "grow" and host in st.pending_add:
+            # The grow script finished without the job ever rsh-ing to the
+            # granted host (e.g. the runtime considered it already present).
+            # Give the machine back instead of leaking the allocation.
+            st.pending_add.discard(host)
+            proc.unlink_file(expect_marker_path(host))
+            st.broker.send(protocol.released(st.jobid, host))
+
+
+# -- subapp sessions -------------------------------------------------------
+
+
+def _handle_subapp(proc, st, conn, hello):
+    token = hello.get("token")
+    info = st.tokens.pop(token, None)
+    if info is None:
+        conn.send({"type": "subapp_abort"})
+        conn.close()
+        return
+    host = hello["host"]
+    record = _SubappRecord(host=host, conn=conn, exited=proc.env.event())
+    st.subapps[host] = record
+    conn.send(protocol.subapp_run(info["argv"]))
+    code = None
+    try:
+        while True:
+            msg = yield conn.recv()
+            kind = msg.get("type")
+            if kind == "subapp_started":
+                record.pid = msg["pid"]
+            elif kind == "subapp_exit":
+                code = msg.get("code")
+                break
+    except ConnectionClosed:
+        code = None
+    st.subapps.pop(host, None)
+    if not record.exited.triggered:
+        record.exited.succeed(code)
+    st.inbox.put_nowait({"type": "subapp_gone", "host": host, "code": code})
+    conn.close()
+
+
+# -- revocation ---------------------------------------------------------------
+
+
+def _handle_revoke(proc, st, host, cal):
+    record = st.subapps.get(host)
+    if record is None:
+        # Nothing of ours runs there (e.g. a not-yet-consumed pending add).
+        if host in st.pending_add:
+            st.pending_add.discard(host)
+            proc.unlink_file(expect_marker_path(host))
+        st.broker.send(protocol.released(st.jobid, host))
+        return
+    st.revoking.add(host)
+    if st.module is not None:
+        # Ask the job itself to drop the host, via the user's module script
+        # (queued: scripts share user state); the runtime shutting down its
+        # remote process makes the subapp's child exit, which we await below.
+        st.module_queue.put_nowait(("shrink", host))
+    else:
+        record.conn.send(protocol.subapp_revoke())
+    yield record.exited
+    st.broker.send(protocol.released(st.jobid, host))
+
+
+def _handle_subapp_gone(st, host):
+    if host in st.revoking:
+        # The revocation handler already reported the release.
+        st.revoking.discard(host)
+        return
+    if not st.broker_lost:
+        st.broker.send(protocol.released(st.jobid, host))
+
+
+# ---------------------------------------------------------------------------
+# subapp
+# ---------------------------------------------------------------------------
+
+
+def subapp_main(proc):
+    """Program body: ``argv = ["subapp", app_host, app_port, token]``."""
+    if len(proc.argv) < 4:
+        return 1
+    app_host, app_port, token = (
+        proc.argv[1],
+        int(proc.argv[2]),
+        proc.argv[3],
+    )
+    cal = proc.machine.network.calibration
+    yield proc.sleep(cal.subapp_startup)
+    try:
+        conn = yield proc.connect(app_host, app_port)
+    except (ConnectionRefused, NoSuchHost):
+        return 1
+    conn.send(protocol.subapp_hello(token, proc.machine.name, proc.pid))
+    try:
+        msg = yield conn.recv()
+    except ConnectionClosed:
+        return 1
+    if msg.get("type") != "subapp_run":
+        conn.close()
+        return 1
+
+    child = proc.spawn(msg["argv"])
+    conn.send(protocol.subapp_started(child.pid))
+    # Stay attached: the rsh chain that started us returns when the command
+    # finishes — or as soon as the command itself daemonizes (a pvmd-style
+    # runtime daemon), in which case we detach with it.
+
+    recv_ev = conn.recv()
+    daemon_ev = child.daemonized  # dropped from the wait set once handled
+    while True:
+        wait_set = [child.terminated, recv_ev]
+        if daemon_ev is not None:
+            wait_set.append(daemon_ev)
+        try:
+            yield proc.env.any_of(wait_set)
+        except ConnectionClosed:
+            # The app (and so probably the job) is gone: reclaim the machine.
+            if child.is_alive:
+                child.kill_tree(SIGKILL, sender=proc)
+            return 1
+        if daemon_ev is not None and daemon_ev.processed:
+            proc.daemonize()
+            daemon_ev = None
+        if child.terminated.processed:
+            conn.send(
+                protocol.subapp_exit(proc.machine.name, child.exit_code)
+            )
+            conn.close()
+            # Our own exit status stands in for the command's (the rsh chain
+            # only distinguishes success from failure).
+            return 0 if child.exit_code == 0 else 1
+        if recv_ev.processed:
+            msg = recv_ev.value
+            recv_ev = conn.recv()
+            if msg.get("type") == "subapp_revoke" and child.is_alive:
+                yield from _graceful_kill(proc, child, cal.sigterm_grace)
+
+
+def _graceful_kill(proc, child, grace):
+    """SIGTERM, wait out the grace period, then SIGKILL."""
+    child.signal(SIGTERM, sender=proc)
+    yield proc.env.any_of([child.terminated, proc.env.timeout(grace)])
+    if child.is_alive:
+        child.signal(SIGKILL, sender=proc)

@@ -1,0 +1,354 @@
+"""The network-wide broker process (resource-management layer, upper half).
+
+One instance runs (with ordinary user privileges, as user ``rbroker``) on a
+designated machine.  It:
+
+* spawns a monitoring daemon on every managed machine **via plain rsh** and
+  restarts daemons whose connection drops (paper §3: "The resource manager
+  process spawns the daemon processes at startup and restarts them if they
+  fail");
+* ingests periodic daemon reports into :class:`~repro.broker.state.BrokerState`;
+* accepts job registrations and machine requests from app processes;
+* runs the pluggable :class:`~repro.policy.base.Policy` over the queue of
+  pending requests whenever anything changes, granting idle machines or
+  initiating revocations;
+* enforces the owner's absolute priority on private machines.
+
+The broker process body is produced by :func:`make_broker_main`, a closure
+over the :class:`~repro.broker.service.BrokerService` so experiments can
+inject policies and inspect state without any side-channel globals inside
+program code.
+"""
+
+from __future__ import annotations
+
+from repro.broker import protocol
+from repro.broker.state import (
+    Allocation,
+    AllocationState,
+    PendingRequest,
+)
+from repro.cluster import ports
+from repro.os.errors import ConnectionClosed
+
+
+def make_broker_main(service):
+    """Build the broker program body bound to ``service``."""
+
+    def rbroker_main(proc):
+        ctl = _BrokerControl(proc, service)
+        listener = proc.listen(ports.BROKER)
+        for host in service.managed_hosts:
+            proc.thread(ctl.daemon_keeper(host), name=f"daemon-keeper-{host}")
+        while True:
+            try:
+                conn = yield listener.accept()
+            except ConnectionClosed:
+                return 0
+            proc.thread(ctl.serve(conn), name="broker-session")
+
+    return rbroker_main
+
+
+class _BrokerControl:
+    """All broker behaviour, shared across its connection handler threads."""
+
+    def __init__(self, proc, service) -> None:
+        self.proc = proc
+        self.service = service
+        self.state = service.state
+        self.policy = service.policy
+        self.cal = proc.machine.network.calibration
+        self._reqids = {}  # (jobid, reqid) -> PendingRequest (for dedupe)
+        self._reports_seen = set()
+
+    # -- daemon management ----------------------------------------------------
+
+    def daemon_keeper(self, host):
+        """Spawn the daemon on ``host`` and respawn it whenever it dies."""
+        while True:
+            down = self.proc.env.event()
+            self.service._daemon_down[host] = down
+            rsh = self.proc.spawn(
+                ["system:rsh", host, "rbdaemon", self.proc.machine.name],
+            )
+            code = yield self.proc.wait(rsh)
+            if code != 0:
+                # Machine unreachable; back off and retry.
+                yield self.proc.sleep(self.cal.daemon_report_interval)
+                continue
+            yield down  # triggered when the daemon's connection drops
+            self.service.log(event="daemon_restart", host=host)
+
+    # -- connection dispatch -------------------------------------------------
+
+    def serve(self, conn):
+        try:
+            first = yield conn.recv()
+        except ConnectionClosed:
+            conn.close()
+            return
+        kind = first.get("type")
+        if kind == "daemon_hello":
+            yield from self._serve_daemon(conn, first)
+        elif kind == "submit":
+            yield from self._serve_app(conn, first)
+        elif kind == "status":
+            conn.send(protocol.status_reply(self.state.summary()))
+            conn.close()
+        elif kind == "halt_job":
+            jobid = int(first.get("jobid", -1))
+            job = self.state.jobs.get(jobid)
+            ok = job is not None and not job.done and job.conn is not None
+            if ok:
+                job.conn.send(protocol.halt())
+                self.service.log(event="halt_job", jobid=jobid)
+            conn.send(protocol.halt_ack(jobid, ok))
+            conn.close()
+        else:
+            conn.close()
+
+    # -- daemon sessions ----------------------------------------------------
+
+    def _serve_daemon(self, conn, hello):
+        host = hello["host"]
+        record = self.state.add_machine(host)
+        try:
+            while True:
+                msg = yield conn.recv()
+                if msg.get("type") != "daemon_report":
+                    continue
+                was_reported = record.reported
+                was_active = record.console_active
+                record.update(msg["snapshot"])
+                self._note_ready(host)
+                self._owner_priority(record)
+                # Scheduling is event-driven: most reports change nothing a
+                # policy can act on, so only a machine appearing for the
+                # first time or a console-activity flip triggers a pass.
+                if not was_reported or record.console_active != was_active:
+                    yield from self._schedule()
+        except ConnectionClosed:
+            conn.close()
+            # Monitoring lost: the machine may be down.  Treat it as unknown
+            # (ineligible) until a daemon reports again.
+            record.last_report = -1.0
+            down = self.service._daemon_down.get(host)
+            if down is not None and not down.triggered:
+                down.succeed()
+
+    def _note_ready(self, host) -> None:
+        self._reports_seen.add(host)
+        if (
+            not self.service.ready.triggered
+            and self._reports_seen >= set(self.service.managed_hosts)
+        ):
+            self.service.ready.succeed()
+
+    def _owner_priority(self, record) -> None:
+        """Revoke an allocation when the machine's owner is at the console."""
+        allocation = record.allocation
+        if (
+            record.console_active
+            and allocation is not None
+            and allocation.state is AllocationState.ACTIVE
+            and self.policy.reclaim_on_owner_return(self.state, record)
+        ):
+            self.service.log(
+                event="owner_reclaim", host=record.host, jobid=allocation.jobid
+            )
+            self._start_reclaim(record.host, claimed_by=None)
+
+    # -- app sessions --------------------------------------------------------
+
+    def _serve_app(self, conn, submit_msg):
+        job = self.state.register_job(
+            user=submit_msg["user"],
+            home_host=submit_msg["host"],
+            rsl_text=submit_msg["rsl"],
+            argv=submit_msg["argv"],
+            adaptive_hint=bool(submit_msg.get("adaptive")),
+        )
+        job.conn = conn
+        self.service.log(
+            event="submit",
+            jobid=job.jobid,
+            user=job.user,
+            rsl=submit_msg["rsl"],
+            argv=list(submit_msg["argv"]),
+        )
+        conn.send(protocol.submit_ack(job.jobid))
+        try:
+            while True:
+                msg = yield conn.recv()
+                yield from self._app_message(job, msg)
+                if job.done:
+                    break
+        except ConnectionClosed:
+            pass
+        if not job.done:
+            yield from self._finish_job(job, code=None)
+        conn.close()
+
+    def _app_message(self, job, msg):
+        kind = msg.get("type")
+        if kind == "machine_request":
+            yield self.proc.sleep(self.cal.broker_decision)
+            request = PendingRequest(
+                reqid=msg["reqid"],
+                jobid=job.jobid,
+                symbolic=msg["symbolic"],
+                firm=bool(msg["firm"]),
+                arrived_at=self.proc.env.now,
+            )
+            self.state.pending.append(request)
+            self._reqids[(job.jobid, request.reqid)] = request
+            self.service.log(
+                event="machine_request",
+                jobid=job.jobid,
+                reqid=request.reqid,
+                symbolic=request.symbolic,
+                firm=request.firm,
+            )
+            yield from self._schedule()
+            self._deny_if_unsatisfiable(job, request)
+        elif kind == "released":
+            yield from self._on_released(job, msg["host"])
+        elif kind == "job_done":
+            yield from self._finish_job(job, code=msg.get("code"))
+
+    def _deny_if_unsatisfiable(self, job, request) -> None:
+        """Reject a request no machine on the network could *ever* satisfy.
+
+        A request is queued while machines are merely busy; but if every
+        managed machine has reported and none matches the symbolic name and
+        RSL constraints even in the best case, waiting is futile and the
+        job deserves an immediate error (its rsh' then fails like a plain
+        rsh to an unknown host would).
+        """
+        if request not in self.state.pending:
+            return  # already granted or being reclaimed for
+        if not all(
+            self.state.machines[h].reported
+            for h in self.service.managed_hosts
+            if h in self.state.machines
+        ):
+            return  # incomplete knowledge: keep waiting
+        from repro.rsl import symbolic_matches
+
+        for record in self.state.machines.values():
+            if not record.reported or record.host == job.home_host:
+                continue
+            view = record.snapshot_view()
+            if symbolic_matches(request.symbolic, view) and job.rsl.matches_machine(view):
+                return  # satisfiable in principle; stay queued
+        self.state.pending.remove(request)
+        self._reqids.pop((job.jobid, request.reqid), None)
+        self.service.log(
+            event="denied",
+            jobid=job.jobid,
+            reqid=request.reqid,
+            symbolic=request.symbolic,
+        )
+        if job.conn is not None:
+            job.conn.send(
+                protocol.machine_denied(request.reqid, "no machine can match")
+            )
+
+    # -- allocation engine -----------------------------------------------------
+
+    def _schedule(self):
+        """Run the policy over the pending queue until no progress."""
+        progress = True
+        while progress:
+            progress = False
+            for request in self.state.pending_sorted():
+                if request not in self.state.pending:
+                    continue  # satisfied earlier in this very pass
+                if request.reserved_host is not None:
+                    continue  # a machine is being reclaimed for this request
+                job = self.state.jobs.get(request.jobid)
+                if job is None or job.done:
+                    self.state.pending.remove(request)
+                    continue
+                decision = self.policy.decide(self.state, request)
+                if decision.kind.value == "grant":
+                    self._grant(request, decision.host)
+                    progress = True
+                elif decision.kind.value == "preempt":
+                    self._start_reclaim(decision.host, claimed_by=request)
+                    progress = True
+        return
+        yield  # pragma: no cover - generator form for uniform call sites
+
+    def _grant(self, request: PendingRequest, host: str) -> None:
+        job = self.state.job(request.jobid)
+        self.state.pending.remove(request)
+        self._reqids.pop((request.jobid, request.reqid), None)
+        self.state.allocate(
+            host, request.jobid, firm=request.firm, now=self.proc.env.now
+        )
+        self.service.log(
+            event="grant",
+            jobid=request.jobid,
+            reqid=request.reqid,
+            host=host,
+            waited=self.proc.env.now - request.arrived_at,
+        )
+        if job.conn is not None:
+            job.conn.send(protocol.machine_grant(request.reqid, host))
+
+    def _start_reclaim(self, host: str, claimed_by) -> None:
+        record = self.state.machine(host)
+        allocation = record.allocation
+        assert allocation is not None and allocation.state is AllocationState.ACTIVE
+        allocation.state = AllocationState.RECLAIMING
+        allocation.claimed_by = claimed_by
+        if claimed_by is not None:
+            claimed_by.reserved_host = host
+        victim = self.state.job(allocation.jobid)
+        self.service.log(
+            event="revoke",
+            host=host,
+            victim=allocation.jobid,
+            for_jobid=claimed_by.jobid if claimed_by else None,
+        )
+        if victim.conn is not None:
+            victim.conn.send(protocol.revoke(host))
+
+    def _on_released(self, job, host: str):
+        record = self.state.machines.get(host)
+        if record is None or record.allocation is None:
+            return
+        if record.allocation.jobid != job.jobid:
+            return  # stale release from a previous holder
+        allocation = self.state.release(host)
+        self.service.log(event="released", host=host, jobid=job.jobid)
+        claim = allocation.claimed_by
+        if claim is not None:
+            claim.reserved_host = None
+            if claim in self.state.pending:
+                claimer = self.state.jobs.get(claim.jobid)
+                if (
+                    claimer is not None
+                    and not claimer.done
+                    # The machine may have died between the revoke and the
+                    # release (its daemon connection dropped): only hand it
+                    # over if it is still known-good, otherwise leave the
+                    # request queued for the scheduler pass below.
+                    and record.reported
+                    and not record.console_active
+                ):
+                    self._grant(claim, host)
+        yield from self._schedule()
+
+    def _finish_job(self, job, code):
+        job.done = True
+        self.state.drop_job_requests(job.jobid)
+        for allocation in self.state.allocations_of(job.jobid):
+            released = self.state.release(allocation.host)
+            claim = released.claimed_by if released else None
+            if claim is not None:
+                claim.reserved_host = None
+        self.service.log(event="job_done", jobid=job.jobid, code=code)
+        yield from self._schedule()

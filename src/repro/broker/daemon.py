@@ -1,0 +1,38 @@
+"""``rbdaemon`` — the per-machine monitoring daemon.
+
+Started on every managed machine by the broker (via plain rsh, with ordinary
+user privileges) at broker startup.  It periodically reports the machine's
+monitorable state — "the CPU status, the users who are logged on, the number
+of running jobs, and the keyboard- and the mouse-status" (paper §3) — over a
+persistent connection.  It takes no actions itself: all job control flows
+through the application layer, which is what lets the whole resource
+management layer run unprivileged.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import ports
+from repro.os.errors import ConnectionClosed, ConnectionRefused, NoSuchHost
+from repro.broker import protocol
+
+
+def rbdaemon_main(proc):
+    """Program body: ``argv = ["rbdaemon", broker_host]``."""
+    if len(proc.argv) < 2:
+        return 1
+    broker_host = proc.argv[1]
+    cal = proc.machine.network.calibration
+    yield proc.sleep(cal.daemon_startup)
+    try:
+        conn = yield proc.connect(broker_host, ports.BROKER)
+    except (ConnectionRefused, NoSuchHost):
+        return 1
+    conn.send(protocol.daemon_hello(proc.machine.name))
+    # Detach so the broker's rsh invocation returns while we keep running.
+    proc.daemonize()
+    try:
+        while True:
+            conn.send(protocol.daemon_report(proc.machine.snapshot()))
+            yield proc.sleep(cal.daemon_report_interval)
+    except ConnectionClosed:
+        return 1

@@ -1,0 +1,45 @@
+"""External-module conventions (paper §4.2, §5.3).
+
+A module is a *user-supplied executable* — not broker code — named by the
+job's RSL (``(module="pvm")``).  For module ``xxx`` the broker assumes three
+programs exist on the user's PATH:
+
+* ``xxx_grow <host>``   — coerce the job into adding ``host``;
+* ``xxx_shrink <host>`` — coerce the job into gracefully releasing ``host``;
+* ``xxx_halt``          — stop the whole job.
+
+The PVM and LAM modules live with their systems
+(:mod:`repro.systems.pvm.modules`, :mod:`repro.systems.lam.modules`); adding
+support for a brand-new programming system means writing three small scripts,
+never recompiling the broker — the extensibility claim this module's helpers
+encode.
+
+This file also defines the *expected-host marker*: when the broker grants a
+machine to a module job, the app drops ``~/.rb_expect_<host>`` in the user's
+home.  The job's next ``rsh <host>`` (phase II, carrying the real name) is
+spotted by ``rsh'`` via this marker and wrapped with a subapp; explicitly
+user-named hosts have no marker and pass straight through, which is why the
+per-machine overhead for explicit names stays sub-millisecond (Table 3).
+"""
+
+from __future__ import annotations
+
+
+def grow_program(module: str) -> str:
+    """Name of the grow script for ``module`` (``<module>_grow``)."""
+    return f"{module}_grow"
+
+
+def shrink_program(module: str) -> str:
+    """Name of the shrink script for ``module`` (``<module>_shrink``)."""
+    return f"{module}_shrink"
+
+
+def halt_program(module: str) -> str:
+    """Name of the halt script for ``module`` (``<module>_halt``)."""
+    return f"{module}_halt"
+
+
+def expect_marker_path(host: str) -> str:
+    """Home-relative marker path for an expected broker-granted host."""
+    return f"~/.rb_expect_{host}"

@@ -1,0 +1,190 @@
+"""Wire protocol between the broker, daemons, apps, subapps and rsh'.
+
+All messages are dicts with a ``"type"`` key; the constructors below are the
+single source of truth for their shapes.  Using plain dicts keeps the wire
+format transparent in traces and lets tests build messages by hand.
+
+Message flow summary (paper Figures 5 and 6):
+
+=====================  =======================  ==============================
+message                direction                 purpose
+=====================  =======================  ==============================
+daemon_hello            daemon -> broker         announce a machine
+daemon_report           daemon -> broker         periodic monitoring snapshot
+submit                  app -> broker            register a job (RSL, user)
+submit_ack              broker -> app            jobid assigned
+machine_request         app -> broker            "job wants one more machine"
+machine_grant           broker -> app            a machine is ready for the job
+machine_denied          broker -> app            request cannot be satisfied
+revoke                  broker -> app            take host away from this job
+released                app -> broker            host given back
+grow                    broker -> app            reserved (async offers
+                                                 currently ride machine_grant)
+job_done                app -> broker            job finished; free everything
+rsh_request             rsh' -> app              intercepted rsh
+rsh_exec                app -> rsh'              run via real rsh (maybe wrapped)
+rsh_fail                app -> rsh'              report failure (module phase I)
+subapp_hello            subapp -> app            subapp is up on target host
+subapp_run              app -> subapp            the command to spawn
+subapp_started          subapp -> app            child pid running
+subapp_revoke           app -> subapp            kill the child (grace period)
+subapp_exit             subapp -> app            child exited with code
+=====================  =======================  ==============================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+Message = Dict[str, Any]
+
+
+# -- resource-management layer ----------------------------------------------
+
+
+def daemon_hello(host: str) -> Message:
+    """Daemon -> broker: announce the machine this daemon watches."""
+    return {"type": "daemon_hello", "host": host}
+
+
+def daemon_report(snapshot: Message) -> Message:
+    """Daemon -> broker: one periodic monitoring snapshot."""
+    return {"type": "daemon_report", "snapshot": snapshot}
+
+
+def submit(
+    user: str, host: str, rsl: str, argv: List[str], adaptive: bool
+) -> Message:
+    """App -> broker: register a job (user, home host, RSL, command)."""
+    return {
+        "type": "submit",
+        "user": user,
+        "host": host,
+        "rsl": rsl,
+        "argv": list(argv),
+        "adaptive": adaptive,
+    }
+
+
+def submit_ack(jobid: int) -> Message:
+    """Broker -> app: the jobid assigned to a submission."""
+    return {"type": "submit_ack", "jobid": jobid}
+
+
+def machine_request(
+    jobid: int, symbolic: str, reqid: int, firm: bool
+) -> Message:
+    """App -> broker: the job wants one more machine."""
+    return {
+        "type": "machine_request",
+        "jobid": jobid,
+        "symbolic": symbolic,
+        "reqid": reqid,
+        "firm": firm,
+    }
+
+
+def machine_grant(reqid: int, host: str) -> Message:
+    """Broker -> app: ``host`` is ready for request ``reqid``."""
+    return {"type": "machine_grant", "reqid": reqid, "host": host}
+
+
+def machine_denied(reqid: int, reason: str) -> Message:
+    """Broker -> app: request ``reqid`` can never be satisfied."""
+    return {"type": "machine_denied", "reqid": reqid, "reason": reason}
+
+
+def revoke(host: str) -> Message:
+    """Broker -> app: give ``host`` back (gracefully)."""
+    return {"type": "revoke", "host": host}
+
+
+def released(jobid: int, host: str) -> Message:
+    """App -> broker: ``host`` has been given back."""
+    return {"type": "released", "jobid": jobid, "host": host}
+
+
+def grow(reqid: int, host: str) -> Message:
+    """Broker -> app: asynchronous machine offer.  Reserved: the current
+    broker delivers late grants through ``machine_grant`` (the app routes a
+    grant with no waiter to its module-grow path), so this message is kept
+    only as a protocol extension point."""
+    return {"type": "grow", "reqid": reqid, "host": host}
+
+
+def job_done(jobid: int, code: Optional[int]) -> Message:
+    """App -> broker: the job exited; free all its holdings."""
+    return {"type": "job_done", "jobid": jobid, "code": code}
+
+
+# -- user queries and control (paper §4.1: "Users communicate with
+# ResourceBroker to query machine availability, to learn the status of
+# queued jobs ...") ----------------------------------------------------------
+
+
+def status_request() -> Message:
+    """User tool -> broker: request the status summary."""
+    return {"type": "status"}
+
+
+def status_reply(summary: Message) -> Message:
+    """Broker -> user tool: the status summary."""
+    return {"type": "status_reply", "summary": summary}
+
+
+def halt_job(jobid: int) -> Message:
+    """User tool -> broker: stop job ``jobid``."""
+    return {"type": "halt_job", "jobid": jobid}
+
+
+def halt_ack(jobid: int, ok: bool) -> Message:
+    """Broker -> user tool: whether the halt was deliverable."""
+    return {"type": "halt_ack", "jobid": jobid, "ok": ok}
+
+
+def halt() -> Message:
+    """Broker -> app: stop the whole job (module ``xxx_halt`` or SIGTERM)."""
+    return {"type": "halt"}
+
+
+# -- application layer -----------------------------------------------------
+
+
+def rsh_request(host: str, argv: List[str], user: str) -> Message:
+    """rsh' -> app: an intercepted rsh (host may be symbolic)."""
+    return {"type": "rsh_request", "host": host, "argv": list(argv), "user": user}
+
+
+def rsh_exec(target: str, wrap: bool, token: Optional[str] = None) -> Message:
+    """App -> rsh': proceed to ``target`` (wrapped in a subapp if ``wrap``)."""
+    return {"type": "rsh_exec", "target": target, "wrap": wrap, "token": token}
+
+
+def rsh_fail(reason: str) -> Message:
+    """App -> rsh': report failure (module phase I or denial)."""
+    return {"type": "rsh_fail", "reason": reason}
+
+
+def subapp_hello(token: str, host: str, pid: int) -> Message:
+    """Subapp -> app: up on ``host``, presenting its token."""
+    return {"type": "subapp_hello", "token": token, "host": host, "pid": pid}
+
+
+def subapp_run(argv: List[str]) -> Message:
+    """App -> subapp: the real command to spawn."""
+    return {"type": "subapp_run", "argv": list(argv)}
+
+
+def subapp_started(pid: int) -> Message:
+    """Subapp -> app: the command is running as ``pid``."""
+    return {"type": "subapp_started", "pid": pid}
+
+
+def subapp_revoke() -> Message:
+    """App -> subapp: kill the child (grace period applies)."""
+    return {"type": "subapp_revoke"}
+
+
+def subapp_exit(host: str, code: Optional[int]) -> Message:
+    """Subapp -> app: the child exited with ``code``."""
+    return {"type": "subapp_exit", "host": host, "code": code}

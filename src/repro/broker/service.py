@@ -1,0 +1,190 @@
+"""Host-side harness that overlays ResourceBroker onto a simulated cluster.
+
+:class:`BrokerService` is not part of the paper's system — it plays the role
+of the *system administrator*: it installs the broker's program directory
+ahead of the system directory on each managed machine (the PATH interception),
+boots the broker process as an unprivileged user, and gives tests and
+experiments a typed submission API plus full visibility into broker state and
+an event log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.broker.app import app_main, subapp_main
+from repro.broker.core import make_broker_main
+from repro.broker.daemon import rbdaemon_main
+from repro.broker.rshprime import rshprime_main
+from repro.broker.tools import rbctl_main, rbstat_main
+from repro.broker.state import BrokerState, JobRecord
+from repro.os.process import OSProcess
+from repro.os.programs import ProgramDirectory
+from repro.policy.default import DefaultPolicy
+
+#: The unprivileged account the resource-management layer runs as.  Nothing
+#: grants it special rights: the simulated OS denies it signals to other
+#: users' processes exactly as real Unix would.
+BROKER_UID = "rbroker"
+
+
+@dataclass
+class JobHandle:
+    """A submitted job as seen by the submitting harness."""
+
+    service: "BrokerService"
+    proc: OSProcess  # the app process
+    argv: List[str]
+    rsl: str
+    uid: str
+
+    @property
+    def terminated(self):
+        return self.proc.terminated
+
+    @property
+    def exit_code(self) -> Optional[int]:
+        return self.proc.exit_code
+
+    def wait(self) -> Optional[int]:
+        """Run the simulation until this job's app exits."""
+        self.service.cluster.env.run(until=self.proc.terminated)
+        return self.proc.exit_code
+
+    def job_record(self) -> Optional[JobRecord]:
+        """The broker's record for this job (matched on user/host/argv)."""
+        for job in self.service.state.jobs.values():
+            if (
+                job.user == self.uid
+                and job.home_host == self.proc.machine.name
+                and job.argv == self.argv
+            ):
+                return job
+        return None
+
+
+class BrokerService:
+    """Install, boot and drive ResourceBroker on a cluster."""
+
+    def __init__(
+        self,
+        cluster,
+        policy=None,
+        managed_hosts: Optional[Sequence[str]] = None,
+        broker_host: Optional[str] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.policy = policy if policy is not None else DefaultPolicy()
+        self.managed_hosts: List[str] = list(
+            managed_hosts if managed_hosts is not None else cluster.machines
+        )
+        self.broker_host = broker_host or self.managed_hosts[0]
+        self.state = BrokerState()
+        self.events: List[Dict[str, Any]] = []
+        self.ready = self.env.event()
+        self._daemon_down: Dict[str, Any] = {}
+
+        # The broker's program directory, shadowing the system's rsh.
+        self.rb_bin = ProgramDirectory("rb")
+        self.rb_bin.register("rsh", rshprime_main)
+        self.rb_bin.register("app", app_main)
+        self.rb_bin.register("subapp", subapp_main)
+        self.rb_bin.register("rbdaemon", rbdaemon_main)
+        self.rb_bin.register("rbroker", make_broker_main(self))
+        self.rb_bin.register("rbstat", rbstat_main)
+        self.rb_bin.register("rbctl", rbctl_main)
+
+        for host in self.managed_hosts:
+            machine = cluster.machines[host]
+            machine.path = [self.rb_bin, cluster.system_bin]
+            self.state.add_machine(host)
+        broker_machine = cluster.machines[self.broker_host]
+        if self.rb_bin not in broker_machine.path:
+            broker_machine.path = [self.rb_bin] + list(broker_machine.path)
+
+        self.broker_proc = OSProcess(
+            broker_machine,
+            ["rbroker"],
+            uid=BROKER_UID,
+            environ={"HOME": f"/home/{BROKER_UID}"},
+        )
+
+    # -- logging -----------------------------------------------------------
+
+    def log(self, **entry: Any) -> None:
+        """Append a timestamped entry to the broker event log."""
+        entry.setdefault("time", self.env.now)
+        self.events.append(entry)
+
+    def events_of(self, event: str) -> List[Dict[str, Any]]:
+        """All logged entries of one event kind, in order."""
+        return [e for e in self.events if e.get("event") == event]
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def wait_ready(self) -> None:
+        """Run the simulation until every managed daemon has reported."""
+        if not self.ready.processed:
+            self.env.run(until=self.ready)
+
+    def submit(
+        self,
+        host: str,
+        argv: Sequence[str],
+        rsl: str = "",
+        uid: str = "user",
+    ) -> JobHandle:
+        """Submit ``argv`` from ``host`` through an app process.
+
+        This is the user typing ``app <rsl> <command>`` at a shell prompt on
+        ``host``.
+        """
+        app_argv = ["app", rsl, *argv]
+        proc = self.cluster.run_command(
+            host,
+            app_argv,
+            uid=uid,
+            environ={"RB_BROKER_HOST": self.broker_host},
+        )
+        return JobHandle(
+            service=self, proc=proc, argv=list(argv), rsl=rsl, uid=uid
+        )
+
+    def halt_job(self, jobid: int, host: Optional[str] = None) -> OSProcess:
+        """Ask the broker to stop ``jobid`` (via ``rbctl halt``)."""
+        return self.cluster.run_command(
+            host or self.broker_host,
+            ["rbctl", "halt", str(jobid)],
+            uid="operator",
+            environ={"RB_BROKER_HOST": self.broker_host},
+        )
+
+    def run_rbstat(self, host: Optional[str] = None, uid: str = "user") -> OSProcess:
+        """Run the ``rbstat`` status tool as ``uid`` on ``host``."""
+        return self.cluster.run_command(
+            host or self.broker_host,
+            ["rbstat"],
+            uid=uid,
+            environ={"RB_BROKER_HOST": self.broker_host},
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    def holdings(self) -> Dict[int, List[str]]:
+        """jobid -> sorted list of allocated hosts."""
+        result: Dict[int, List[str]] = {}
+        for record in self.state.machines.values():
+            if record.allocation is not None:
+                result.setdefault(record.allocation.jobid, []).append(
+                    record.host
+                )
+        return {jobid: sorted(hosts) for jobid, hosts in result.items()}
+
+    def __repr__(self) -> str:
+        return (
+            f"<BrokerService policy={self.policy.name} "
+            f"machines={len(self.managed_hosts)} "
+            f"jobs={len(self.state.jobs)}>"
+        )

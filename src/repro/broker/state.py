@@ -1,0 +1,273 @@
+"""Broker-side bookkeeping: machines, jobs, allocations, pending requests.
+
+:class:`BrokerState` is deliberately a passive data structure — all decisions
+live in :mod:`repro.policy` (the paper's mechanism/policy separation, design
+goal 5), and all I/O lives in :mod:`repro.broker.core`.  This makes policies
+unit-testable against hand-built states.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.rsl import RSLRequest, parse_rsl, symbolic_matches
+
+
+class AllocationState(enum.Enum):
+    """Lifecycle of one machine-to-job binding."""
+
+    ACTIVE = "active"  # granted; the job may occupy it
+    RECLAIMING = "reclaiming"  # revoke sent, waiting for release
+
+
+@dataclass
+class Allocation:
+    """One machine currently bound to one job."""
+
+    host: str
+    jobid: int
+    firm: bool
+    state: AllocationState = AllocationState.ACTIVE
+    granted_at: float = 0.0
+    #: When RECLAIMING: the pending request that will receive this machine.
+    claimed_by: Optional["PendingRequest"] = None
+
+
+@dataclass
+class MachineRecord:
+    """What the broker knows about one machine (from daemon reports)."""
+
+    host: str
+    platform: str = ""
+    kind: str = "public"
+    owner: Optional[str] = None
+    console_active: bool = False
+    cpu_load: int = 0
+    n_processes: int = 0
+    last_report: float = -1.0
+    allocation: Optional[Allocation] = None
+
+    @property
+    def reported(self) -> bool:
+        """True once at least one daemon report has arrived."""
+        return self.last_report >= 0.0
+
+    @property
+    def allocated(self) -> bool:
+        return self.allocation is not None
+
+    def snapshot_view(self) -> Dict[str, Any]:
+        """Dict view used for RSL / symbolic-name matching."""
+        return {
+            "host": self.host,
+            "platform": self.platform,
+            "kind": self.kind,
+            "owner": self.owner,
+            "console_active": self.console_active,
+            "cpu_load": self.cpu_load,
+        }
+
+    def update(self, snapshot: Dict[str, Any]) -> None:
+        """Fold one daemon report into this record."""
+        self.platform = snapshot.get("platform", self.platform)
+        self.kind = snapshot.get("kind", self.kind)
+        self.owner = snapshot.get("owner", self.owner)
+        self.console_active = bool(snapshot.get("console_active", False))
+        self.cpu_load = int(snapshot.get("cpu_load", 0))
+        self.n_processes = int(snapshot.get("n_processes", 0))
+        self.last_report = float(snapshot.get("time", 0.0))
+
+
+@dataclass
+class JobRecord:
+    """One submitted job."""
+
+    jobid: int
+    user: str
+    home_host: str
+    rsl: RSLRequest
+    argv: List[str]
+    adaptive: bool
+    conn: Any = None  # broker<->app connection
+    done: bool = False
+
+    @property
+    def module(self) -> Optional[str]:
+        return self.rsl.module
+
+
+@dataclass
+class PendingRequest:
+    """A machine request not yet satisfied."""
+
+    reqid: int
+    jobid: int
+    symbolic: str
+    firm: bool
+    arrived_at: float
+    #: Set once a machine has been picked and is being reclaimed for us.
+    reserved_host: Optional[str] = None
+
+
+class BrokerState:
+    """All broker tables plus derived queries used by policies."""
+
+    def __init__(self) -> None:
+        self.machines: Dict[str, MachineRecord] = {}
+        self.jobs: Dict[int, JobRecord] = {}
+        self.pending: List[PendingRequest] = []
+        self._jobids = itertools.count(1)
+
+    # -- machines ---------------------------------------------------------
+
+    def add_machine(self, host: str) -> MachineRecord:
+        """Get-or-create the record for ``host``."""
+        record = self.machines.get(host)
+        if record is None:
+            record = MachineRecord(host=host)
+            self.machines[host] = record
+        return record
+
+    def machine(self, host: str) -> MachineRecord:
+        """The record for ``host`` (KeyError if unknown)."""
+        return self.machines[host]
+
+    # -- jobs --------------------------------------------------------------
+
+    def register_job(
+        self, user: str, home_host: str, rsl_text: str, argv: List[str],
+        adaptive_hint: bool = False,
+    ) -> JobRecord:
+        """Create a JobRecord for a submission, parsing its RSL."""
+        rsl = parse_rsl(rsl_text or "")
+        job = JobRecord(
+            jobid=next(self._jobids),
+            user=user,
+            home_host=home_host,
+            rsl=rsl,
+            argv=list(argv),
+            adaptive=rsl.adaptive or adaptive_hint,
+        )
+        self.jobs[job.jobid] = job
+        return job
+
+    def job(self, jobid: int) -> JobRecord:
+        """The record for ``jobid`` (KeyError if unknown)."""
+        return self.jobs[jobid]
+
+    # -- allocations -------------------------------------------------------
+
+    def allocations_of(self, jobid: int) -> List[Allocation]:
+        """Every allocation currently held by ``jobid``."""
+        return [
+            m.allocation
+            for m in self.machines.values()
+            if m.allocation is not None and m.allocation.jobid == jobid
+        ]
+
+    def holding_count(self, jobid: int) -> int:
+        """How many machines ``jobid`` holds right now."""
+        return len(self.allocations_of(jobid))
+
+    def allocate(
+        self, host: str, jobid: int, firm: bool, now: float
+    ) -> Allocation:
+        """Bind ``host`` to ``jobid`` (the machine must be free)."""
+        record = self.machines[host]
+        if record.allocation is not None:
+            raise RuntimeError(
+                f"{host} already allocated to job {record.allocation.jobid}"
+            )
+        allocation = Allocation(
+            host=host, jobid=jobid, firm=firm, granted_at=now
+        )
+        record.allocation = allocation
+        return allocation
+
+    def release(self, host: str) -> Optional[Allocation]:
+        """Unbind ``host``; returns the allocation it held, if any."""
+        record = self.machines[host]
+        allocation, record.allocation = record.allocation, None
+        return allocation
+
+    # -- queries used by policies --------------------------------------------
+
+    def eligible_machines(
+        self, request: PendingRequest
+    ) -> List[MachineRecord]:
+        """Machines satisfying the symbolic name, reported and usable."""
+        job = self.jobs[request.jobid]
+        result = []
+        for record in self.machines.values():
+            if not record.reported:
+                continue
+            if record.host == job.home_host:
+                # The job already runs on its home machine; growing means
+                # acquiring *another* one (and PVM-style systems cannot
+                # re-add their own master host anyway).
+                continue
+            if not symbolic_matches(request.symbolic, record.snapshot_view()):
+                continue
+            if not job.rsl.matches_machine(record.snapshot_view()):
+                continue
+            if record.console_active:
+                continue  # the owner is at the console: hands off
+            if record.kind == "private" and not job.adaptive:
+                continue  # paper policy: private machines only to adaptive jobs
+            result.append(record)
+        return result
+
+    def idle_machines(self, request: PendingRequest) -> List[MachineRecord]:
+        """Eligible machines with no current allocation, public first."""
+        free = [
+            m for m in self.eligible_machines(request) if m.allocation is None
+        ]
+        free.sort(key=lambda m: (m.kind != "public", m.cpu_load, m.host))
+        return free
+
+    def pending_sorted(self) -> List[PendingRequest]:
+        """Service order: firm requests FIFO first, then elastic requests
+        from the poorest job first (even partition among elastic jobs)."""
+        firm = [r for r in self.pending if r.firm]
+        elastic = [r for r in self.pending if not r.firm]
+        firm.sort(key=lambda r: (r.arrived_at, r.reqid))
+        elastic.sort(
+            key=lambda r: (self.holding_count(r.jobid), r.arrived_at, r.reqid)
+        )
+        return firm + elastic
+
+    def drop_job_requests(self, jobid: int) -> None:
+        """Forget every pending request of ``jobid`` (job finished)."""
+        self.pending = [r for r in self.pending if r.jobid != jobid]
+
+    def summary(self) -> Dict[str, Any]:
+        """Human-readable status (the ``rbstat`` view)."""
+        return {
+            "machines": {
+                h: {
+                    "allocated_to": (
+                        m.allocation.jobid if m.allocation else None
+                    ),
+                    "state": (
+                        m.allocation.state.value if m.allocation else "free"
+                    ),
+                    "console_active": m.console_active,
+                    "load": m.cpu_load,
+                }
+                for h, m in sorted(self.machines.items())
+            },
+            "jobs": {
+                j: {
+                    "user": job.user,
+                    "adaptive": job.adaptive,
+                    "module": job.module,
+                    "holdings": self.holding_count(j),
+                    "done": job.done,
+                }
+                for j, job in sorted(self.jobs.items())
+            },
+            "pending": len(self.pending),
+        }

@@ -1,0 +1,92 @@
+"""User-facing ResourceBroker command-line tools.
+
+The paper (§4.1): "Users communicate with ResourceBroker to query machine
+availability, to learn the status of queued jobs, to submit a job for
+execution and specify its resource requirements."  Submission is the ``app``
+program; these two cover the rest:
+
+* ``rbstat`` — query the broker and write a human-readable status report to
+  ``~/.rbstat`` (machine availability, job table, queue depth).  Exit 0 on
+  success, 1 if the broker is unreachable.
+* ``rbctl halt <jobid>`` — ask the broker to stop a job (delivered to the
+  job's app, which uses the job's ``<module>_halt`` script when there is
+  one).
+"""
+
+from __future__ import annotations
+
+from repro.broker import protocol
+from repro.cluster import ports
+from repro.os.errors import ConnectionClosed, ConnectionRefused, NoSuchHost
+
+#: Where rbstat drops its report (home-relative).
+RBSTAT_FILE = "~/.rbstat"
+
+
+def _broker_host(proc):
+    return proc.environ.get("RB_BROKER_HOST")
+
+
+def rbstat_main(proc):
+    """``rbstat``: fetch and persist the broker's status summary."""
+    host = _broker_host(proc)
+    if host is None:
+        return 1
+    try:
+        conn = yield proc.connect(host, ports.BROKER)
+    except (ConnectionRefused, NoSuchHost):
+        return 1
+    conn.send(protocol.status_request())
+    try:
+        reply = yield conn.recv()
+    except ConnectionClosed:
+        return 1
+    conn.close()
+    if reply.get("type") != "status_reply":
+        return 1
+    proc.write_file(RBSTAT_FILE, format_status(reply["summary"]))
+    return 0
+
+
+def format_status(summary: dict) -> str:
+    """Render the broker summary as the report rbstat writes."""
+    lines = ["== machines =="]
+    for host, info in summary.get("machines", {}).items():
+        owner = "console-active" if info.get("console_active") else "idle-console"
+        lines.append(
+            f"{host}: allocated_to={info.get('allocated_to')} "
+            f"state={info.get('state')} load={info.get('load')} {owner}"
+        )
+    lines.append("== jobs ==")
+    for jobid, info in summary.get("jobs", {}).items():
+        lines.append(
+            f"job {jobid}: user={info.get('user')} "
+            f"adaptive={info.get('adaptive')} module={info.get('module')} "
+            f"holdings={info.get('holdings')} done={info.get('done')}"
+        )
+    lines.append(f"pending requests: {summary.get('pending', 0)}")
+    return "\n".join(lines) + "\n"
+
+
+def rbctl_main(proc):
+    """``rbctl halt <jobid>``."""
+    if len(proc.argv) < 3 or proc.argv[1] != "halt":
+        return 1
+    host = _broker_host(proc)
+    if host is None:
+        return 1
+    try:
+        jobid = int(proc.argv[2])
+    except ValueError:
+        return 1
+    try:
+        conn = yield proc.connect(host, ports.BROKER)
+    except (ConnectionRefused, NoSuchHost):
+        return 1
+    conn.send(protocol.halt_job(jobid))
+    try:
+        reply = yield conn.recv()
+    except ConnectionClosed:
+        return 1
+    conn.close()
+    return 0 if reply.get("ok") else 1

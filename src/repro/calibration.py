@@ -1,0 +1,122 @@
+"""Calibration constants for the simulated cluster.
+
+Every latency in the simulator is defined here, together with the paper
+measurement it is calibrated against.  The paper's testbed was sixteen 200 MHz
+PentiumPro machines running RedHat 5.0 Linux on Fast Ethernet (paper §6); the
+printed digits of its tables are partially corrupted in the available text, so
+where a value is ambiguous we adopt the value stated in prose (e.g. "the
+overhead associated with rsh' is approximately 0.3 seconds", "a reallocation
+completes in approximately 1 second per machine") and note the assumption.
+
+Changing a constant here moves the absolute numbers of every reproduced table
+but must not change their *shape* (who wins, crossover positions, linearity);
+the test suite pins the shapes, not the absolute values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Latency model of the simulated testbed (all values in seconds)."""
+
+    #: One-way LAN message latency (Fast Ethernet, small control messages).
+    network_latency: float = 0.0002
+
+    #: TCP connect + rshd authentication handshake.
+    rsh_connect: float = 0.13
+
+    #: rshd fork/exec of the remote command.
+    rshd_fork: float = 0.14
+
+    #: Generic process exec overhead (load binary, runtime init).
+    proc_startup: float = 0.02
+
+    #: One-time cost of submitting a job through an ``app`` process: starting
+    #: the app, registering the job with the broker, setting up the monitoring
+    #: session.  Calibrated so Table 1's "rsh' n01 null" lands near 0.6 s
+    #: against plain rsh's 0.3 s (paper: overhead "approximately 0.3 seconds").
+    app_submit: float = 0.27
+
+    #: Marginal cost of one rsh' invocation that passes a *real* host name
+    #: through to the standard rsh.  Paper Table 3 prose: "less than 0.3
+    #: milliseconds of overhead per machine" when machines are explicitly
+    #: named.
+    rshp_passthrough: float = 0.00022
+
+    #: rsh' detecting a symbolic name and asking the app layer for a machine
+    #: (two LAN round trips: rsh' <-> app <-> broker), excluding any
+    #: reallocation the broker may have to perform first.
+    rshp_symbolic_negotiation: float = 0.018
+
+    #: Starting a subapp on the target machine (piggybacked on the redirected
+    #: rsh; the subapp then fetches the real command from the app).
+    subapp_startup: float = 0.03
+
+    #: CPU seconds of the paper's ``loop`` micro-benchmark program ("a C
+    #: program with a tight loop running in 6.5 seconds" — digit corrupted,
+    #: Table 1 row "rsh n01 loop" reads 6.x; we adopt 6.5).
+    loop_work: float = 6.5
+
+    #: Per-machine monitoring daemon report interval.  Not printed in the
+    #: paper; chosen so revocation latencies match the ~1 s reallocation.
+    daemon_report_interval: float = 2.0
+
+    #: Daemon boot time at broker startup.
+    daemon_startup: float = 0.08
+
+    #: Grace period between SIGTERM and SIGKILL when a subapp revokes a
+    #: machine ("if the child does not terminate within a specified amount of
+    #: time, the subapp terminates the child process").
+    sigterm_grace: float = 5.0
+
+    #: Time for an adaptive Calypso/PLinda worker to checkpoint its step and
+    #: exit after SIGTERM.  Calibrated (with the control messages around it)
+    #: so one reallocation — revoke, graceful worker shutdown, release,
+    #: re-grant — lands near the paper's "approximately 1 second" (Table 2
+    #: prose and Figure 7's per-machine slope alike).
+    adaptive_shutdown: float = 0.95
+
+    #: PVM slave daemon startup once the rsh reaches the target (pvmd init,
+    #: master handshake, host table update).
+    pvmd_slave_startup: float = 0.72
+
+    #: PVM console startup/shutdown (used by the pvm_grow module, which opens
+    #: a console, types "add <host>", and quits).  Together with the failed
+    #: phase-I attempt this is what makes the per-host `anylinux` overhead
+    #: land near the paper's ~1.2 s.
+    pvm_console: float = 1.05
+
+    #: Extra per-host cost of the pvm module path beyond an explicit-name
+    #: add.  Paper: "approximately 1.2 seconds overhead for PVM".
+    #: (This is an *emergent* number in the simulator: failed attempt +
+    #: console open/add/quit; the constant here only documents the target.)
+    pvm_anylinux_overhead_target: float = 1.2
+
+    #: LAM daemon startup; LAM's lamgrow is a heavier protocol than PVM's
+    #: console add (paper: "1.4 seconds for LAM programs").
+    lamd_slave_startup: float = 0.80
+    lam_console: float = 1.30
+    lam_anylinux_overhead_target: float = 1.4
+
+    #: Calypso worker process startup (worker registers with master).
+    calypso_worker_startup: float = 0.06
+
+    #: PLinda server/worker startup.
+    plinda_worker_startup: float = 0.06
+
+    #: Broker policy evaluation time per decision (in-memory table scan).
+    broker_decision: float = 0.004
+
+    #: How long a module job's intercepted rsh' waits for a synchronous
+    #: grant before reporting failure and leaving the request queued for an
+    #: asynchronous phase-II grow ("as machines become available,
+    #: ResourceBroker is able to asynchronously initiate the second phase").
+    module_request_timeout: float = 2.5
+
+
+#: The default calibration used across experiments, matching the paper's
+#: testbed as described above.
+DEFAULT = Calibration()

@@ -1,0 +1,22 @@
+"""The simulated networked cluster.
+
+Provides the LAN (:mod:`repro.cluster.network`), a convenience builder that
+wires machines, system programs and daemons together
+(:mod:`repro.cluster.builder`) and the owner-activity generator that drives
+private-machine revocation (:mod:`repro.cluster.users`).
+"""
+
+from repro.cluster.builder import Cluster, ClusterSpec, MachineSpec
+from repro.cluster.network import Connection, Listener, Network
+from repro.cluster.users import OwnerActivity, OwnerSession
+
+__all__ = [
+    "Cluster",
+    "ClusterSpec",
+    "Connection",
+    "Listener",
+    "MachineSpec",
+    "Network",
+    "OwnerActivity",
+    "OwnerSession",
+]

@@ -1,0 +1,268 @@
+"""The simulated LAN: name resolution, listeners, reliable connections.
+
+Connections are message-oriented (each ``send`` delivers one Python object
+after the calibrated network latency), reliable and ordered — the properties
+the real system gets from TCP on a quiet Fast Ethernet.  Closing an endpoint
+delivers EOF to the peer; receives after EOF fail with
+:class:`~repro.os.errors.ConnectionClosed`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.calibration import DEFAULT, Calibration
+from repro.os.errors import ConnectionClosed, ConnectionRefused, NoSuchHost
+from repro.sim.events import Event
+from repro.sim.stores import Store
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.os.machine import Machine
+    from repro.os.process import OSProcess
+    from repro.sim.environment import Environment
+
+
+class _EOF:
+    """Sentinel delivered on close."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<EOF>"
+
+
+EOF = _EOF()
+
+
+class Connection:
+    """One endpoint of a bidirectional message connection."""
+
+    def __init__(self, network: "Network", label: str) -> None:
+        self.network = network
+        self.env = network.env
+        self.label = label
+        self._inbox: Store = Store(self.env)
+        self.peer: Optional["Connection"] = None
+        self.closed_local = False
+        self.closed_remote = False
+
+    # -- data transfer -----------------------------------------------------
+
+    def send(self, message: object) -> None:
+        """Deliver ``message`` to the peer after one network latency.
+
+        Raises :class:`ConnectionClosed` if this endpoint already closed;
+        sends into a remotely-closed connection are silently dropped (the
+        real-world analogue — a TCP RST — would surface asynchronously, and
+        no protocol in this codebase depends on it).
+        """
+        if self.closed_local:
+            raise ConnectionClosed(f"send on closed connection {self.label}")
+        peer = self.peer
+        assert peer is not None, "send before connection establishment"
+        timer = self.env.timeout(self.network.latency)
+        timer.add_callback(lambda _ev: peer._deliver(message))
+
+    def _deliver(self, message: object) -> None:
+        if not self.closed_local:
+            self._inbox.put_nowait(message)
+
+    def recv(self) -> Event:
+        """Event yielding the next message; fails with ConnectionClosed on EOF."""
+        result = Event(self.env)
+        result.defuse()  # an orphaned reader is not a simulation error
+        if self.closed_remote and not len(self._inbox):
+            result.fail(ConnectionClosed(f"recv after EOF on {self.label}"))
+            return result
+        get = self._inbox.get()
+
+        def _complete(ev: Event) -> None:
+            item = ev.value
+            if isinstance(item, _EOF):
+                self.closed_remote = True
+                # Keep the EOF buffered so later recv() calls fail too.
+                self._inbox.put_nowait(item)
+                result.fail(ConnectionClosed(f"EOF on {self.label}"))
+            else:
+                result.succeed(item)
+
+        get.add_callback(_complete)
+        return result
+
+    def close(self) -> None:
+        """Half-close from this side; the peer sees EOF after latency."""
+        if self.closed_local:
+            return
+        self.closed_local = True
+        peer = self.peer
+        if peer is not None:
+            timer = self.env.timeout(self.network.latency)
+            timer.add_callback(lambda _ev: peer._deliver_eof())
+
+    def _deliver_eof(self) -> None:
+        self._inbox.put_nowait(EOF)
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed_local else "open"
+        return f"<Connection {self.label} {state}>"
+
+
+class Listener:
+    """A listening socket bound to (machine, port)."""
+
+    def __init__(
+        self,
+        network: "Network",
+        machine: "Machine",
+        port: int,
+        owner: Optional["OSProcess"] = None,
+    ) -> None:
+        self.network = network
+        self.machine = machine
+        self.port = port
+        self.owner = owner
+        self._backlog: Store = Store(network.env)
+        self.closed = False
+
+    def accept(self) -> Event:
+        """Event yielding the server-side :class:`Connection` of the next
+        incoming connection; fails with ConnectionClosed once the listener
+        is closed and drained."""
+        result = Event(self.network.env)
+        result.defuse()  # an orphaned acceptor is not a simulation error
+        if self.closed and not len(self._backlog):
+            result.fail(
+                ConnectionClosed(f"accept on closed {self.machine.name}:{self.port}")
+            )
+            return result
+        get = self._backlog.get()
+
+        def _complete(ev: Event) -> None:
+            item = ev.value
+            if isinstance(item, _EOF):
+                self._backlog.put_nowait(item)
+                result.fail(
+                    ConnectionClosed(
+                        f"listener {self.machine.name}:{self.port} closed"
+                    )
+                )
+            else:
+                if self.owner is not None:
+                    self.owner.adopt_connection(item)
+                result.succeed(item)
+
+        get.add_callback(_complete)
+        return result
+
+    def close(self) -> None:
+        """Unbind the port; queued-but-unaccepted connections see EOF."""
+        if self.closed:
+            return
+        self.closed = True
+        self.network.unbind(self.machine, self.port, self)
+        for conn in list(self._backlog.items):
+            if isinstance(conn, Connection):
+                conn.close()
+        self._backlog.put_nowait(EOF)
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "listening"
+        return f"<Listener {self.machine.name}:{self.port} {state}>"
+
+
+class Network:
+    """All machines on one LAN plus the latency model.
+
+    Also the run-wide blackboard for diagnostics: crashed processes are
+    recorded here so experiments can assert clean execution, and an optional
+    trace callback observes every connection establishment.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        calibration: Calibration = DEFAULT,
+    ) -> None:
+        self.env = env
+        self.calibration = calibration
+        self.latency = calibration.network_latency
+        self.machines: Dict[str, "Machine"] = {}
+        self._ports: Dict[Tuple[str, int], Listener] = {}
+        self.crashed: List["OSProcess"] = []
+        self.trace: Optional[Callable[[str], None]] = None
+        self._ephemeral: Dict[str, int] = {}
+
+    def ephemeral_port(self, machine: "Machine") -> int:
+        """A fresh high port on ``machine`` (never reused within a run)."""
+        port = self._ephemeral.get(machine.name, 40000)
+        self._ephemeral[machine.name] = port + 1
+        return port
+
+    # -- machines --------------------------------------------------------
+
+    def add_machine(self, machine: "Machine") -> "Machine":
+        """Attach ``machine`` to this LAN (names must be unique)."""
+        if machine.name in self.machines:
+            raise ValueError(f"duplicate machine name {machine.name!r}")
+        machine.network = self
+        self.machines[machine.name] = machine
+        return machine
+
+    def lookup(self, host: str) -> "Machine":
+        """Resolve ``host`` to a machine or raise :class:`NoSuchHost`."""
+        try:
+            return self.machines[host]
+        except KeyError:
+            raise NoSuchHost(host) from None
+
+    def record_crash(self, proc: "OSProcess") -> None:
+        """Remember a process that died with an unhandled exception."""
+        self.crashed.append(proc)
+
+    # -- sockets ---------------------------------------------------------
+
+    def listen(self, proc: "OSProcess", port: int) -> Listener:
+        """Bind a listener to (proc's machine, port) for ``proc``."""
+        key = (proc.machine.name, port)
+        if key in self._ports:
+            raise ConnectionRefused(f"port {port} on {proc.machine.name} in use")
+        listener = Listener(self, proc.machine, port, owner=proc)
+        self._ports[key] = listener
+        return listener
+
+    def unbind(self, machine: "Machine", port: int, listener: Listener) -> None:
+        """Free a port if ``listener`` still owns it."""
+        key = (machine.name, port)
+        if self._ports.get(key) is listener:
+            del self._ports[key]
+
+    def connect(self, proc: "OSProcess", host: str, port: int) -> Event:
+        """Event yielding the client-side endpoint after one latency."""
+        result = Event(self.env)
+        timer = self.env.timeout(self.latency)
+
+        def _establish(_ev: Event) -> None:
+            if host not in self.machines:
+                result.fail(NoSuchHost(host))
+                return
+            listener = self._ports.get((host, port))
+            if listener is None or listener.closed:
+                result.fail(ConnectionRefused(f"{host}:{port}"))
+                return
+            label = f"{proc.machine.name}:{proc.pid}->{host}:{port}"
+            client = Connection(self, label)
+            server = Connection(self, label + " (server)")
+            client.peer = server
+            server.peer = client
+            proc.adopt_connection(client)
+            listener._backlog.put_nowait(server)
+            if self.trace is not None:
+                self.trace(f"connect {label} at {self.env.now:.6f}")
+            result.succeed(client)
+
+        timer.add_callback(_establish)
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"<Network {len(self.machines)} machines, "
+            f"{len(self._ports)} open ports>"
+        )

@@ -1,0 +1,10 @@
+"""Well-known port numbers on the simulated LAN."""
+
+#: The remote-shell daemon (historically TCP 514).
+RSHD = 514
+
+#: The network-wide ResourceBroker process.
+BROKER = 3000
+
+#: First ephemeral port; app/subapp/system daemons allocate upwards per host.
+EPHEMERAL_BASE = 40000

@@ -1,0 +1,107 @@
+"""Simulated machine owners.
+
+Private machines belong to individuals; the paper's default policy gives the
+owner absolute priority ("adaptive jobs running on a privately owned machine
+can be deallocated once the owner of the machine returns", §2).  The broker
+learns of the owner's return from the per-machine daemon's keyboard/mouse
+status report.
+
+:class:`OwnerActivity` drives that signal: each owner alternates *away* and
+*at-console* periods drawn from exponential distributions on a named RNG
+stream, toggling :attr:`Machine.console_active` and the login set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.os.machine import Machine
+    from repro.sim.environment import Environment
+
+
+@dataclass
+class OwnerSession:
+    """One recorded at-console interval (for test assertions and metrics)."""
+
+    host: str
+    start: float
+    end: Optional[float] = None
+
+
+class OwnerActivity:
+    """Alternating away/present behaviour of one machine's owner.
+
+    Parameters
+    ----------
+    machine:
+        The (private) machine whose console the owner uses.
+    mean_away, mean_present:
+        Means of the exponential away/present period lengths (seconds).
+    initially_present:
+        Whether the owner starts at the console.
+    """
+
+    def __init__(
+        self,
+        machine: "Machine",
+        mean_away: float = 1800.0,
+        mean_present: float = 600.0,
+        initially_present: bool = False,
+    ) -> None:
+        if machine.owner is None:
+            raise ValueError(f"machine {machine.name!r} has no owner")
+        self.machine = machine
+        self.env: "Environment" = machine.env
+        self.mean_away = mean_away
+        self.mean_present = mean_present
+        self.initially_present = initially_present
+        self.sessions: List[OwnerSession] = []
+        if initially_present:
+            # Applied eagerly: the machine must look occupied from the very
+            # first instant, not from the generator's first resumption.
+            self._arrive()
+        self._proc = self.env.process(
+            self._run(), name=f"owner@{machine.name}"
+        )
+
+    def _rng(self):
+        return self.env.rng.stream(f"owner:{self.machine.name}")
+
+    def _run(self):
+        rng = self._rng()
+        present = self.initially_present
+        while True:
+            if present:
+                yield self.env.timeout(float(rng.exponential(self.mean_present)))
+                self._leave()
+                present = False
+            else:
+                yield self.env.timeout(float(rng.exponential(self.mean_away)))
+                self._arrive()
+                present = True
+
+    def _arrive(self) -> None:
+        machine = self.machine
+        machine.console_active = True
+        machine.logged_in.add(machine.owner)
+        self.sessions.append(OwnerSession(machine.name, self.env.now))
+
+    def _leave(self) -> None:
+        machine = self.machine
+        machine.console_active = False
+        machine.logged_in.discard(machine.owner)
+        if self.sessions and self.sessions[-1].end is None:
+            self.sessions[-1].end = self.env.now
+
+    def stop(self) -> None:
+        """Halt the activity generator (owner state is left as-is)."""
+        if self._proc.is_alive:
+            self._proc.abort()
+
+    def __repr__(self) -> str:
+        return (
+            f"<OwnerActivity {self.machine.owner}@{self.machine.name} "
+            f"{'present' if self.machine.console_active else 'away'}>"
+        )

@@ -1,0 +1,35 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module exposes a ``run_*`` function returning a structured result with
+the same rows/series the paper reports, plus ``main()``-style formatting
+helpers used by the benchmark suite and the examples.
+
+================  =========================================================
+module            paper artefact
+================  =========================================================
+table1            Table 1 — rsh vs rsh' micro-benchmarks
+table2            Table 2 — reallocation performance (taking a machine from
+                  a running Calypso job)
+table3            Table 3 — dynamically adding resources to PVM and LAM
+fig7              Figure 7 — reallocation time vs number of machines
+utilization       §6.2 closing experiment — five-hour utilization run
+================  =========================================================
+"""
+
+from repro.experiments.results import ExperimentTable, Row, format_table
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.utilization import run_utilization
+
+__all__ = [
+    "ExperimentTable",
+    "Row",
+    "format_table",
+    "run_fig7",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_utilization",
+]

@@ -1,0 +1,67 @@
+"""Result containers and plain-text rendering for experiment output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class Row:
+    """One table row: a label plus one value per column."""
+
+    label: str
+    values: List[Any]
+
+
+@dataclass
+class ExperimentTable:
+    """A reproduced table/figure: header, rows and free-form metadata."""
+
+    title: str
+    columns: List[str]
+    rows: List[Row] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def add(self, label: str, *values: Any) -> None:
+        """Append a row."""
+        self.rows.append(Row(label, list(values)))
+
+    def value(self, label: str, column: Optional[str] = None) -> Any:
+        """Look a cell up by row label (and column name, default first)."""
+        for row in self.rows:
+            if row.label == label:
+                if column is None:
+                    return row.values[0]
+                return row.values[self.columns.index(column) - 1]
+        raise KeyError(label)
+
+    def __str__(self) -> str:
+        return format_table(self)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(table: ExperimentTable) -> str:
+    """Render like the paper's tables: fixed-width text."""
+    header = [table.columns[0]] + list(table.columns[1:])
+    body = [[row.label] + [_fmt(v) for v in row.values] for row in table.rows]
+    widths = [
+        max(len(str(cells[i])) for cells in [header] + body)
+        for i in range(len(header))
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+    out = [table.title, "=" * len(table.title), line(header)]
+    out.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    out.extend(line(cells) for cells in body)
+    for note in table.notes:
+        out.append(f"note: {note}")
+    return "\n".join(out)

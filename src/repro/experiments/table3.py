@@ -1,0 +1,190 @@
+"""Table 3 — dynamically adding resources to PVM and LAM (paper §6.2).
+
+For each system and each virtual-machine size k ∈ {1,2,3,4}, measure the
+elapsed time from issuing the grow command until the virtual machine
+actually contains k additional hosts, under three regimes:
+
+* ``w/ rsh``      — no ResourceBroker at all, explicit host names;
+* ``w/ host``     — under ResourceBroker, explicit host names (rsh' sees
+  real names and passes them through: "less than 0.3 milliseconds of
+  overhead per machine");
+* ``w/ anylinux`` — under ResourceBroker, symbolic names via the external
+  modules ("approximately 1.2 seconds overhead for PVM and 1.4 seconds for
+  LAM programs ... once per machine, and only at startup").
+
+Membership is observed through the daemons' status files, which is what
+makes the asynchronous (module) growth measurable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.experiments.results import ExperimentTable
+
+_SIZES = [1, 2, 3, 4]
+
+
+def _fresh(seed: int, broker: bool) -> Cluster:
+    cluster = Cluster(ClusterSpec.uniform(6, seed=seed))
+    if broker:
+        cluster.start_broker()
+        cluster.broker.wait_ready()
+    return cluster
+
+
+def _membership(cluster, status_file: str, uid: str) -> int:
+    fs = cluster.machine("n00").fs
+    path = f"/home/{uid}/{status_file}"
+    if not fs.exists(path):
+        return 0
+    return len(fs.read_lines(path))
+
+
+def _wait_membership(cluster, status_file: str, uid: str, want: int) -> None:
+    deadline = cluster.now + 120.0
+    while cluster.now < deadline:
+        if _membership(cluster, status_file, uid) >= want:
+            return
+        cluster.env.run(until=cluster.now + 0.05)
+    raise AssertionError(
+        f"virtual machine never reached {want} members "
+        f"({_membership(cluster, status_file, uid)} present)"
+    )
+
+
+# -- PVM --------------------------------------------------------------
+
+
+def _pvm_boot_plain(cluster, uid="user"):
+    boot = cluster.run_command("n00", ["pvm", "conf"], uid=uid)
+    cluster.env.run(until=boot.terminated)
+
+
+def _pvm_boot_brokered(cluster, uid="user"):
+    cluster.broker.submit("n00", ["pvm"], rsl='+(module="pvm")', uid=uid)
+    cluster.env.run(until=cluster.now + 3.0)
+
+
+def _pvm_measure(cluster, hosts: List[str], uid="user") -> float:
+    want = 1 + len(hosts) + _membership(cluster, ".pvm_hosts", uid) - 1
+    t0 = cluster.now
+    add = cluster.run_command("n00", ["pvm", "add", *hosts], uid=uid)
+    cluster.env.run(until=add.terminated)
+    _wait_membership(cluster, ".pvm_hosts", uid, want)
+    cluster.assert_no_crashes()
+    return cluster.now - t0
+
+
+def _row_pvm(seed: int, mode: str) -> List[float]:
+    times = []
+    for k in _SIZES:
+        if mode == "rsh":
+            cluster = _fresh(seed, broker=False)
+            _pvm_boot_plain(cluster)
+            hosts = [f"n{i:02d}" for i in range(1, k + 1)]
+        elif mode == "host":
+            cluster = _fresh(seed, broker=True)
+            _pvm_boot_brokered(cluster)
+            hosts = [f"n{i:02d}" for i in range(1, k + 1)]
+        else:  # anylinux
+            cluster = _fresh(seed, broker=True)
+            _pvm_boot_brokered(cluster)
+            hosts = ["anylinux"] * k
+        times.append(_pvm_measure(cluster, hosts))
+    return times
+
+
+# -- LAM --------------------------------------------------------------
+
+
+def _lam_boot_plain(cluster, uid="user"):
+    boot = cluster.run_command("n00", ["lamboot"], uid=uid)
+    cluster.env.run(until=boot.terminated)
+
+
+def _lam_boot_brokered(cluster, uid="user"):
+    cluster.broker.submit("n00", ["lam"], rsl='+(module="lam")', uid=uid)
+    cluster.env.run(until=cluster.now + 3.0)
+
+
+def _lam_measure(cluster, hosts: List[str], uid="user") -> float:
+    """Explicit names grow via one ``lamboot h1..hk`` (a single tool run,
+    as a user would); symbolic names go through ``lamgrow anylinux`` per
+    host, which is also what the lam_grow module script invokes."""
+    want = 1 + len(hosts)
+    t0 = cluster.now
+    if any(h.startswith("any") for h in hosts):
+        for host in hosts:
+            grow = cluster.run_command("n00", ["lamgrow", host], uid=uid)
+            cluster.env.run(until=grow.terminated)
+    else:
+        boot = cluster.run_command("n00", ["lamboot", *hosts], uid=uid)
+        cluster.env.run(until=boot.terminated)
+    _wait_membership(cluster, ".lam_nodes", uid, want)
+    cluster.assert_no_crashes()
+    return cluster.now - t0
+
+
+def _row_lam(seed: int, mode: str) -> List[float]:
+    times = []
+    for k in _SIZES:
+        if mode == "rsh":
+            cluster = _fresh(seed, broker=False)
+            _lam_boot_plain(cluster)
+            hosts = [f"n{i:02d}" for i in range(1, k + 1)]
+        elif mode == "host":
+            cluster = _fresh(seed, broker=True)
+            _lam_boot_brokered(cluster)
+            hosts = [f"n{i:02d}" for i in range(1, k + 1)]
+        else:
+            cluster = _fresh(seed, broker=True)
+            _lam_boot_brokered(cluster)
+            hosts = ["anylinux"] * k
+        times.append(_lam_measure(cluster, hosts))
+    return times
+
+
+def run_table3(seed: int = 0) -> ExperimentTable:
+    """Regenerate Table 3."""
+    table = ExperimentTable(
+        title=(
+            "Table 3: Time to dynamically add resources to PVM and LAM "
+            "programs (seconds)"
+        ),
+        columns=["Operation"] + [f"{k} machine(s)" for k in _SIZES],
+    )
+    pvm_rsh = _row_pvm(seed, "rsh")
+    pvm_host = _row_pvm(seed, "host")
+    pvm_any = _row_pvm(seed, "anylinux")
+    lam_rsh = _row_lam(seed, "rsh")
+    lam_host = _row_lam(seed, "host")
+    lam_any = _row_lam(seed, "anylinux")
+    table.add("pvm w/ rsh", *pvm_rsh)
+    table.add("pvm w/ host", *pvm_host)
+    table.add("pvm w/ anylinux", *pvm_any)
+    table.add("lam w/ rsh", *lam_rsh)
+    table.add("lam w/ host", *lam_host)
+    table.add("lam w/ anylinux", *lam_any)
+    table.meta["pvm_host_overhead_per_machine"] = [
+        (h - r) / k for h, r, k in zip(pvm_host, pvm_rsh, _SIZES)
+    ]
+    table.meta["pvm_anylinux_overhead_per_machine"] = [
+        (a - h) / k for a, h, k in zip(pvm_any, pvm_host, _SIZES)
+    ]
+    table.meta["lam_host_overhead_per_machine"] = [
+        (h - r) / k for h, r, k in zip(lam_host, lam_rsh, _SIZES)
+    ]
+    table.meta["lam_anylinux_overhead_per_machine"] = [
+        (a - h) / k for a, h, k in zip(lam_any, lam_host, _SIZES)
+    ]
+    table.notes.append(
+        "paper: explicit names add <0.3 ms/machine; anylinux adds ~1.2 s "
+        "(PVM) / ~1.4 s (LAM) per machine, once, at startup"
+    )
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover - manual run
+    print(run_table3())

@@ -1,0 +1,20 @@
+"""Measurement helpers for the reproduced experiments."""
+
+from repro.metrics.utilization import UtilizationMeter
+from repro.metrics.timers import ElapsedTimer, grant_timeline
+from repro.metrics.timeline import (
+    Interval,
+    allocation_intervals,
+    machine_busy_fraction,
+    render_gantt,
+)
+
+__all__ = [
+    "ElapsedTimer",
+    "Interval",
+    "UtilizationMeter",
+    "allocation_intervals",
+    "grant_timeline",
+    "machine_busy_fraction",
+    "render_gantt",
+]

@@ -1,0 +1,97 @@
+"""Allocation timelines: turn the broker event log into a machine Gantt.
+
+The broker's event log records every grant/release; this module folds it
+into per-machine occupancy intervals and renders a text Gantt chart — the
+quickest way to *see* an adaptive job breathing around sequential arrivals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Interval:
+    """One machine-to-job occupancy interval."""
+
+    host: str
+    jobid: int
+    start: float
+    end: Optional[float] = None  # None = still allocated
+
+
+def allocation_intervals(events, until: Optional[float] = None) -> List[Interval]:
+    """Fold grant/released/job_done events into occupancy intervals."""
+    open_by_host: Dict[str, Interval] = {}
+    intervals: List[Interval] = []
+    for event in events:
+        kind = event.get("event")
+        if kind == "grant":
+            interval = Interval(
+                host=event["host"], jobid=event["jobid"], start=event["time"]
+            )
+            open_by_host[event["host"]] = interval
+            intervals.append(interval)
+        elif kind == "released":
+            interval = open_by_host.pop(event["host"], None)
+            if interval is not None:
+                interval.end = event["time"]
+        elif kind == "job_done":
+            for host, interval in list(open_by_host.items()):
+                if interval.jobid == event["jobid"]:
+                    interval.end = event["time"]
+                    del open_by_host[host]
+    if until is not None:
+        for interval in intervals:
+            if interval.end is None:
+                interval.end = until
+    return intervals
+
+
+def render_gantt(
+    intervals: List[Interval],
+    t0: float,
+    t1: float,
+    width: int = 72,
+) -> str:
+    """Render intervals as a fixed-width text Gantt.
+
+    Each machine gets a row; each occupied cell shows the job id (mod 10),
+    free time shows as ``.``.
+    """
+    if t1 <= t0:
+        raise ValueError("empty time window")
+    hosts = sorted({iv.host for iv in intervals})
+    scale = width / (t1 - t0)
+    lines = [
+        f"t = [{t0:.1f}s .. {t1:.1f}s], one column ~ "
+        f"{(t1 - t0) / width:.2f}s; digit = job id mod 10, '.' = free"
+    ]
+    for host in hosts:
+        row = ["."] * width
+        for interval in intervals:
+            if interval.host != host:
+                continue
+            end = interval.end if interval.end is not None else t1
+            lo = max(0, int((interval.start - t0) * scale))
+            hi = min(width, max(lo + 1, int((end - t0) * scale)))
+            for col in range(lo, hi):
+                row[col] = str(interval.jobid % 10)
+        lines.append(f"{host:<8} {''.join(row)}")
+    return "\n".join(lines)
+
+
+def machine_busy_fraction(
+    intervals: List[Interval], host: str, t0: float, t1: float
+) -> float:
+    """Fraction of [t0, t1] during which ``host`` held an allocation."""
+    total = 0.0
+    for interval in intervals:
+        if interval.host != host:
+            continue
+        end = interval.end if interval.end is not None else t1
+        lo, hi = max(interval.start, t0), min(end, t1)
+        if hi > lo:
+            total += hi - lo
+    return total / (t1 - t0) if t1 > t0 else 0.0

@@ -1,0 +1,40 @@
+"""Elapsed-time capture and broker event-log reductions."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class ElapsedTimer:
+    """Measure simulated elapsed time around an operation."""
+
+    def __init__(self, env) -> None:
+        self.env = env
+        self.started_at: Optional[float] = None
+        self.stopped_at: Optional[float] = None
+
+    def start(self) -> "ElapsedTimer":
+        """Mark the start instant; returns self for chaining."""
+        self.started_at = self.env.now
+        return self
+
+    def stop(self) -> float:
+        """Mark the stop instant and return the elapsed time."""
+        self.stopped_at = self.env.now
+        return self.elapsed
+
+    @property
+    def elapsed(self) -> float:
+        if self.started_at is None:
+            raise RuntimeError("timer not started")
+        end = self.stopped_at if self.stopped_at is not None else self.env.now
+        return end - self.started_at
+
+
+def grant_timeline(service, jobid: int, since: float = 0.0) -> List[float]:
+    """Times of `grant` events for one job, relative to ``since``."""
+    return sorted(
+        e["time"] - since
+        for e in service.events_of("grant")
+        if e["jobid"] == jobid and e["time"] >= since
+    )

@@ -1,0 +1,44 @@
+"""Cluster CPU utilization / detected idleness (paper §6.2, final experiment).
+
+"After five hours, the total detected idleness (the total amount of time that
+the machines were idle) was less than 1%."  The meter integrates each
+machine's busy CPU fraction (from the processor-sharing model) over a window
+and reports the complement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+
+class UtilizationMeter:
+    """Windowed busy/idle accounting over a set of machines."""
+
+    def __init__(self, cluster, hosts: Optional[Iterable[str]] = None) -> None:
+        self.cluster = cluster
+        self.hosts = list(hosts if hosts is not None else cluster.machines)
+        self._started_at: Optional[float] = None
+
+    def start(self) -> None:
+        """Begin the measurement window at the current instant."""
+        self._started_at = self.cluster.env.now
+        for host in self.hosts:
+            self.cluster.machines[host].cpu.reset_accounting()
+
+    def utilization_by_host(self) -> Dict[str, float]:
+        """Mean busy fraction per machine since :meth:`start`."""
+        if self._started_at is None:
+            raise RuntimeError("meter not started")
+        return {
+            host: self.cluster.machines[host].cpu.utilization()
+            for host in self.hosts
+        }
+
+    def utilization(self) -> float:
+        """Mean busy fraction across all measured machines."""
+        per_host = self.utilization_by_host()
+        return sum(per_host.values()) / len(per_host)
+
+    def idleness(self) -> float:
+        """The paper's "total detected idleness": 1 - utilization."""
+        return 1.0 - self.utilization()

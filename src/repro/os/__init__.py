@@ -1,0 +1,50 @@
+"""Simulated operating-system substrate.
+
+This package models exactly the POSIX surface the paper's mechanisms rely on:
+
+* processes with pids, parent/child links, **environment-variable
+  inheritance** (how ``rsh'`` finds its app process),
+* **signals** — SIGTERM with catchable handlers and a grace period, SIGKILL
+  that cannot be caught (how subapps revoke machines),
+* a **PATH-resolved program registry** (how ``rsh'`` shadows ``rsh``),
+* a tiny per-user **filesystem** (``.hosts`` files, the ``.pvmrc`` the
+  ``pvm_grow`` module writes),
+* machines with processor-sharing CPUs and monitorable state (load, logged-in
+  users, keyboard/mouse activity).
+"""
+
+from repro.os.errors import (
+    AuthenticationError,
+    ConnectionClosed,
+    ConnectionRefused,
+    NoSuchHost,
+    NoSuchProgram,
+    SimOSError,
+)
+from repro.os.filesystem import FileNotFound, Filesystem
+from repro.os.machine import Machine, MachineKind
+from repro.os.process import OSProcess, ProcessStatus
+from repro.os.programs import ProgramDirectory, ProgramNotExecutable
+from repro.os.signals import SIGINT, SIGKILL, SIGTERM, Signal, SignalDelivery
+
+__all__ = [
+    "AuthenticationError",
+    "ConnectionClosed",
+    "ConnectionRefused",
+    "FileNotFound",
+    "Filesystem",
+    "Machine",
+    "MachineKind",
+    "NoSuchHost",
+    "NoSuchProgram",
+    "OSProcess",
+    "ProcessStatus",
+    "ProgramDirectory",
+    "ProgramNotExecutable",
+    "SIGINT",
+    "SIGKILL",
+    "SIGTERM",
+    "Signal",
+    "SignalDelivery",
+    "SimOSError",
+]

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the simulated OS and network."""
+
+from __future__ import annotations
+
+
+class SimOSError(Exception):
+    """Base class for all simulated OS-level failures."""
+
+
+class NoSuchHost(SimOSError):
+    """Name resolution failed: no machine with that name on the network."""
+
+
+class NoSuchProgram(SimOSError):
+    """PATH lookup failed: no executable with that name is visible."""
+
+
+class ConnectionRefused(SimOSError):
+    """Nothing is listening on the target (host, port)."""
+
+
+class ConnectionClosed(SimOSError):
+    """The peer closed the connection (receive after EOF, send after close)."""
+
+
+class AuthenticationError(SimOSError):
+    """The rsh daemon rejected the caller's credentials."""

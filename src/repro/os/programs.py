@@ -1,0 +1,103 @@
+"""Executable programs and PATH-style resolution.
+
+A *program* is a generator function ``main(proc)`` run by an
+:class:`~repro.os.process.OSProcess`; ``proc`` exposes the OS surface (argv,
+environ, spawn, sockets, compute, ...).  Programs live in
+:class:`ProgramDirectory` objects — the simulated analogue of ``/usr/bin`` —
+and each machine has an ordered ``path`` of directories.
+
+This ordering is the load-bearing mechanism of the paper: ResourceBroker
+installs its ``rsh'`` (registered under the *same name* ``rsh``) in a
+directory that precedes the system directory on managed machines, so any
+program that execs ``rsh`` without a hard-coded absolute path transparently
+gets the broker-aware version (paper §5.1 required condition 2).  A program
+that *does* want a specific version may use an absolute name such as
+``system:rsh``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Iterator, Optional
+
+from repro.os.errors import NoSuchProgram
+
+#: Signature of a program body: a generator function taking the process.
+ProgramBody = Callable[..., Generator]
+
+
+class ProgramNotExecutable(NoSuchProgram):
+    """Found an entry under that name but it is not a program."""
+
+
+class ProgramDirectory:
+    """A named collection of executables (one ``bin`` directory)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._programs: Dict[str, ProgramBody] = {}
+
+    def register(self, name: str, body: Optional[ProgramBody] = None):
+        """Register ``body`` as executable ``name``.
+
+        Usable directly or as a decorator::
+
+            bin = ProgramDirectory("system")
+
+            @bin.register("null")
+            def null_main(proc):
+                yield proc.sleep(0)
+        """
+        if body is not None:
+            self._validate(name, body)
+            self._programs[name] = body
+            return body
+
+        def decorator(fn: ProgramBody) -> ProgramBody:
+            self._validate(name, fn)
+            self._programs[name] = fn
+            return fn
+
+        return decorator
+
+    @staticmethod
+    def _validate(name: str, body: ProgramBody) -> None:
+        if not callable(body):
+            raise TypeError(f"program {name!r} body {body!r} is not callable")
+        if ":" in name:
+            raise ValueError(f"program name {name!r} may not contain ':'")
+
+    def lookup(self, name: str) -> Optional[ProgramBody]:
+        """The program registered under ``name``, or ``None``."""
+        return self._programs.get(name)
+
+    def names(self) -> Iterator[str]:
+        """Registered program names, sorted."""
+        return iter(sorted(self._programs))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._programs
+
+    def __repr__(self) -> str:
+        return f"<ProgramDirectory {self.name!r} ({len(self._programs)} programs)>"
+
+
+def resolve(path, name: str) -> ProgramBody:
+    """Resolve ``name`` against an ordered list of directories.
+
+    ``name`` may be qualified as ``"<directory>:<program>"`` (the simulated
+    absolute path), which bypasses PATH order.
+    """
+    if ":" in name:
+        dirname, progname = name.split(":", 1)
+        for directory in path:
+            if directory.name == dirname:
+                body = directory.lookup(progname)
+                if body is None:
+                    raise NoSuchProgram(f"{name!r} not found")
+                return body
+        raise NoSuchProgram(f"directory {dirname!r} not on path")
+    for directory in path:
+        body = directory.lookup(name)
+        if body is not None:
+            return body
+    raise NoSuchProgram(f"{name!r} not found on PATH {[d.name for d in path]}")

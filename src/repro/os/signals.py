@@ -1,0 +1,53 @@
+"""Unix-style signals for simulated processes.
+
+Delivery semantics mirror the subset of POSIX the paper's revocation protocol
+uses ("the subapp sends a standard Unix signal to the child process, and if
+the child does not terminate within a specified amount of time, the subapp
+terminates the child"):
+
+* ``SIGKILL`` can never be caught: the target terminates at the current
+  instant with exit code ``-9``.
+* All other signals are delivered as a :class:`~repro.sim.process.Interrupt`
+  whose cause is a :class:`SignalDelivery`.  A program that does not catch the
+  interrupt terminates with exit code ``-signum``; a program that catches it
+  may clean up and exit — or keep running.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+class Signal(enum.IntEnum):
+    """The signal numbers the simulator knows about."""
+
+    SIGINT = 2
+    SIGKILL = 9
+    SIGTERM = 15
+
+
+SIGINT = Signal.SIGINT
+SIGKILL = Signal.SIGKILL
+SIGTERM = Signal.SIGTERM
+
+
+@dataclass(frozen=True)
+class SignalDelivery:
+    """Payload attached to the interrupt that delivers a signal.
+
+    Attributes
+    ----------
+    signal:
+        Which signal.
+    sender:
+        The :class:`~repro.os.process.OSProcess` (or ``None`` for
+        kernel/harness-originated signals) that sent it.
+    """
+
+    signal: Signal
+    sender: Optional[Any] = None
+
+    def __str__(self) -> str:
+        return self.signal.name

@@ -1,0 +1,19 @@
+"""Allocation policies (mechanism/policy separation, paper design goal 5).
+
+Policies are plain objects deciding *who gets which machine*; all enforcement
+(the how) lives in the broker mechanisms.  Swapping a policy never touches
+protocol code — exactly the "easily plug-in module" the paper asks for.
+"""
+
+from repro.policy.base import Decision, DecisionKind, Policy
+from repro.policy.default import DefaultPolicy
+from repro.policy.simple import FifoPolicy, RandomIdlePolicy
+
+__all__ = [
+    "Decision",
+    "DecisionKind",
+    "DefaultPolicy",
+    "FifoPolicy",
+    "Policy",
+    "RandomIdlePolicy",
+]

@@ -1,0 +1,55 @@
+"""Baseline policies used by the ablation benchmarks.
+
+These deliberately drop parts of the default policy so the benches can
+isolate what each rule buys:
+
+* :class:`FifoPolicy` — never preempts.  Requests wait until a machine frees
+  naturally.  Against the default policy this shows what just-in-time
+  *reallocation* (as opposed to allocation) is worth.
+* :class:`RandomIdlePolicy` — grants a uniformly random idle machine and
+  never preempts; the weakest reasonable baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.policy.base import Decision, Policy
+
+
+class FifoPolicy(Policy):
+    """Grant idle machines in deterministic order; never preempt."""
+
+    name = "fifo"
+
+    def decide(self, state, request) -> Decision:
+        """Grant the first idle machine or wait; never preempt."""
+        idle = state.idle_machines(request)
+        if idle:
+            return Decision.grant(idle[0].host)
+        return Decision.wait("fifo: waiting for a machine to free")
+
+    def reclaim_on_owner_return(self, state, machine) -> bool:
+        """Owner priority still applies under FIFO."""
+        # Still honour the owner's absolute priority; only preemption for
+        # *other jobs* is disabled.
+        return machine.kind == "private"
+
+
+class RandomIdlePolicy(Policy):
+    """Grant a uniformly random idle machine; never preempt."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng: Optional[np.random.Generator] = np.random.default_rng(seed)
+
+    def decide(self, state, request) -> Decision:
+        """Grant a uniformly random idle machine or wait."""
+        idle = state.idle_machines(request)
+        if idle:
+            pick = int(self._rng.integers(0, len(idle)))
+            return Decision.grant(idle[pick].host)
+        return Decision.wait("random: waiting for a machine to free")

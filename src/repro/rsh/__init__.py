@@ -1,0 +1,19 @@
+"""The standard remote shell: ``rsh`` client and ``rshd`` daemon.
+
+This is the commodity mechanism parallel programming systems use to start
+remote processes, and the exact interface ResourceBroker intercepts: its
+``rsh'`` (:mod:`repro.broker.rshprime`) shadows this program on the PATH of
+managed machines.
+"""
+
+from repro.rsh.daemon import RSHD_PORT, rshd_main
+from repro.rsh.client import RshExit, install_rsh, remote_exec, rsh_main
+
+__all__ = [
+    "RSHD_PORT",
+    "RshExit",
+    "install_rsh",
+    "remote_exec",
+    "rsh_main",
+    "rshd_main",
+]

@@ -1,0 +1,76 @@
+"""``rsh`` — the standard remote shell client.
+
+``rsh <host> <command> [args...]`` starts ``command`` on ``host`` via that
+machine's rshd, blocks until the remote command exits (or daemonizes) and
+returns its exit code.  This is deliberately the *dumb* commodity tool: host
+names are used verbatim; a symbolic name like ``anylinux`` simply fails to
+resolve.  The broker's ``rsh'`` wrapper builds on :func:`remote_exec`.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import ports
+from repro.os.errors import ConnectionClosed, ConnectionRefused, NoSuchHost
+
+
+class RshExit:
+    """Conventional rsh exit codes."""
+
+    OK = 0
+    ERROR = 1  # connection/lookup/remote-exec failure
+
+
+def remote_exec(proc, host, command_argv, user=None):
+    """Run ``command_argv`` on ``host`` through its rshd; yield-from this.
+
+    Returns 0 on success, 1 on any failure (rsh does not forward the remote
+    exit code; it only distinguishes success from failure).
+    """
+    if not command_argv:
+        return RshExit.ERROR
+    calibration = proc.machine.network.calibration
+
+    # Connect + authenticate to the remote daemon.
+    yield proc.sleep(calibration.rsh_connect)
+    try:
+        conn = yield proc.connect(host, ports.RSHD)
+    except (NoSuchHost, ConnectionRefused):
+        return RshExit.ERROR
+
+    conn.send(
+        {
+            "type": "exec",
+            "user": user or proc.uid,
+            "argv": list(command_argv),
+            "block": True,
+        }
+    )
+    try:
+        started = yield conn.recv()
+        if started.get("type") != "started":
+            conn.close()
+            return RshExit.ERROR
+        finished = yield conn.recv()
+    except ConnectionClosed:
+        return RshExit.ERROR
+    conn.close()
+    if finished.get("type") != "exit":
+        return RshExit.ERROR
+    code = int(finished.get("code", 0))
+    return RshExit.OK if code == 0 else RshExit.ERROR
+
+
+def rsh_main(proc):
+    """Program body: ``argv = ["rsh", host, command, args...]``."""
+    if len(proc.argv) < 3:
+        return RshExit.ERROR
+    code = yield from remote_exec(proc, proc.argv[1], proc.argv[2:])
+    return code
+
+
+def install_rsh(directory) -> None:
+    """Register ``rsh`` and ``rshd`` in a program directory."""
+    from repro.rsh.daemon import rshd_main
+
+    directory.register("rsh", rsh_main)
+    directory.register("rshd", rshd_main)

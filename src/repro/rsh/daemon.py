@@ -1,0 +1,82 @@
+"""``rshd`` — the remote shell daemon.
+
+One instance listens on port 514 of every machine.  The wire protocol is a
+simulation of the BSD rshd exchange:
+
+1. the client connects and sends an ``exec`` request
+   ``{"user", "argv", "block"}``;
+2. after the fork cost, rshd spawns the command as ``user`` and replies
+   ``{"type": "started", "pid": ...}``;
+3. if ``block`` (the rsh client is attached), rshd waits until the command
+   exits — or daemonizes, like ``pvmd`` — then sends
+   ``{"type": "exit", "code": ...}`` and closes.
+
+Failures (unresolvable program, bad request) produce
+``{"type": "error", "message": ...}`` with exit code 1, matching how a real
+rsh surfaces ``rshd: command not found``.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import ports
+from repro.os.errors import ConnectionClosed, NoSuchProgram
+
+RSHD_PORT = ports.RSHD
+
+
+def rshd_main(proc):
+    """Program body of the rsh daemon (runs forever)."""
+    listener = proc.listen(RSHD_PORT)
+    while True:
+        try:
+            conn = yield listener.accept()
+        except ConnectionClosed:
+            return 0
+        proc.thread(_serve(proc, conn), name="rshd-session")
+
+
+def _serve(proc, conn):
+    """Handle one rsh client connection."""
+    calibration = proc.machine.network.calibration
+    try:
+        request = yield conn.recv()
+    except ConnectionClosed:
+        conn.close()
+        return
+    if not isinstance(request, dict) or request.get("type") != "exec":
+        conn.send({"type": "error", "message": f"bad request {request!r}"})
+        conn.close()
+        return
+
+    user = request.get("user", "nobody")
+    argv = request.get("argv") or []
+    block = bool(request.get("block", True))
+    if not argv:
+        conn.send({"type": "error", "message": "empty command"})
+        conn.close()
+        return
+
+    # The fork/exec cost of the daemon spawning the command.
+    yield proc.sleep(calibration.rshd_fork)
+
+    try:
+        child = proc.spawn(
+            argv,
+            uid=user,
+            environ={"HOME": f"/home/{user}"},
+            inherit_env=False,
+        )
+    except NoSuchProgram as exc:
+        conn.send({"type": "error", "message": str(exc)})
+        conn.close()
+        return
+
+    conn.send({"type": "started", "pid": child.pid, "host": proc.machine.name})
+    if block:
+        outcome = yield proc.env.any_of([child.terminated, child.daemonized])
+        if child.terminated in outcome:
+            code = child.exit_code if child.exit_code is not None else 0
+        else:
+            code = 0  # command detached; report success to the client
+        conn.send({"type": "exit", "code": code})
+    conn.close()

@@ -1,0 +1,28 @@
+"""Resource Specification Language (RSL).
+
+ResourceBroker "adopted the Resource Specification Language of Globus, and
+extended it to support adaptive programs.  Specifically, ``adaptive``,
+``start_script``, and ``module`` parameters were added" (paper §4.1).  The
+running example is::
+
+    +(count>=4)(arch="i686linux")(module="pvm")
+
+This package provides the parser, the request object, and symbolic host-name
+matching (``anyhost``, ``anylinux``, ...).
+"""
+
+from repro.rsl.parser import (
+    RSLError,
+    RSLRequest,
+    is_symbolic_hostname,
+    parse_rsl,
+    symbolic_matches,
+)
+
+__all__ = [
+    "RSLError",
+    "RSLRequest",
+    "is_symbolic_hostname",
+    "parse_rsl",
+    "symbolic_matches",
+]

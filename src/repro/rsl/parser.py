@@ -1,0 +1,214 @@
+"""Parser for the (extended) Globus Resource Specification Language.
+
+Grammar (the subset the paper uses)::
+
+    spec    := ['+' | '&'] clause*
+    clause  := '(' attr [op value] ')'
+    op      := '=' | '!=' | '>=' | '<=' | '>' | '<'
+    attr    := identifier
+    value   := '"' chars '"' | number | identifier
+
+A bare ``(attr)`` clause is a boolean flag (used by the ``adaptive``
+extension).  Multiple clauses conjoin.  Unknown attributes are kept and
+matched verbatim against machine snapshot fields, so the language is open to
+extension without parser changes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+_CLAUSE = re.compile(
+    r"""\(\s*
+        (?P<attr>[A-Za-z_][A-Za-z0-9_\-]*)
+        \s*
+        (?:(?P<op>>=|<=|!=|=|>|<)\s*
+           (?P<value>"[^"]*"|[^\s()]+)
+        )?
+        \s*\)""",
+    re.VERBOSE,
+)
+
+_COMPARABLE_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    ">=": lambda a, b: a >= b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    "<": lambda a, b: a < b,
+}
+
+
+class RSLError(ValueError):
+    """Malformed RSL text."""
+
+
+def _coerce(raw: str) -> Any:
+    if raw.startswith('"') and raw.endswith('"'):
+        return raw[1:-1]
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw
+
+
+@dataclass(frozen=True)
+class Clause:
+    """One ``(attr op value)`` constraint."""
+
+    attr: str
+    op: str
+    value: Any
+
+    def test(self, actual: Any) -> bool:
+        """Does ``actual`` satisfy this clause?"""
+        if self.op == "flag":
+            return bool(actual)
+        try:
+            return _COMPARABLE_OPS[self.op](actual, self.value)
+        except TypeError:
+            return False
+
+    def __str__(self) -> str:
+        if self.op == "flag":
+            return f"({self.attr})"
+        value = f'"{self.value}"' if isinstance(self.value, str) else self.value
+        return f"({self.attr}{self.op}{value})"
+
+
+@dataclass
+class RSLRequest:
+    """A parsed resource specification.
+
+    The paper's extended attributes get first-class accessors; everything
+    else is matched against machine snapshots via :meth:`matches_machine`.
+    """
+
+    clauses: List[Clause] = field(default_factory=list)
+    source: str = ""
+
+    # -- paper-defined attributes --------------------------------------------
+
+    @property
+    def count_min(self) -> int:
+        """Minimum machine count (``(count>=4)``); defaults to 1."""
+        for clause in self.clauses:
+            if clause.attr == "count":
+                if clause.op in (">=", "=", ">"):
+                    bump = 1 if clause.op == ">" else 0
+                    return int(clause.value) + bump
+        return 1
+
+    @property
+    def module(self) -> Optional[str]:
+        """External module name (``(module="pvm")``), or None."""
+        for clause in self.clauses:
+            if clause.attr == "module" and clause.op in ("=", "flag"):
+                return str(clause.value) if clause.op == "=" else None
+        return None
+
+    @property
+    def adaptive(self) -> bool:
+        """The ``adaptive`` extension flag.
+
+        Module-managed jobs (PVM/LAM) are inherently adaptive too — the
+        module exists precisely to grow/shrink them — so ``module`` implies
+        adaptive.
+        """
+        for clause in self.clauses:
+            if clause.attr == "adaptive":
+                return clause.op != "=" or bool(clause.value)
+        return self.module is not None
+
+    @property
+    def start_script(self) -> Optional[str]:
+        for clause in self.clauses:
+            if clause.attr == "start_script" and clause.op == "=":
+                return str(clause.value)
+        return None
+
+    @property
+    def arch(self) -> Optional[str]:
+        for clause in self.clauses:
+            if clause.attr == "arch" and clause.op == "=":
+                return str(clause.value)
+        return None
+
+    # -- matching -----------------------------------------------------------
+
+    _MACHINE_ATTRS = {"arch": "platform"}
+    _NON_MACHINE = {"count", "module", "adaptive", "start_script"}
+
+    def matches_machine(self, snapshot: Dict[str, Any]) -> bool:
+        """True if a machine snapshot satisfies every machine constraint."""
+        for clause in self.clauses:
+            if clause.attr in self._NON_MACHINE:
+                continue
+            key = self._MACHINE_ATTRS.get(clause.attr, clause.attr)
+            if not clause.test(snapshot.get(key)):
+                return False
+        return True
+
+    def __str__(self) -> str:
+        return "+" + "".join(str(c) for c in self.clauses)
+
+
+def parse_rsl(text: str) -> RSLRequest:
+    """Parse RSL ``text`` into an :class:`RSLRequest`.
+
+    The empty string is a valid specification with no constraints.
+    """
+    stripped = text.strip()
+    body = stripped
+    if body.startswith(("+", "&")):
+        body = body[1:].strip()
+    clauses: List[Clause] = []
+    pos = 0
+    while pos < len(body):
+        match = _CLAUSE.match(body, pos)
+        if match is None:
+            raise RSLError(f"cannot parse RSL at {body[pos:]!r} in {text!r}")
+        attr = match.group("attr")
+        op = match.group("op")
+        if op is None:
+            clauses.append(Clause(attr, "flag", True))
+        else:
+            clauses.append(Clause(attr, op, _coerce(match.group("value"))))
+        pos = match.end()
+        while pos < len(body) and body[pos].isspace():
+            pos += 1
+    return RSLRequest(clauses=clauses, source=stripped)
+
+
+# -- symbolic host names ------------------------------------------------------
+
+#: Prefix that marks a host name as a request rather than an address
+#: (paper §4.2: "anyhost", "anylinux").
+SYMBOLIC_PREFIX = "any"
+
+
+def is_symbolic_hostname(name: str) -> bool:
+    """True for broker-interpreted names like ``anyhost`` or ``anylinux``."""
+    return name.lower().startswith(SYMBOLIC_PREFIX)
+
+
+def symbolic_matches(name: str, snapshot: Dict[str, Any]) -> bool:
+    """Does a machine snapshot satisfy a symbolic host name?
+
+    ``anyhost`` (or bare ``any``) matches every machine; ``any<text>``
+    matches machines whose platform string contains ``<text>`` — e.g.
+    ``anylinux`` matches platform ``i686linux``.
+    """
+    if not is_symbolic_hostname(name):
+        raise ValueError(f"{name!r} is not a symbolic host name")
+    suffix = name.lower()[len(SYMBOLIC_PREFIX):]
+    if suffix in ("", "host"):
+        return True
+    return suffix in str(snapshot.get("platform", "")).lower()

@@ -1,0 +1,54 @@
+"""Discrete-event simulation kernel.
+
+The kernel is a small, self-contained, SimPy-flavoured engine: simulated
+*processes* are Python generators that ``yield`` :class:`~repro.sim.events.Event`
+objects; the :class:`~repro.sim.environment.Environment` owns the event queue
+and the simulated clock.  Everything above this package (the simulated OS, the
+cluster, ResourceBroker itself and the parallel programming systems) is written
+in terms of these primitives.
+
+Determinism
+-----------
+Event ordering is a strict total order on ``(time, priority, sequence)`` where
+``sequence`` is a global insertion counter, so two runs of the same program
+with the same seed produce identical traces.  All randomness flows through
+:mod:`repro.sim.rng`.
+"""
+
+from repro.sim.environment import Environment
+from repro.sim.events import (
+    URGENT,
+    NORMAL,
+    LOW,
+    AllOf,
+    AnyOf,
+    Event,
+    EventAborted,
+    Timeout,
+)
+from repro.sim.process import Interrupt, Process, ProcessDied
+from repro.sim.stores import FilterStore, Resource, Store, StoreFull
+from repro.sim.pshare import ProcessorSharingQueue, PSTask
+from repro.sim.rng import SimRandom
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "EventAborted",
+    "FilterStore",
+    "Interrupt",
+    "LOW",
+    "NORMAL",
+    "PSTask",
+    "Process",
+    "ProcessDied",
+    "ProcessorSharingQueue",
+    "Resource",
+    "SimRandom",
+    "Store",
+    "StoreFull",
+    "Timeout",
+    "URGENT",
+]

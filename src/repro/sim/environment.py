@@ -1,0 +1,155 @@
+"""The simulation environment: clock, event queue and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from repro.sim.events import NORMAL, AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.rng import SimRandom
+
+
+class EmptySchedule(Exception):
+    """Raised internally when the event queue runs dry."""
+
+
+class StopSimulation(Exception):
+    """Raised to halt :meth:`Environment.run` when its ``until`` event fires."""
+
+
+class Environment:
+    """Owns simulated time and the pending-event heap.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulated clock (seconds).
+    seed:
+        Seed for the environment-wide random stream (see
+        :class:`~repro.sim.rng.SimRandom`).  Every source of randomness in a
+        simulation must derive from this stream for runs to be reproducible.
+    """
+
+    def __init__(self, initial_time: float = 0.0, seed: int = 0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+        self.rng = SimRandom(seed)
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- scheduling ------------------------------------------------------------
+
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = NORMAL
+    ) -> None:
+        """Queue ``event`` for processing after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event, advancing the clock to its time."""
+        try:
+            when, _prio, _eid, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        event._processed = True
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # An exception nobody consumed: abort the run loudly.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run until ``until`` (a time, an event, or queue exhaustion).
+
+        * ``until is None`` — run until no events remain.
+        * ``until`` is a number — run until the clock reaches it.
+        * ``until`` is an :class:`Event` — run until it is processed and
+          return its value (raising if it failed).
+        """
+        stop_at = None
+        stop_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.processed:
+                    if stop_event.ok:
+                        return stop_event.value
+                    raise stop_event.value
+                stop_event.add_callback(self._stop_callback)
+            else:
+                stop_at = float(until)
+                if stop_at < self._now:
+                    raise ValueError(
+                        f"until={stop_at!r} is in the past (now={self._now!r})"
+                    )
+
+        try:
+            while True:
+                if stop_at is not None and self.peek() > stop_at:
+                    self._now = stop_at
+                    return None
+                try:
+                    self.step()
+                except EmptySchedule:
+                    if stop_at is not None:
+                        self._now = stop_at
+                    return None
+        except StopSimulation:
+            assert stop_event is not None
+            if stop_event.ok:
+                return stop_event.value
+            raise stop_event.value from None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        raise StopSimulation()
+
+    # -- factories ---------------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new simulated process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when every given event has succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any given event succeeds."""
+        return AnyOf(self, events)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Environment now={self._now:.6f} pending={len(self._queue)}>"
+        )

@@ -1,0 +1,227 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot future: it starts *pending*, is *triggered*
+exactly once with either a value (:meth:`Event.succeed`) or an exception
+(:meth:`Event.fail`), and is then *processed* by the environment, which runs
+its callbacks at a well-defined point in simulated time.
+
+Priorities
+----------
+Events triggered for the same simulated time are processed in
+``(priority, sequence)`` order.  ``URGENT`` is reserved for kernel-internal
+bookkeeping (process interrupts, store handoffs) so that user-visible ordering
+stays intuitive; ``NORMAL`` is the default.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.environment import Environment
+
+#: Sentinel for "this event has not been triggered yet".
+PENDING = object()
+
+#: Kernel-internal priority; processed before anything else at the same time.
+URGENT = 0
+#: Default priority for user events.
+NORMAL = 1
+#: Processed after everything else at the same time (used for monitors).
+LOW = 2
+
+
+class EventAborted(Exception):
+    """Raised into waiters when an event is cancelled before triggering."""
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    Parameters
+    ----------
+    env:
+        The owning environment.
+
+    Notes
+    -----
+    The life cycle is ``pending -> triggered -> processed``.  Callbacks are
+    plain callables invoked with the event as their only argument; once the
+    event has been processed, adding a callback raises ``RuntimeError``
+    (late registration is almost always a bug in simulation code).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self._processed = False
+        self._defused = False
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value or an exception."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance if it failed)."""
+        if self._value is PENDING:
+            raise RuntimeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, delay=0.0, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception delivered to all waiters."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, delay=0.0, priority=priority)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run.
+
+        A failed event whose exception reaches the environment's step loop
+        without any process consuming it stops the simulation (mirroring
+        SimPy's behaviour); defusing suppresses that.
+        """
+        self._defused = True
+
+    # -- waiting -----------------------------------------------------------
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed."""
+        if self.callbacks is None:
+            raise RuntimeError(f"{self!r} has already been processed")
+        self.callbacks.append(callback)
+
+    def remove_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Remove a previously-added callback (no-op if already processed)."""
+        if self.callbacks is not None and callback in self.callbacks:
+            self.callbacks.remove(callback)
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:
+        state = (
+            "pending"
+            if self._value is PENDING
+            else ("ok" if self._ok else "failed")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(
+        self, env: "Environment", delay: float, value: Any = None
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay, priority=NORMAL)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay!r} at {id(self):#x}>"
+
+
+class _Condition(Event):
+    """Base for composite events over a fixed set of sub-events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        # A condition failing with nobody waiting is always benign: it means
+        # the waiter died (was killed) or stopped caring.  Live waiters still
+        # receive the failure as an exception.
+        self._defused = True
+        self.events: List[Event] = list(events)
+        self._count = 0
+        for event in self.events:
+            if event.env is not env:
+                raise ValueError("cannot mix events from different environments")
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for event in self.events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.add_callback(self._check)
+
+    def _collect(self) -> dict:
+        # Only events that have actually been *processed* count as having
+        # occurred: a Timeout carries its value from construction, so testing
+        # ``triggered`` alone would report future timeouts as complete.
+        return {ev: ev.value for ev in self.events if ev.processed and ev.ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+        elif self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers once *all* sub-events have succeeded (fails fast on error)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count == len(self.events)
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as *any* sub-event succeeds (fails fast on error)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1

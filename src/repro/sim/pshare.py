@@ -1,0 +1,213 @@
+"""Processor-sharing CPU model.
+
+A machine's CPUs are modelled as an egalitarian processor-sharing (PS) server:
+``n`` runnable tasks on ``c`` CPUs each progress at rate ``speed * min(1, c/n)``
+CPU-seconds per second.  This captures the two effects the paper's evaluation
+depends on:
+
+* a compute-bound job (``loop``) finishes in its nominal time on an idle
+  machine, and
+* co-located jobs slow each other down, which is why clearing a machine of
+  external processes before running a job gives "faster turnaround"
+  (paper §6.1, Table 2 discussion).
+
+The model is event-driven: task membership changes trigger a re-computation of
+each task's completion horizon, so the cost is O(tasks) per change rather than
+per tick.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.environment import Environment
+
+
+class PSDone(Event):
+    """Completion event of a PS task (carries a backref for cancellation)."""
+
+    __slots__ = ("_pstask",)
+
+    def __init__(self, env: "Environment") -> None:
+        super().__init__(env)
+        self._pstask: Optional["PSTask"] = None
+
+
+class PSTask:
+    """One unit of CPU-bound work enqueued on a :class:`ProcessorSharingQueue`."""
+
+    __slots__ = ("tid", "work", "remaining", "done", "tag")
+
+    def __init__(self, tid: int, work: float, done: Event, tag: Any) -> None:
+        self.tid = tid
+        self.work = work
+        self.remaining = work
+        self.done = done
+        self.tag = tag
+
+    def __repr__(self) -> str:
+        return (
+            f"<PSTask #{self.tid} tag={self.tag!r} "
+            f"remaining={self.remaining:.6f}/{self.work:.6f}>"
+        )
+
+
+class ProcessorSharingQueue:
+    """Egalitarian processor sharing over ``cpus`` processors.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    cpus:
+        Number of processors.
+    speed:
+        Relative speed factor; ``work`` is expressed in CPU-seconds on a
+        ``speed == 1.0`` machine.
+    """
+
+    def __init__(self, env: "Environment", cpus: int = 1, speed: float = 1.0) -> None:
+        if cpus < 1:
+            raise ValueError("cpus must be >= 1")
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        self.env = env
+        self.cpus = cpus
+        self.speed = speed
+        self._tasks: Dict[int, PSTask] = {}
+        self._tids = itertools.count(1)
+        self._last_update = env.now
+        self._timer_token = 0
+        # Utilization accounting: integral of (busy CPUs / total CPUs) dt.
+        self._busy_integral = 0.0
+        self._accounting_start = env.now
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def load(self) -> int:
+        """Number of runnable tasks right now."""
+        return len(self._tasks)
+
+    def rate(self) -> float:
+        """Current progress rate (CPU-seconds per second) of each task."""
+        n = len(self._tasks)
+        if n == 0:
+            return 0.0
+        return self.speed * min(1.0, self.cpus / n)
+
+    def execute(self, work: float, tag: Any = None) -> Event:
+        """Enqueue ``work`` CPU-seconds; the returned event fires when done."""
+        if work < 0:
+            raise ValueError(f"negative work {work!r}")
+        done = PSDone(self.env)
+        if work == 0:
+            done.succeed()
+            return done
+        self._advance()
+        task = PSTask(next(self._tids), float(work), done, tag)
+        self._tasks[task.tid] = task
+        done._pstask = task
+        self._reschedule()
+        return done
+
+    def cancel(self, done_event: Event) -> bool:
+        """Abort the task behind ``done_event``; returns False if finished."""
+        task: Optional[PSTask] = getattr(done_event, "_pstask", None)
+        if task is None or task.tid not in self._tasks:
+            return False
+        self._advance()
+        del self._tasks[task.tid]
+        self._reschedule()
+        return True
+
+    def utilization(self) -> float:
+        """Mean fraction of CPU capacity in use since accounting started."""
+        self._advance()
+        elapsed = self.env.now - self._accounting_start
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_integral / elapsed
+
+    def reset_accounting(self) -> None:
+        """Restart the utilization integral at the current instant."""
+        self._advance()
+        self._busy_integral = 0.0
+        self._accounting_start = self.env.now
+
+    # -- engine -----------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Progress all tasks from the last update instant to ``now``."""
+        now = self.env.now
+        dt = now - self._last_update
+        if dt <= 0:
+            self._last_update = now
+            return
+        n = len(self._tasks)
+        if n:
+            per_task = self.speed * min(1.0, self.cpus / n) * dt
+            finished = []
+            for task in self._tasks.values():
+                task.remaining -= per_task
+                if task.remaining <= 1e-12:
+                    finished.append(task)
+            for task in finished:
+                del self._tasks[task.tid]
+                task.remaining = 0.0
+                task.done.succeed()
+            self._busy_integral += dt * min(n, self.cpus) / self.cpus
+        self._last_update = now
+
+    def _reschedule(self) -> None:
+        """Arm a wake-up for the next task completion."""
+        self._timer_token += 1
+        token = self._timer_token
+        if not self._tasks:
+            return
+        rate = self.rate()
+        horizon = min(task.remaining for task in self._tasks.values()) / rate
+        # Guard against float dust: at large clock values a sub-epsilon
+        # horizon would schedule the wake-up at *exactly* the current time
+        # (now + h == now), making _advance see dt == 0 and re-arm forever.
+        # Clamp to a representable forward tick; the distortion is <= 1 ns.
+        eps = max(1e-9, abs(self.env.now) * 1e-12)
+        horizon = max(horizon, eps)
+        timer = self.env.timeout(horizon)
+        timer.add_callback(lambda _ev, token=token: self._on_timer(token))
+
+    def _on_timer(self, token: int) -> None:
+        if token != self._timer_token:
+            return  # membership changed since this timer was armed
+        self._advance()
+        self._reschedule()
+
+    def drain_estimate(self) -> float:
+        """Simulated seconds until all current tasks finish (no arrivals).
+
+        PS with equal rates completes tasks in remaining-work order; this is
+        used by policies to predict machine availability.
+        """
+        self._advance()
+        remains = sorted(task.remaining for task in self._tasks.values())
+        if not remains:
+            return 0.0
+        t = 0.0
+        prev = 0.0
+        n = len(remains)
+        for idx, rem in enumerate(remains):
+            active = n - idx
+            rate = self.speed * min(1.0, self.cpus / active)
+            t += (rem - prev) / rate
+            prev = rem
+        return t
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProcessorSharingQueue cpus={self.cpus} speed={self.speed} "
+            f"load={len(self._tasks)}>"
+        )

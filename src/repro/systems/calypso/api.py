@@ -1,0 +1,224 @@
+"""Calypso as a library: write adaptive parallel programs, not CLIs.
+
+Real Calypso programs interleave sequential code with *parallel steps*; the
+runtime keeps a worker pool across steps, schedules eagerly, and survives
+workers appearing and disappearing.  :class:`CalypsoRuntime` gives simulated
+programs the same shape::
+
+    def my_app(proc):
+        runtime = CalypsoRuntime(proc, target_workers=4)
+        runtime.start()
+        # parallel phase 1: 20 steps of 2 CPU-seconds
+        results = yield from runtime.run_phase(
+            [ParallelStep(work=2.0, payload=i) for i in range(20)]
+        )
+        # ... sequential code ...
+        results2 = yield from runtime.run_phase([...])
+        runtime.shutdown()
+
+Workers are acquired through ``rsh`` against the hostfile (symbolic
+``anylinux`` under a broker), join anonymously, stay connected across
+phases, and may be revoked at any time — a lost worker's step is simply
+re-run elsewhere (eager scheduling / TIES idempotence).
+
+A custom ``worker_program`` may be supplied to compute real results from
+step payloads; the stock ``calypso_worker`` burns the CPU time and echoes
+the payload back.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.os.errors import ConnectionClosed
+from repro.systems.hostfile import read_hostfile
+
+
+@dataclass
+class ParallelStep:
+    """One unit of a parallel phase."""
+
+    work: float
+    payload: Any = None
+
+
+class _Phase:
+    """Scheduling state of one running parallel phase."""
+
+    def __init__(self, env, steps: List[ParallelStep]) -> None:
+        self.steps = steps
+        self.results: List[Any] = [None] * len(steps)
+        self.done = [False] * len(steps)
+        self.assignments = [0] * len(steps)
+        self.completed = 0
+        self.finished = env.event()
+        self._dispatch = deque(range(len(steps)))
+        if not steps:
+            self.finished.succeed()
+
+    def next_index(self) -> Optional[int]:
+        """Eager scheduling: fewest-assigned incomplete step (duplicates
+        allowed once everything is assigned)."""
+        while True:
+            while self._dispatch:
+                index = self._dispatch.popleft()
+                if not self.done[index]:
+                    return index
+            incomplete = [i for i in range(len(self.steps)) if not self.done[i]]
+            if not incomplete:
+                return None
+            incomplete.sort(key=lambda i: self.assignments[i])
+            self._dispatch = deque(incomplete)
+
+    def complete(self, index: int, value: Any) -> None:
+        if self.done[index]:
+            return  # duplicate from eager scheduling: first result won
+        self.done[index] = True
+        self.results[index] = value
+        self.completed += 1
+        if self.completed >= len(self.steps) and not self.finished.triggered:
+            self.finished.succeed()
+
+
+class CalypsoRuntime:
+    """An adaptive worker pool serving successive parallel phases."""
+
+    def __init__(
+        self,
+        proc,
+        target_workers: int,
+        worker_program: str = "calypso_worker",
+    ) -> None:
+        if target_workers < 1:
+            raise ValueError("target_workers must be >= 1")
+        self.proc = proc
+        self.env = proc.env
+        self.target_workers = target_workers
+        self.worker_program = worker_program
+        self.current: Optional[_Phase] = None
+        self.stopped = False
+        self._phase_opened = self.env.event()  # re-armed per phase
+        self._listener = None
+        self._port = None
+        self.workers_seen = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Open the pool: listener, grow slots, accept loop."""
+        proc = self.proc
+        self._port = proc.machine.network.ephemeral_port(proc.machine)
+        self._listener = proc.listen(self._port)
+        hosts = read_hostfile(proc)
+        for slot in range(self.target_workers):
+            proc.thread(
+                self._grow_slot(hosts[slot % len(hosts)]),
+                name=f"calypso-grow{slot}",
+            )
+        proc.thread(self._accept_loop(), name="calypso-accept")
+
+    def run_phase(self, steps: List[ParallelStep]):
+        """Generator: run one parallel phase to completion, return results
+        (ordered by step index)."""
+        if self.stopped:
+            raise RuntimeError("runtime already shut down")
+        if self.current is not None and not self.current.finished.triggered:
+            raise RuntimeError("a phase is already running")
+        phase = _Phase(self.env, list(steps))
+        self.current = phase
+        # Wake the sessions idling between phases.
+        opened, self._phase_opened = self._phase_opened, self.env.event()
+        if not opened.triggered:
+            opened.succeed()
+        yield phase.finished
+        self.current = None
+        return list(phase.results)
+
+    def shutdown(self) -> None:
+        """Dismiss the pool (workers see EOF and exit)."""
+        self.stopped = True
+        if not self._phase_opened.triggered:
+            self._phase_opened.succeed()
+        if self._listener is not None:
+            self._listener.close()
+
+    # -- internals ---------------------------------------------------------
+
+    def _grow_slot(self, target_host):
+        proc = self.proc
+        while not self.stopped:
+            rsh = proc.spawn(
+                [
+                    "rsh",
+                    target_host,
+                    self.worker_program,
+                    proc.machine.name,
+                    str(self._port),
+                ]
+            )
+            yield proc.wait(rsh)
+            if self.stopped:
+                return
+            yield proc.sleep(0.25)
+
+    def _accept_loop(self):
+        proc = self.proc
+        while True:
+            try:
+                conn = yield self._listener.accept()
+            except ConnectionClosed:
+                return
+            self.workers_seen += 1
+            proc.thread(
+                self._session(conn), name=f"calypso-w{self.workers_seen}"
+            )
+
+    def _session(self, conn):
+        try:
+            hello = yield conn.recv()
+        except ConnectionClosed:
+            conn.close()
+            return
+        if hello.get("type") != "worker_hello":
+            conn.close()
+            return
+        assigned: Optional[int] = None
+        phase: Optional[_Phase] = None
+        try:
+            while not self.stopped:
+                phase = self.current
+                if phase is None or phase.finished.triggered:
+                    yield self._phase_opened  # idle between phases
+                    continue
+                index = phase.next_index()
+                if index is None:
+                    yield self._phase_opened
+                    continue
+                phase.assignments[index] += 1
+                assigned = index
+                step = phase.steps[index]
+                conn.send(
+                    {
+                        "type": "assign",
+                        "step": index,
+                        "work": step.work,
+                        "payload": step.payload,
+                    }
+                )
+                reply = yield conn.recv()
+                assigned = None
+                if reply.get("type") == "result":
+                    phase.complete(int(reply["step"]), reply.get("value"))
+                elif reply.get("type") == "worker_bye":
+                    break
+        except ConnectionClosed:
+            # Worker lost mid-step: back out the assignment; eager
+            # scheduling re-runs the step on another worker.
+            if assigned is not None and phase is not None:
+                phase.assignments[assigned] = max(
+                    0, phase.assignments[assigned] - 1
+                )
+                phase._dispatch.append(assigned)
+        conn.close()

@@ -1,0 +1,59 @@
+"""The Calypso worker: computes assigned steps until told (or made) to stop.
+
+Adaptivity contract (paper §1: "for Calypso, this service is provided by the
+runtime layer"): the worker may be terminated at any time without hurting the
+computation.  On SIGTERM it performs an orderly shutdown — finishing its
+bookkeeping and flushing runtime state, modelled as the calibrated
+``adaptive_shutdown`` delay — and exits 0; eager scheduling at the master
+redoes whatever step it was holding.
+"""
+
+from __future__ import annotations
+
+from repro.os.errors import ConnectionClosed, ConnectionRefused, NoSuchHost
+from repro.sim.process import Interrupt
+
+
+def calypso_worker_main(proc):
+    """``calypso_worker <master_host> <master_port>``."""
+    if len(proc.argv) < 3:
+        return 1
+    master_host, master_port = proc.argv[1], int(proc.argv[2])
+    cal = proc.machine.network.calibration
+    try:
+        yield proc.sleep(cal.calypso_worker_startup)
+        conn = yield proc.connect(master_host, master_port)
+    except (ConnectionRefused, NoSuchHost):
+        return 1
+    except Interrupt:
+        return 0
+    conn.send({"type": "worker_hello", "host": proc.machine.name})
+    try:
+        while True:
+            msg = yield conn.recv()
+            if msg.get("type") != "assign":
+                break
+            yield proc.compute(float(msg["work"]), tag="calypso-step")
+            # The stock worker has no application code: it burns the CPU
+            # time and echoes the payload (custom worker programs compute
+            # real results from it — see CalypsoRuntime's worker_program).
+            conn.send(
+                {
+                    "type": "result",
+                    "step": msg["step"],
+                    "value": msg.get("payload", ("done", msg["step"])),
+                }
+            )
+    except ConnectionClosed:
+        return 0  # master finished or died; nothing to clean up
+    except Interrupt:
+        # Revocation: orderly runtime shutdown, then leave quietly.  The
+        # master sees our connection drop and reschedules the step.
+        try:
+            conn.send({"type": "worker_bye"})
+        except ConnectionClosed:
+            pass
+        yield proc.sleep(cal.adaptive_shutdown)
+        return 0
+    conn.close()
+    return 0

@@ -1,0 +1,23 @@
+"""Hostfile (``~/.hosts``) handling shared by the adaptive runtimes.
+
+The paper's usage scenario (§5): a user who wants a computation to grow to
+``node07`` "prepares a hostfile, named .hosts, containing node07"; a user who
+wants broker-chosen machines instead writes the symbolic name ``anylinux``.
+The runtime consults the hostfile every time it spawns a worker and cycles
+through its entries.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+HOSTFILE = "~/.hosts"
+
+
+def read_hostfile(proc, default: str = "anylinux") -> List[str]:
+    """Host entries from ``~/.hosts``, or ``[default]`` when absent/empty."""
+    if proc.file_exists(HOSTFILE):
+        lines = proc.machine.fs.read_lines(proc.expand(HOSTFILE))
+        if lines:
+            return lines
+    return [default]

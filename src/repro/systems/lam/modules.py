@@ -1,0 +1,34 @@
+"""The LAM external modules (``lam_grow`` / ``lam_shrink`` / ``lam_halt``).
+
+"A similar mechanism is used for both PVM and LAM programs" (paper §5.3),
+but LAM's own tools already take a host argument, so these scripts are even
+simpler than PVM's console-driving ones — each just invokes the matching LAM
+tool, simulating the user's actions.
+"""
+
+from __future__ import annotations
+
+
+def lam_grow_module_main(proc):
+    """``lam_grow <host>``."""
+    if len(proc.argv) < 2:
+        return 1
+    tool = proc.spawn(["lamgrow", proc.argv[1]])
+    code = yield proc.wait(tool)
+    return code
+
+
+def lam_shrink_module_main(proc):
+    """``lam_shrink <host>``."""
+    if len(proc.argv) < 2:
+        return 1
+    tool = proc.spawn(["lamshrink", proc.argv[1]])
+    code = yield proc.wait(tool)
+    return code
+
+
+def lam_halt_module_main(proc):
+    """``lam_halt``."""
+    tool = proc.spawn(["lamhalt"])
+    code = yield proc.wait(tool)
+    return code

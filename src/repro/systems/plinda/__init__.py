@@ -1,0 +1,43 @@
+"""PLinda-style persistent tuple space with transactional takes.
+
+PLinda (Persistent Linda, NYU) extends Linda's ``out``/``in``/``rd``
+coordination with transactions so that *bag-of-tasks* programs tolerate
+worker loss: a worker takes a task tuple inside a transaction; if it dies
+before committing, the server rolls the take back and another worker picks
+the task up.  That is exactly the adaptivity contract ResourceBroker's
+default path needs — PLinda workers join anonymously and may be revoked at
+any time.
+
+Programs:
+
+* ``plinda_server`` — the tuple-space server;
+* ``plinda <tasks> <cpu_per_task> <workers>`` — a bag-of-tasks master that
+  seeds task tuples, acquires workers via ``rsh anylinux plinda_worker``
+  (the interception point) and collects results;
+* ``plinda_worker <server_host> <port>`` — the generic transactional worker.
+"""
+
+from repro.systems.plinda.server import plinda_server_main
+from repro.systems.plinda.space import TupleSpace, tuple_matches
+from repro.systems.plinda.client import (
+    PlindaError,
+    plinda_master_main,
+    plinda_worker_main,
+)
+
+__all__ = [
+    "PlindaError",
+    "TupleSpace",
+    "install_plinda",
+    "plinda_master_main",
+    "plinda_server_main",
+    "plinda_worker_main",
+    "tuple_matches",
+]
+
+
+def install_plinda(directory) -> None:
+    """Register the PLinda programs in ``directory``."""
+    directory.register("plinda_server", plinda_server_main)
+    directory.register("plinda", plinda_master_main)
+    directory.register("plinda_worker", plinda_worker_main)

@@ -1,0 +1,152 @@
+"""``plinda_server`` — the *persistent* tuple-space server.
+
+One connection per client; each connection may hold at most one open
+transaction.  A connection dropping with an open transaction aborts it,
+restoring every tuple the client had taken — the fault-tolerance half of
+PLinda that makes its workers safely revocable.
+
+Persistence (the P in PLinda): the server continuously checkpoints the
+*committed* state of the space to ``~/.plinda_ckpt`` — the current tuples
+plus everything held by still-open transactions (whose takes must roll back
+on recovery), minus uncommitted writes.  A freshly started server finding a
+checkpoint resumes from it, so a server crash costs at most the work of the
+transactions that were open — never a committed task or result.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+from repro.os.errors import ConnectionClosed
+from repro.systems.plinda.space import TupleSpace
+
+#: Home-relative advertisement file (host + port of the server).
+PLINDA_FILE = "~/.plinda"
+
+#: Home-relative checkpoint of the committed tuple-space state.
+PLINDA_CKPT = "~/.plinda_ckpt"
+
+
+def _committed_tuples(space: TupleSpace):
+    """Committed state: buffered tuples + open-transaction takes − their
+    uncommitted outs (exactly what recovery must restore)."""
+    tuples = list(space._store.items)
+    uncommitted_outs = []
+    for txn in space.open_transactions():
+        tuples.extend(space._txn_takes.get(txn, []))
+        uncommitted_outs.extend(space._txn_outs.get(txn, []))
+    for out in uncommitted_outs:
+        try:
+            tuples.remove(out)
+        except ValueError:
+            pass
+    return tuples
+
+
+def checkpoint(proc, space: TupleSpace) -> None:
+    """Write the committed state to the checkpoint file."""
+    payload = json.dumps([list(t) for t in _committed_tuples(space)])
+    proc.write_file(PLINDA_CKPT, payload)
+
+
+def restore(proc, space: TupleSpace) -> int:
+    """Load a checkpoint into an empty space; returns the tuple count."""
+    if not proc.file_exists(PLINDA_CKPT):
+        return 0
+    tuples = json.loads(proc.read_file(PLINDA_CKPT))
+    for tup in tuples:
+        space.out(tuple(tup))
+    return len(tuples)
+
+
+def plinda_server_main(proc):
+    """Program body of the tuple-space server (see module docstring)."""
+    space = TupleSpace(proc.env)
+    recovered = restore(proc, space)
+    del recovered  # informational only; nothing to print in a daemon
+    port = proc.machine.network.ephemeral_port(proc.machine)
+    listener = proc.listen(port)
+    proc.write_file(PLINDA_FILE, f"{proc.machine.name} {port}\n")
+    checkpoint(proc, space)
+    txn_ids = itertools.count(1)
+    halted = proc.env.event()
+    while True:
+        accept_ev = listener.accept()
+        outcome = yield proc.env.any_of([accept_ev, halted])
+        if halted in outcome:
+            break
+        proc.thread(
+            _session(proc, space, accept_ev.value, txn_ids, halted),
+            name="plinda-session",
+        )
+    proc.unlink_file(PLINDA_FILE)
+    proc.unlink_file(PLINDA_CKPT)
+    return 0
+
+
+def _session(proc, space, conn, txn_ids, halted):
+    txn = None
+    try:
+        while True:
+            msg = yield conn.recv()
+            op = msg.get("op")
+            if op == "out":
+                space.out(msg["tuple"], txn_id=txn)
+                checkpoint(proc, space)
+                conn.send({"ok": True})
+            elif op == "in":
+                tup = yield space.take(msg["pattern"], txn_id=txn)
+                checkpoint(proc, space)
+                conn.send({"ok": True, "tuple": list(tup)})
+            elif op == "rd":
+                tup = yield space.read(msg["pattern"])
+                conn.send({"ok": True, "tuple": list(tup)})
+            elif op == "rdp":
+                tup = space.try_read(msg["pattern"])
+                conn.send(
+                    {"ok": True, "tuple": list(tup) if tup else None}
+                )
+            elif op == "count":
+                conn.send({"ok": True, "count": space.count(msg["pattern"])})
+            elif op == "txn_begin":
+                if txn is not None:
+                    conn.send({"ok": False, "error": "transaction open"})
+                else:
+                    txn = next(txn_ids)
+                    space.begin(txn)
+                    conn.send({"ok": True, "txn": txn})
+            elif op == "txn_commit":
+                if txn is None:
+                    conn.send({"ok": False, "error": "no transaction"})
+                else:
+                    space.commit(txn)
+                    txn = None
+                    checkpoint(proc, space)
+                    conn.send({"ok": True})
+            elif op == "txn_abort":
+                if txn is None:
+                    conn.send({"ok": False, "error": "no transaction"})
+                else:
+                    space.abort(txn)
+                    txn = None
+                    checkpoint(proc, space)
+                    conn.send({"ok": True})
+            elif op == "halt":
+                conn.send({"ok": True})
+                if not halted.triggered:
+                    halted.succeed()
+                break
+            else:
+                conn.send({"ok": False, "error": f"unknown op {op!r}"})
+    except ConnectionClosed:
+        pass
+    finally:
+        if txn is not None:
+            # Client died mid-transaction: roll back its takes so another
+            # worker can redo the task.  (Not re-checkpointed during halt:
+            # the main loop is deleting the files right now.)
+            space.abort(txn)
+            if not halted.triggered:
+                checkpoint(proc, space)
+        conn.close()

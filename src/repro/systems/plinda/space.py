@@ -1,0 +1,114 @@
+"""The tuple space data structure (pure, no I/O — unit-testable directly)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.stores import FilterStore
+
+
+def tuple_matches(pattern: Sequence[Any], candidate: Sequence[Any]) -> bool:
+    """Linda matching: equal arity; ``None`` in the pattern is a wildcard."""
+    if len(pattern) != len(candidate):
+        return False
+    return all(
+        want is None or want == have
+        for want, have in zip(pattern, candidate)
+    )
+
+
+class TupleSpace:
+    """Tuples plus per-transaction undo logs.
+
+    ``take`` removes a matching tuple and records it under the transaction;
+    ``commit`` forgets the log, ``abort`` restores every taken tuple.  Writes
+    (``out``) inside a transaction are also logged and withdrawn on abort —
+    full PLinda would delay their visibility until commit, but no workload in
+    this reproduction reads a sibling's uncommitted output, so early
+    visibility with rollback preserves the observable behaviour we need
+    (tasks lost mid-flight reappear).
+    """
+
+    def __init__(self, env) -> None:
+        self.env = env
+        self._store = FilterStore(env)
+        self._txn_takes: Dict[int, List[Tuple[Any, ...]]] = {}
+        self._txn_outs: Dict[int, List[Tuple[Any, ...]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    # -- operations (txn_id None = non-transactional) ------------------------
+
+    def out(self, tup: Sequence[Any], txn_id: Optional[int] = None) -> None:
+        """Deposit a tuple (logged under ``txn_id`` if given)."""
+        tup = tuple(tup)
+        self._store.put_nowait(tup)
+        if txn_id is not None:
+            self._txn_outs.setdefault(txn_id, []).append(tup)
+
+    def take(self, pattern: Sequence[Any], txn_id: Optional[int] = None):
+        """Event yielding a matching tuple (blocking ``in``)."""
+        pattern = tuple(pattern)
+        event = self._store.get(lambda t: tuple_matches(pattern, t))
+        if txn_id is not None:
+            event.add_callback(
+                lambda ev: self._txn_takes.setdefault(txn_id, []).append(
+                    ev.value
+                )
+                if ev.ok
+                else None
+            )
+        return event
+
+    def read(self, pattern: Sequence[Any]):
+        """Event yielding a *copy* of a matching tuple (blocking ``rd``)."""
+        pattern = tuple(pattern)
+        event = self._store.get(lambda t: tuple_matches(pattern, t))
+        # Non-destructive: put the tuple straight back on completion.
+        event.add_callback(
+            lambda ev: self._store.put_nowait(ev.value) if ev.ok else None
+        )
+        return event
+
+    def try_read(self, pattern: Sequence[Any]):
+        """Non-blocking ``rdp``: a matching tuple or None."""
+        pattern = tuple(pattern)
+        matches = self._store.peek_matching(
+            lambda t: tuple_matches(pattern, t)
+        )
+        return matches[0] if matches else None
+
+    def count(self, pattern: Sequence[Any]) -> int:
+        """How many buffered tuples match ``pattern``."""
+        pattern = tuple(pattern)
+        return len(
+            self._store.peek_matching(lambda t: tuple_matches(pattern, t))
+        )
+
+    # -- transactions -----------------------------------------------------
+
+    def begin(self, txn_id: int) -> None:
+        """Open transaction ``txn_id``."""
+        self._txn_takes.setdefault(txn_id, [])
+        self._txn_outs.setdefault(txn_id, [])
+
+    def commit(self, txn_id: int) -> None:
+        """Commit ``txn_id``: its takes become permanent."""
+        self._txn_takes.pop(txn_id, None)
+        self._txn_outs.pop(txn_id, None)
+
+    def abort(self, txn_id: int) -> None:
+        """Restore taken tuples; withdraw this transaction's outs."""
+        for tup in self._txn_takes.pop(txn_id, []):
+            self._store.put_nowait(tup)
+        for tup in self._txn_outs.pop(txn_id, []):
+            try:
+                self._store.items.remove(tup)
+            except ValueError:
+                pass  # already consumed by someone; genuine PLinda would
+                # cascade, but no reproduction workload creates this case
+
+    def open_transactions(self) -> List[int]:
+        """Ids of transactions with an undo log."""
+        return sorted(set(self._txn_takes) | set(self._txn_outs))

@@ -1,0 +1,53 @@
+"""The PVM external modules — user scripts, not broker code (paper Fig. 4).
+
+``pvm_grow`` is a direct transliteration of the paper's five-line shell
+script::
+
+    #!/bin/bash
+    echo add $1  >> $HOME/.pvmrc
+    echo quit    >> $HOME/.pvmrc
+    pvm > /dev/null
+    rm $HOME/.pvmrc
+
+"Notice how this is a simple script that simulates users' actions."  The
+console executes the ``.pvmrc``, asking the master daemon to add the real
+host the broker chose; the master's resulting rsh carries a real, expected
+name, so phase II proceeds like the default case.
+"""
+
+from __future__ import annotations
+
+from repro.systems.pvm.console import PVMRC
+
+
+def pvm_grow_main(proc):
+    """``pvm_grow <host>``."""
+    if len(proc.argv) < 2:
+        return 1
+    host = proc.argv[1]
+    proc.append_file(PVMRC, f"add {host}\n")
+    proc.append_file(PVMRC, "quit\n")
+    console = proc.spawn(["pvm"])
+    code = yield proc.wait(console)
+    proc.unlink_file(PVMRC)
+    return code
+
+
+def pvm_shrink_main(proc):
+    """``pvm_shrink <host>``: console-driven graceful delete."""
+    if len(proc.argv) < 2:
+        return 1
+    host = proc.argv[1]
+    proc.append_file(PVMRC, f"delete {host}\n")
+    proc.append_file(PVMRC, "quit\n")
+    console = proc.spawn(["pvm"])
+    code = yield proc.wait(console)
+    proc.unlink_file(PVMRC)
+    return code
+
+
+def pvm_halt_module_main(proc):
+    """``pvm_halt``: stop the whole virtual machine."""
+    console = proc.spawn(["pvm", "halt"])
+    code = yield proc.wait(console)
+    return code

@@ -1,0 +1,20 @@
+"""Workload programs and arrival generators used by the experiments."""
+
+from repro.workloads.programs import (
+    compute_main,
+    install_workloads,
+    loop_main,
+    null_main,
+    spin_main,
+)
+from repro.workloads.arrivals import SequentialJobTrace, periodic_sequential_jobs
+
+__all__ = [
+    "SequentialJobTrace",
+    "compute_main",
+    "install_workloads",
+    "loop_main",
+    "null_main",
+    "periodic_sequential_jobs",
+    "spin_main",
+]

@@ -1,0 +1,50 @@
+"""The paper's micro-benchmark programs and generic compute jobs.
+
+* ``null`` — "a C program with an empty main() function" (paper §6.1); it
+  starts and immediately exits.  Used to measure pure protocol overhead.
+* ``loop`` — "a C program with a tight loop"; a fixed CPU burst whose nominal
+  duration comes from :class:`~repro.calibration.Calibration.loop_work`.
+* ``compute <cpu_seconds>`` — parameterized CPU burst for workload traces.
+* ``spin`` — runs forever in 1-second bursts; killed by revocation tests.
+"""
+
+from __future__ import annotations
+
+
+def null_main(proc):
+    """Empty main: exit 0 immediately."""
+    return 0
+    yield  # pragma: no cover - marks this function as a generator
+
+
+def loop_main(proc):
+    """Fixed tight-loop burst (~6.5 nominal seconds on an idle machine)."""
+    calibration = proc.machine.network.calibration
+    yield proc.compute(calibration.loop_work, tag="loop")
+    return 0
+
+
+def compute_main(proc):
+    """``compute <cpu_seconds>``: one CPU burst of the requested size."""
+    if len(proc.argv) < 2:
+        return 1
+    try:
+        work = float(proc.argv[1])
+    except ValueError:
+        return 1
+    yield proc.compute(work, tag="compute")
+    return 0
+
+
+def spin_main(proc):
+    """CPU hog that runs until signalled."""
+    while True:
+        yield proc.compute(1.0, tag="spin")
+
+
+def install_workloads(directory) -> None:
+    """Register the workload programs in a program directory."""
+    directory.register("null", null_main)
+    directory.register("loop", loop_main)
+    directory.register("compute", compute_main)
+    directory.register("spin", spin_main)

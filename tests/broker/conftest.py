@@ -1,0 +1,66 @@
+"""Shared fixtures for broker integration tests."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, MachineSpec
+
+
+@pytest.fixture
+def cluster4():
+    """4 public machines, broker on n00."""
+    cluster = Cluster(ClusterSpec.uniform(4))
+    cluster.start_broker()
+    cluster.broker.wait_ready()
+    return cluster
+
+
+@pytest.fixture
+def mixed_cluster():
+    """2 public + 2 private machines (owned by ann and bob), broker on n00."""
+    spec = ClusterSpec(
+        machines=[
+            MachineSpec(name="n00"),
+            MachineSpec(name="n01"),
+            MachineSpec(name="p00", private_owner="ann"),
+            MachineSpec(name="p01", private_owner="bob"),
+        ]
+    )
+    cluster = Cluster(spec)
+    cluster.start_broker()
+    cluster.broker.wait_ready()
+    return cluster
+
+
+def install_greedy(cluster):
+    """Register ``greedy <k>``: an adaptive master that tries to hold ``k``
+    remote ``gracespin`` workers, re-acquiring replacements when they die
+    (the minimal stand-in for an adaptive runtime like Calypso).  Workers
+    shut down gracefully on SIGTERM, taking the calibrated adaptive-shutdown
+    time — the dominant term of the paper's ~1 s reallocation."""
+    from repro.sim.process import Interrupt
+
+    if "gracespin" not in cluster.system_bin:
+
+        @cluster.system_bin.register("gracespin")
+        def gracespin(proc):
+            cal = proc.machine.network.calibration
+            while True:
+                try:
+                    yield proc.compute(1.0, tag="gracespin")
+                except Interrupt:
+                    yield proc.sleep(cal.adaptive_shutdown)
+                    return 0
+
+        @cluster.system_bin.register("greedy")
+        def greedy(proc):
+            want = int(proc.argv[1]) if len(proc.argv) > 1 else 1
+
+            def runner(slot):
+                while True:
+                    child = proc.spawn(["rsh", "anylinux", "gracespin"])
+                    yield proc.wait(child)
+
+            for slot in range(want):
+                proc.thread(runner(slot), name=f"greedy-slot{slot}")
+            while True:
+                yield proc.sleep(3600.0)

@@ -1,0 +1,59 @@
+"""The RSL count extension: pre-sizing module jobs at submission."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(ClusterSpec.uniform(5))
+    c.start_broker()
+    c.broker.wait_ready()
+    return c
+
+
+def vm_hosts(cluster, uid):
+    fs = cluster.machine("n00").fs
+    path = f"/home/{uid}/.pvm_hosts"
+    return fs.read_lines(path) if fs.exists(path) else []
+
+
+def test_pvm_job_reaches_requested_count_at_startup(cluster):
+    svc = cluster.broker
+    job = svc.submit(
+        "n00",
+        ["pvm"],
+        rsl='+(count>=3)(arch="i686linux")(module="pvm")',
+        uid="pat",
+    )
+    deadline = cluster.now + 30.0
+    while cluster.now < deadline and len(vm_hosts(cluster, "pat")) < 3:
+        cluster.env.run(until=cluster.now + 0.5)
+    # The virtual machine grew to three hosts with no console interaction.
+    assert len(vm_hosts(cluster, "pat")) == 3
+    record = job.job_record()
+    assert len(svc.holdings()[record.jobid]) == 2  # master host + 2 granted
+    cluster.assert_no_crashes()
+
+
+def test_count_one_requests_nothing(cluster):
+    svc = cluster.broker
+    svc.submit("n00", ["pvm"], rsl='+(module="pvm")', uid="pat")
+    cluster.env.run(until=cluster.now + 6.0)
+    assert vm_hosts(cluster, "pat") == ["n00"]
+    assert svc.events_of("machine_request") == []
+
+
+def test_count_beyond_cluster_takes_what_exists(cluster):
+    svc = cluster.broker
+    svc.submit(
+        "n00", ["pvm"], rsl='+(count>=10)(module="pvm")', uid="pat"
+    )
+    deadline = cluster.now + 40.0
+    while cluster.now < deadline and len(vm_hosts(cluster, "pat")) < 5:
+        cluster.env.run(until=cluster.now + 0.5)
+    # All 5 machines joined; the remaining requests stay queued.
+    assert len(vm_hosts(cluster, "pat")) == 5
+    assert len(svc.state.pending) == 5  # 9 asked, 4 granted
+    cluster.assert_no_crashes()

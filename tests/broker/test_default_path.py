@@ -1,0 +1,148 @@
+"""Integration tests: the broker's default (redirection) path."""
+
+import pytest
+
+from tests.broker.conftest import install_greedy
+
+
+def test_submit_null_anylinux(cluster4):
+    svc = cluster4.broker
+    t0 = cluster4.now
+    handle = svc.submit("n00", ["rsh", "anylinux", "null"])
+    assert handle.wait() == 0
+    elapsed = cluster4.now - t0
+    # Paper Table 1: ~0.6 s for rsh' anylinux null.
+    assert 0.45 <= elapsed <= 0.85
+    cluster4.assert_no_crashes()
+
+
+def test_symbolic_request_lands_on_remote_idle_machine(cluster4):
+    svc = cluster4.broker
+    seen = {}
+
+    @cluster4.system_bin.register("whereami")
+    def whereami(proc):
+        seen["host"] = proc.machine.name
+        yield proc.sleep(0)
+
+    handle = svc.submit("n00", ["rsh", "anylinux", "whereami"])
+    handle.wait()
+    assert seen["host"] in {"n00", "n01", "n02", "n03"}
+    cluster4.assert_no_crashes()
+
+
+def test_remote_process_runs_under_subapp_as_user(cluster4):
+    svc = cluster4.broker
+    seen = {}
+
+    @cluster4.system_bin.register("introspect")
+    def introspect(proc):
+        seen["uid"] = proc.uid
+        seen["parent"] = proc.parent.argv[0] if proc.parent else None
+        yield proc.sleep(0)
+
+    handle = svc.submit("n00", ["rsh", "anylinux", "introspect"], uid="erin")
+    handle.wait()
+    assert seen["uid"] == "erin"
+    assert seen["parent"] == "subapp"
+
+
+def test_passthrough_real_hostname_not_wrapped(cluster4):
+    svc = cluster4.broker
+    seen = {}
+
+    @cluster4.system_bin.register("introspect")
+    def introspect(proc):
+        seen["parent"] = proc.parent.argv[0] if proc.parent else None
+        yield proc.sleep(0)
+
+    handle = svc.submit("n00", ["rsh", "n02", "introspect"])
+    assert handle.wait() == 0
+    # Explicitly named host: no subapp interposed (paper: such rsh commands
+    # "are allowed to proceed").
+    assert seen["parent"] == "rshd"
+    # And the broker never saw a machine request.
+    assert svc.events_of("machine_request") == []
+
+
+def test_rsh_prime_without_app_env_is_passthrough(cluster4):
+    # A user not using the broker runs rsh directly; rsh resolves to rsh'
+    # (it shadows the system rsh) but must behave identically.
+    proc = cluster4.run_command("n00", ["rsh", "n01", "null"])
+    cluster4.env.run(until=proc.terminated)
+    assert proc.exit_code == 0
+    assert cluster4.broker.events_of("machine_request") == []
+
+
+def test_job_done_frees_allocations(cluster4):
+    svc = cluster4.broker
+    handle = svc.submit("n00", ["rsh", "anylinux", "null"])
+    handle.wait()
+    cluster4.env.run(until=cluster4.now + 1.0)
+    assert svc.holdings() == {}
+    job = handle.job_record()
+    assert job is not None and job.done
+
+
+def test_each_request_gets_distinct_machine(cluster4):
+    svc = cluster4.broker
+    install_greedy(cluster4)
+    handle = svc.submit("n00", ["greedy", "3"], rsl="+(adaptive)")
+    cluster4.env.run(until=cluster4.now + 5.0)
+    job = handle.job_record()
+    holdings = svc.holdings()[job.jobid]
+    assert len(holdings) == 3
+    assert len(set(holdings)) == 3
+    cluster4.assert_no_crashes()
+
+
+def test_adaptive_job_expansion_is_elastic_not_firm(cluster4):
+    svc = cluster4.broker
+    install_greedy(cluster4)
+    svc.submit("n00", ["greedy", "2"], rsl="+(adaptive)")
+    cluster4.env.run(until=cluster4.now + 5.0)
+    allocated = [
+        m.allocation
+        for m in svc.state.machines.values()
+        if m.allocation is not None
+    ]
+    assert allocated and all(not a.firm for a in allocated)
+
+
+def test_elastic_requests_beyond_cluster_wait(cluster4):
+    svc = cluster4.broker
+    install_greedy(cluster4)
+    handle = svc.submit("n00", ["greedy", "10"], rsl="+(adaptive)")
+    cluster4.env.run(until=cluster4.now + 8.0)
+    job = handle.job_record()
+    # Only 3 machines are grantable (the home host n00 is excluded); the
+    # rest of the requests stay pending.
+    assert len(svc.holdings()[job.jobid]) == 3
+    assert len(svc.state.pending) == 7
+    cluster4.assert_no_crashes()
+
+
+def test_sequential_job_exit_code_propagates(cluster4):
+    svc = cluster4.broker
+
+    @cluster4.system_bin.register("fail7")
+    def fail7(proc):
+        yield proc.sleep(0)
+        return 7
+
+    # rsh collapses remote failure to 1; the app reports its child's code.
+    handle = svc.submit("n00", ["rsh", "anylinux", "fail7"])
+    assert handle.wait() == 1
+
+
+def test_broker_records_submission_metadata(cluster4):
+    svc = cluster4.broker
+    handle = svc.submit(
+        "n01", ["rsh", "anylinux", "null"], rsl="+(adaptive)", uid="zoe"
+    )
+    handle.wait()
+    job = handle.job_record()
+    assert job.user == "zoe"
+    assert job.home_host == "n01"
+    assert job.adaptive
+    assert job.module is None

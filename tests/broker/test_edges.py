@@ -1,0 +1,162 @@
+"""Edge cases around rsh', subapp, app and partial management."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.os.signals import SIGKILL
+
+
+@pytest.fixture
+def cluster4():
+    c = Cluster(ClusterSpec.uniform(4))
+    c.start_broker()
+    c.broker.wait_ready()
+    return c
+
+
+def run_cmd(cluster, host, argv, uid="user", environ=None):
+    proc = cluster.run_command(host, argv, uid=uid, environ=environ)
+    cluster.env.run(until=proc.terminated)
+    return proc
+
+
+def test_rshprime_no_args(cluster4):
+    proc = run_cmd(cluster4, "n00", ["rsh"])
+    assert proc.exit_code == 1
+    proc = run_cmd(cluster4, "n00", ["rsh", "n01"])
+    assert proc.exit_code == 1
+
+
+def test_rshprime_with_dead_app(cluster4):
+    """RB_APP_PORT pointing at nothing: symbolic rsh fails cleanly."""
+    proc = run_cmd(
+        cluster4,
+        "n00",
+        ["rsh", "anylinux", "null"],
+        environ={"RB_APP_HOST": "n00", "RB_APP_PORT": "45999"},
+    )
+    assert proc.exit_code == 1
+    cluster4.assert_no_crashes()
+
+
+def test_rshprime_stale_marker_without_app(cluster4):
+    """A leftover expect-marker without an app behind it must not wedge
+    a plain rsh (no RB env -> passthrough regardless of markers)."""
+    cluster4.machine("n00").fs.write("/home/user/.rb_expect_n01", "1\n")
+    proc = run_cmd(cluster4, "n00", ["rsh", "n01", "null"])
+    assert proc.exit_code == 0
+
+
+def test_rshprime_marker_with_dead_app_fails_cleanly(cluster4):
+    cluster4.machine("n00").fs.write("/home/user/.rb_expect_n01", "1\n")
+    proc = run_cmd(
+        cluster4,
+        "n00",
+        ["rsh", "n01", "null"],
+        environ={"RB_APP_HOST": "n00", "RB_APP_PORT": "45999"},
+    )
+    assert proc.exit_code == 1
+    cluster4.assert_no_crashes()
+
+
+def test_subapp_bad_token_aborted(cluster4):
+    svc = cluster4.broker
+    # Start a real job so an app is listening.
+    handle = svc.submit("n00", ["rsh", "anylinux", "compute", "5"])
+    cluster4.env.run(until=cluster4.now + 1.5)
+    # Find the app's port from the job's child environment.
+    app_proc = handle.proc
+    child = app_proc.children[0]
+    port = child.environ["RB_APP_PORT"]
+    rogue = run_cmd(
+        cluster4, "n02", ["subapp", "n00", port, "forged-token"]
+    )
+    assert rogue.exit_code == 1
+    handle.wait()
+    cluster4.assert_no_crashes()
+
+
+def test_subapp_bad_args(cluster4):
+    proc = run_cmd(cluster4, "n01", ["subapp", "n00"])
+    assert proc.exit_code == 1
+
+
+def test_app_requires_broker_env(cluster4):
+    proc = run_cmd(cluster4, "n00", ["app", "", "null"])  # no RB_BROKER_HOST
+    assert proc.exit_code == 1
+
+
+def test_app_requires_command(cluster4):
+    proc = run_cmd(
+        cluster4,
+        "n00",
+        ["app", ""],
+        environ={"RB_BROKER_HOST": "n00"},
+    )
+    assert proc.exit_code == 1
+
+
+def test_app_with_unreachable_broker():
+    cluster = Cluster(ClusterSpec.uniform(2))  # no broker at all
+    # Manually give the machine the rb directory so 'app' resolves.
+    from repro.broker.app import app_main
+
+    cluster.system_bin.register("app2", app_main)
+    proc = cluster.run_command(
+        "n00", ["app2", "", "null"], environ={"RB_BROKER_HOST": "n01"}
+    )
+    cluster.env.run(until=proc.terminated)
+    assert proc.exit_code == 1
+
+
+def test_partial_management_leaves_other_machines_alone():
+    cluster = Cluster(ClusterSpec.uniform(4))
+    svc = cluster.start_broker(managed_hosts=["n00", "n01", "n02"])
+    svc.wait_ready()
+    # n03 is outside the broker's world: plain rsh there still works...
+    proc = cluster.run_command("n00", ["rsh", "n03", "null"])
+    cluster.env.run(until=proc.terminated)
+    assert proc.exit_code == 0
+    # ...but the broker never allocates it.
+    handle = svc.submit("n00", ["rsh", "anylinux", "null"])
+    assert handle.wait() == 0
+    granted = {e["host"] for e in svc.events_of("grant")}
+    assert granted <= {"n01", "n02"}
+    assert "n03" not in svc.state.machines
+    # And no daemon was ever started there.
+    assert not any(
+        p.argv[0] == "rbdaemon"
+        for p in cluster.machine("n03").procs.values()
+    )
+
+
+def test_unmanaged_machine_keeps_plain_rsh():
+    cluster = Cluster(ClusterSpec.uniform(3))
+    cluster.start_broker(managed_hosts=["n00", "n01"])
+    cluster.broker.wait_ready()
+    # n02's PATH was never touched: its rsh is the system rsh.
+    assert cluster.machine("n02").path == [cluster.system_bin]
+
+
+def test_two_jobs_same_user_interleave(cluster4):
+    svc = cluster4.broker
+    a = svc.submit("n00", ["rsh", "anylinux", "compute", "3"], uid="u")
+    b = svc.submit("n01", ["rsh", "anylinux", "compute", "3"], uid="u")
+    cluster4.env.run(
+        until=cluster4.env.all_of([a.proc.terminated, b.proc.terminated])
+    )
+    assert a.exit_code == 0 and b.exit_code == 0
+    # They got distinct machines.
+    grants = svc.events_of("grant")
+    assert len({e["host"] for e in grants}) == 2
+    cluster4.assert_no_crashes()
+
+
+def test_resubmission_after_job_completes(cluster4):
+    svc = cluster4.broker
+    for _ in range(3):
+        handle = svc.submit("n00", ["rsh", "anylinux", "null"])
+        assert handle.wait() == 0
+        cluster4.env.run(until=cluster4.now + 0.5)
+    assert svc.holdings() == {}
+    assert len(svc.events_of("job_done")) == 3

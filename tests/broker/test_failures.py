@@ -1,0 +1,172 @@
+"""Failure injection: components die at awkward moments.
+
+The paper's §2 design goal: the broker "doesn't compromise the security of
+the network ... even if it malfunctions", and its use is optional.  These
+tests pin the corresponding behaviours: jobs outlive the broker; machines
+are reclaimed when monitoring pieces die; nothing crashes.
+"""
+
+import pytest
+
+from repro.os.signals import SIGKILL
+from tests.broker.conftest import install_greedy
+
+
+def test_job_survives_broker_death(cluster4):
+    svc = cluster4.broker
+    install_greedy(cluster4)
+    handle = svc.submit("n00", ["greedy", "2"], rsl="+(adaptive)")
+    cluster4.env.run(until=cluster4.now + 5.0)
+    job = handle.job_record()
+    assert len(svc.holdings()[job.jobid]) == 2
+
+    svc.broker_proc.signal(SIGKILL)
+    cluster4.env.run(until=cluster4.now + 10.0)
+
+    # The job and its workers keep running, unmanaged.
+    assert handle.proc.is_alive
+    workers = [
+        p
+        for m in cluster4.machines.values()
+        for p in m.procs.values()
+        if p.argv[0] == "gracespin"
+    ]
+    assert len(workers) == 2
+    cluster4.assert_no_crashes()
+
+
+def test_app_death_reclaims_remote_machines(cluster4):
+    svc = cluster4.broker
+    install_greedy(cluster4)
+    handle = svc.submit("n00", ["greedy", "2"], rsl="+(adaptive)")
+    cluster4.env.run(until=cluster4.now + 5.0)
+
+    handle.proc.signal(SIGKILL)
+    cluster4.env.run(until=cluster4.now + 10.0)
+
+    # The subapps saw their app connection drop and killed the workers: no
+    # guest computation is left on any *remote* machine.  (The job's local
+    # master survives as an orphan — SIGKILL to the app cannot clean up its
+    # children, exactly as on real Unix.)
+    leftovers = [
+        p
+        for m in cluster4.machines.values()
+        for p in m.procs.values()
+        if p.argv[0] in ("gracespin", "subapp")
+    ]
+    assert leftovers == []
+    # The broker freed the allocations on app-connection EOF.
+    assert svc.holdings() == {}
+    cluster4.assert_no_crashes()
+
+
+def test_subapp_death_releases_machine(cluster4):
+    svc = cluster4.broker
+    install_greedy(cluster4)
+    handle = svc.submit("n00", ["greedy", "1"], rsl="+(adaptive)")
+    cluster4.env.run(until=cluster4.now + 5.0)
+    job = handle.job_record()
+    (held,) = svc.holdings()[job.jobid]
+
+    subapps = [
+        p
+        for p in cluster4.machine(held).procs.values()
+        if p.argv[0] == "subapp"
+    ]
+    assert len(subapps) == 1
+    subapps[0].signal(SIGKILL)
+    cluster4.env.run(until=cluster4.now + 5.0)
+
+    # The app reported the machine released... and the adaptive job's grow
+    # loop immediately re-acquired a replacement.
+    releases = svc.events_of("released")
+    assert any(e["host"] == held for e in releases)
+    assert len(svc.holdings().get(job.jobid, [])) == 1
+    cluster4.assert_no_crashes()
+
+
+def test_worker_killed_by_machine_user_is_replaced(cluster4):
+    """Someone on the machine kills the guest computation: the broker's
+    bookkeeping stays consistent and the adaptive job recovers."""
+    svc = cluster4.broker
+    install_greedy(cluster4)
+    handle = svc.submit("n00", ["greedy", "3"], rsl="+(adaptive)")
+    cluster4.env.run(until=cluster4.now + 5.0)
+    job = handle.job_record()
+    before = svc.holdings()[job.jobid]
+    assert len(before) == 3
+
+    victim_host = before[0]
+    workers = [
+        p
+        for p in cluster4.machine(victim_host).procs.values()
+        if p.argv[0] == "gracespin"
+    ]
+    workers[0].signal(SIGKILL)
+    cluster4.env.run(until=cluster4.now + 8.0)
+
+    after = svc.holdings()[job.jobid]
+    assert len(after) == 3
+    cluster4.assert_no_crashes()
+
+
+def test_revoke_races_with_natural_worker_exit(cluster4):
+    """A machine is revoked in the same breath as its job finishing: the
+    broker must not deadlock or double-allocate."""
+    svc = cluster4.broker
+
+    @cluster4.system_bin.register("brief")
+    def brief(proc):
+        yield proc.compute(3.0)
+        return 0
+
+    @cluster4.system_bin.register("briefmaster")
+    def briefmaster(proc):
+        child = proc.spawn(["rsh", "anylinux", "brief"])
+        yield proc.wait(child)
+        yield proc.sleep(30.0)
+
+    handle = svc.submit("n00", ["briefmaster"], rsl="+(adaptive)")
+    cluster4.env.run(until=cluster4.now + 2.0)
+
+    @cluster4.system_bin.register("hold")
+    def hold(proc):
+        yield proc.sleep(50.0)
+
+    # Firm jobs demand all machines right as `brief` is about to finish.
+    rigid = [
+        svc.submit("n00", ["rsh", "anylinux", "hold"]) for _ in range(3)
+    ]
+    cluster4.env.run(until=cluster4.now + 20.0)
+    holdings = svc.holdings()
+    rigid_jobs = [h.job_record() for h in rigid]
+    assert all(j is not None for j in rigid_jobs)
+    total = sum(len(v) for v in holdings.values())
+    assert total == 3
+    # No machine double-booked.
+    all_hosts = [h for hosts in holdings.values() for h in hosts]
+    assert len(all_hosts) == len(set(all_hosts))
+    cluster4.assert_no_crashes()
+
+
+def test_daemon_death_does_not_disturb_running_job(cluster4):
+    svc = cluster4.broker
+    install_greedy(cluster4)
+    handle = svc.submit("n00", ["greedy", "2"], rsl="+(adaptive)")
+    cluster4.env.run(until=cluster4.now + 5.0)
+    job = handle.job_record()
+
+    for host in ("n01", "n02"):
+        daemons = [
+            p
+            for p in cluster4.machine(host).procs.values()
+            if p.argv[0] == "rbdaemon"
+        ]
+        for d in daemons:
+            d.signal(SIGKILL)
+    cluster4.env.run(until=cluster4.now + 10.0)
+
+    # Daemons restarted; allocations untouched; workers still running.
+    assert len(svc.holdings()[job.jobid]) == 2
+    assert len(svc.events_of("daemon_restart")) == 2
+    cluster4.assert_no_crashes()

@@ -1,0 +1,88 @@
+"""Integration tests: the external-module mechanism end to end."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, MachineSpec
+
+
+@pytest.fixture
+def mixed():
+    spec = ClusterSpec(
+        machines=[
+            MachineSpec(name="n00"),
+            MachineSpec(name="n01"),
+            MachineSpec(name="p00", private_owner="ann"),
+        ]
+    )
+    cluster = Cluster(spec)
+    cluster.start_broker()
+    cluster.broker.wait_ready()
+    return cluster
+
+
+def slave_pvmds(cluster):
+    return [
+        p
+        for m in cluster.machines.values()
+        for p in m.procs.values()
+        if p.argv[0] == "pvmd" and "-slave" in p.argv
+    ]
+
+
+def test_pvm_grows_to_private_machine_then_shrinks_on_owner_return(mixed):
+    svc = mixed.broker
+    job = svc.submit("n00", ["pvm"], rsl='+(module="pvm")', uid="pat")
+    mixed.env.run(until=mixed.now + 3.0)
+
+    # Ask for two broker-chosen machines (the console tolerates the phase-I
+    # failures; phase II adds both asynchronously).
+    add = mixed.run_command(
+        "n00", ["pvm", "add", "anylinux", "anylinux"], uid="pat"
+    )
+    mixed.env.run(until=add.terminated)
+    mixed.env.run(until=mixed.now + 15.0)
+
+    record = job.job_record()
+    holdings = svc.holdings()[record.jobid]
+    assert set(holdings) == {"n01", "p00"}
+    assert {p.machine.name for p in slave_pvmds(mixed)} == {"n01", "p00"}
+
+    # Ann returns to her machine: the broker must take p00 back through the
+    # job's own shrink module (a graceful PVM delete, not a kill).
+    mixed.machine("p00").console_active = True
+    mixed.env.run(until=mixed.now + 20.0)
+
+    assert svc.holdings()[record.jobid] == ["n01"]
+    assert {p.machine.name for p in slave_pvmds(mixed)} == {"n01"}
+    # The slave exited voluntarily (exit code 0 via console delete), so the
+    # machine release was graceful: no SIGKILL involved.
+    reclaims = svc.events_of("owner_reclaim")
+    assert reclaims and reclaims[0]["host"] == "p00"
+    mixed.assert_no_crashes()
+
+
+def test_module_grow_failure_releases_machine(mixed):
+    """If the job never consumes a granted machine, the app returns it."""
+    svc = mixed.broker
+    # A module job whose module scripts exist but whose runtime will treat
+    # the add as a no-op: boot PVM, pre-add n01 explicitly, then request
+    # anylinux while n01 is the only public candidate.
+    job = svc.submit("n00", ["pvm"], rsl='+(module="pvm")', uid="pat")
+    mixed.env.run(until=mixed.now + 3.0)
+    add = mixed.run_command("n00", ["pvm", "add", "n01"], uid="pat")
+    mixed.env.run(until=add.terminated)
+    assert add.exit_code == 0
+
+    # Now ask for a broker-chosen machine; the broker picks p00 (n01 is
+    # running a pvmd but is unallocated and idle-looking... whichever it
+    # picks, if it picks n01 the console says "already" and the app must
+    # release the grant rather than leak it).
+    add2 = mixed.run_command("n00", ["pvm", "add", "anylinux"], uid="pat")
+    mixed.env.run(until=add2.terminated)
+    mixed.env.run(until=mixed.now + 15.0)
+    record = job.job_record()
+    holdings = svc.holdings().get(record.jobid, [])
+    slaves = {p.machine.name for p in slave_pvmds(mixed)}
+    # Invariant: every held machine actually runs a slave pvmd.
+    assert set(holdings) <= slaves
+    mixed.assert_no_crashes()

@@ -1,0 +1,145 @@
+"""Integration tests: rbstat / rbctl user tools and the start_script hook."""
+
+import pytest
+
+from tests.broker.conftest import install_greedy
+
+
+def test_rbstat_writes_report(cluster4):
+    svc = cluster4.broker
+    install_greedy(cluster4)
+    svc.submit("n00", ["greedy", "2"], rsl="+(adaptive)", uid="alice")
+    cluster4.env.run(until=cluster4.now + 5.0)
+
+    stat = svc.run_rbstat(host="n01", uid="bob")
+    cluster4.env.run(until=stat.terminated)
+    assert stat.exit_code == 0
+    report = cluster4.machine("n01").fs.read("/home/bob/.rbstat")
+    assert "== machines ==" in report
+    assert "== jobs ==" in report
+    assert "user=alice" in report
+    assert "adaptive=True" in report
+    # Every managed machine appears.
+    for host in ("n00", "n01", "n02", "n03"):
+        assert host in report
+
+
+def test_rbstat_without_broker_env_fails(cluster4):
+    proc = cluster4.run_command("n00", ["rbstat"], uid="bob")
+    cluster4.env.run(until=proc.terminated)
+    assert proc.exit_code == 1
+
+
+def test_rbctl_halts_default_path_job(cluster4):
+    svc = cluster4.broker
+    install_greedy(cluster4)
+    handle = svc.submit("n00", ["greedy", "2"], rsl="+(adaptive)")
+    cluster4.env.run(until=cluster4.now + 5.0)
+    job = handle.job_record()
+    assert len(svc.holdings()[job.jobid]) == 2
+
+    ctl = svc.halt_job(job.jobid)
+    cluster4.env.run(until=ctl.terminated)
+    assert ctl.exit_code == 0
+    cluster4.env.run(until=cluster4.now + 10.0)
+    assert not handle.proc.is_alive
+    assert svc.holdings() == {}
+    # The workers are gone from the remote machines too.
+    remote_workers = [
+        p
+        for m in cluster4.machines.values()
+        for p in m.procs.values()
+        if p.argv[0] == "gracespin"
+    ]
+    assert remote_workers == []
+    assert job.done
+
+
+def test_rbctl_halts_module_job_via_halt_script(cluster4):
+    svc = cluster4.broker
+    handle = svc.submit("n00", ["pvm"], rsl='+(module="pvm")', uid="pat")
+    cluster4.env.run(until=cluster4.now + 3.0)
+    add = cluster4.run_command("n00", ["pvm", "add", "n02"], uid="pat")
+    cluster4.env.run(until=add.terminated)
+    job = handle.job_record()
+
+    ctl = svc.halt_job(job.jobid)
+    cluster4.env.run(until=ctl.terminated)
+    assert ctl.exit_code == 0
+    cluster4.env.run(until=cluster4.now + 15.0)
+    # pvm_halt took the whole virtual machine down, which ended the job.
+    assert not handle.proc.is_alive
+    pvmds = [
+        p
+        for m in cluster4.machines.values()
+        for p in m.procs.values()
+        if p.argv[0] == "pvmd"
+    ]
+    assert pvmds == []
+    cluster4.assert_no_crashes()
+
+
+def test_rbctl_unknown_job_fails(cluster4):
+    svc = cluster4.broker
+    ctl = svc.halt_job(999)
+    cluster4.env.run(until=ctl.terminated)
+    assert ctl.exit_code == 1
+
+
+def test_start_script_runs_before_job(cluster4):
+    svc = cluster4.broker
+    order = []
+
+    @cluster4.system_bin.register("setup")
+    def setup(proc):
+        order.append(("setup", proc.env.now))
+        proc.write_file("~/.hosts", "anylinux\n")
+        yield proc.sleep(1.0)
+        return 0
+
+    @cluster4.system_bin.register("mainjob")
+    def mainjob(proc):
+        order.append(("job", proc.env.now))
+        assert proc.file_exists("~/.hosts")
+        yield proc.sleep(0)
+        return 0
+
+    handle = svc.submit(
+        "n00", ["mainjob"], rsl='+(start_script="setup")', uid="s"
+    )
+    assert handle.wait() == 0
+    assert [name for name, _t in order] == ["setup", "job"]
+    assert order[1][1] > order[0][1] + 1.0
+
+
+def test_start_script_failure_aborts_job(cluster4):
+    svc = cluster4.broker
+    ran = []
+
+    @cluster4.system_bin.register("badsetup")
+    def badsetup(proc):
+        yield proc.sleep(0)
+        return 3
+
+    @cluster4.system_bin.register("neverjob")
+    def neverjob(proc):
+        ran.append(True)
+        yield proc.sleep(0)
+
+    handle = svc.submit(
+        "n00", ["neverjob"], rsl='+(start_script="badsetup")'
+    )
+    assert handle.wait() == 3
+    assert ran == []
+    # The broker learned the job is done.
+    cluster4.env.run(until=cluster4.now + 1.0)
+    job = handle.job_record()
+    assert job.done
+
+
+def test_missing_start_script_fails_submission(cluster4):
+    svc = cluster4.broker
+    handle = svc.submit(
+        "n00", ["null"], rsl='+(start_script="no-such-script")'
+    )
+    assert handle.wait() == 1

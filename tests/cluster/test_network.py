@@ -1,0 +1,242 @@
+"""Unit tests for the simulated LAN: connections, listeners, EOF semantics."""
+
+import pytest
+
+from repro.cluster.network import Network
+from repro.os import (
+    ConnectionClosed,
+    ConnectionRefused,
+    Machine,
+    NoSuchHost,
+    OSProcess,
+)
+from repro.os.programs import ProgramDirectory
+from repro.sim import Environment
+
+
+@pytest.fixture
+def rig():
+    env = Environment()
+    network = Network(env)
+    directory = ProgramDirectory("system")
+    for name in ("a", "b"):
+        machine = Machine(env, name)
+        machine.path = [directory]
+        network.add_machine(machine)
+    return env, network, directory
+
+
+def boot(network, host, argv, uid="user"):
+    return OSProcess(
+        network.machines[host], argv, uid=uid, environ={}, startup_delay=0.0
+    )
+
+
+def test_connect_and_exchange(rig):
+    env, network, directory = rig
+    log = []
+
+    @directory.register("server")
+    def server(proc):
+        listener = proc.listen(5000)
+        conn = yield listener.accept()
+        msg = yield conn.recv()
+        log.append(("server got", msg, env.now))
+        conn.send({"reply": msg["x"] + 1})
+        yield proc.sleep(1.0)
+
+    @directory.register("client")
+    def client(proc):
+        conn = yield proc.connect("a", 5000)
+        conn.send({"x": 41})
+        reply = yield conn.recv()
+        log.append(("client got", reply, env.now))
+
+    boot(network, "a", ["server"])
+    boot(network, "b", ["client"])
+    env.run()
+    assert log[0][0] == "server got" and log[0][1] == {"x": 41}
+    assert log[1][0] == "client got" and log[1][1] == {"reply": 42}
+    # Each hop costs one network latency.
+    assert log[1][2] > log[0][2] > 0
+
+
+def test_connect_refused_when_nothing_listens(rig):
+    env, network, directory = rig
+    outcome = {}
+
+    @directory.register("client")
+    def client(proc):
+        try:
+            yield proc.connect("a", 9999)
+        except ConnectionRefused:
+            outcome["refused"] = True
+
+    boot(network, "b", ["client"])
+    env.run()
+    assert outcome == {"refused": True}
+
+
+def test_connect_unknown_host(rig):
+    env, network, directory = rig
+    outcome = {}
+
+    @directory.register("client")
+    def client(proc):
+        try:
+            yield proc.connect("zz", 1)
+        except NoSuchHost:
+            outcome["nohost"] = True
+
+    boot(network, "b", ["client"])
+    env.run()
+    assert outcome == {"nohost": True}
+
+
+def test_duplicate_listen_port_refused(rig):
+    env, network, directory = rig
+    outcome = {}
+
+    @directory.register("server")
+    def server(proc):
+        proc.listen(700)
+        try:
+            proc.listen(700)
+        except ConnectionRefused:
+            outcome["dup"] = True
+        yield proc.sleep(0)
+
+    boot(network, "a", ["server"])
+    env.run()
+    assert outcome == {"dup": True}
+
+
+def test_close_delivers_eof(rig):
+    env, network, directory = rig
+    outcome = {}
+
+    @directory.register("server")
+    def server(proc):
+        listener = proc.listen(5000)
+        conn = yield listener.accept()
+        conn.close()
+        yield proc.sleep(1.0)
+
+    @directory.register("client")
+    def client(proc):
+        conn = yield proc.connect("a", 5000)
+        try:
+            yield conn.recv()
+        except ConnectionClosed:
+            outcome["eof"] = env.now
+        # subsequent receives keep failing
+        try:
+            yield conn.recv()
+        except ConnectionClosed:
+            outcome["eof2"] = True
+
+    boot(network, "a", ["server"])
+    boot(network, "b", ["client"])
+    env.run()
+    assert "eof" in outcome and outcome["eof2"] is True
+
+
+def test_send_after_close_raises(rig):
+    env, network, directory = rig
+    outcome = {}
+
+    @directory.register("server")
+    def server(proc):
+        listener = proc.listen(5000)
+        conn = yield listener.accept()
+        conn.close()
+        try:
+            conn.send("x")
+        except ConnectionClosed:
+            outcome["raised"] = True
+
+    @directory.register("client")
+    def client(proc):
+        yield proc.connect("a", 5000)
+
+    boot(network, "a", ["server"])
+    boot(network, "b", ["client"])
+    env.run()
+    assert outcome == {"raised": True}
+
+
+def test_messages_ordered(rig):
+    env, network, directory = rig
+    got = []
+
+    @directory.register("server")
+    def server(proc):
+        listener = proc.listen(5000)
+        conn = yield listener.accept()
+        for _ in range(5):
+            got.append((yield conn.recv()))
+
+    @directory.register("client")
+    def client(proc):
+        conn = yield proc.connect("a", 5000)
+        for i in range(5):
+            conn.send(i)
+        yield proc.sleep(1.0)
+
+    boot(network, "a", ["server"])
+    boot(network, "b", ["client"])
+    env.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_process_death_closes_its_sockets(rig):
+    env, network, directory = rig
+    outcome = {}
+
+    @directory.register("server")
+    def server(proc):
+        listener = proc.listen(5000)
+        conn = yield listener.accept()
+        yield conn.recv()  # never arrives; EOF on client death
+
+    @directory.register("client")
+    def client(proc):
+        yield proc.connect("a", 5000)
+        # exits immediately; its connection must be closed for us
+
+    srv = boot(network, "a", ["server"])
+    boot(network, "b", ["client"])
+    env.run()
+    # Server's recv failed with ConnectionClosed -> process crash recorded.
+    assert srv.status.value == "crashed"
+    assert isinstance(srv.exception, ConnectionClosed)
+
+
+def test_listener_close_frees_port(rig):
+    env, network, directory = rig
+
+    @directory.register("server")
+    def server(proc):
+        listener = proc.listen(5000)
+        listener.close()
+        proc.listen(5000)  # port is free again
+        yield proc.sleep(0)
+        return 0
+
+    p = boot(network, "a", ["server"])
+    env.run()
+    assert p.exit_code == 0
+
+
+def test_ephemeral_ports_unique(rig):
+    env, network, directory = rig
+    a = network.machines["a"]
+    p1 = network.ephemeral_port(a)
+    p2 = network.ephemeral_port(a)
+    assert p1 != p2 and p2 == p1 + 1
+
+
+def test_duplicate_machine_name_rejected(rig):
+    env, network, directory = rig
+    with pytest.raises(ValueError):
+        network.add_machine(Machine(env, "a"))

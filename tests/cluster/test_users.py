@@ -1,0 +1,91 @@
+"""Unit tests for the owner-activity generator."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, MachineSpec, OwnerActivity
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(
+        ClusterSpec(
+            machines=[
+                MachineSpec(name="lab"),
+                MachineSpec(name="ws", private_owner="ann"),
+            ],
+            seed=3,
+        )
+    )
+
+
+def test_requires_an_owner(cluster):
+    with pytest.raises(ValueError):
+        OwnerActivity(cluster.machine("lab"))
+
+
+def test_alternates_presence(cluster):
+    activity = cluster.add_owner_activity(
+        "ws", mean_away=100.0, mean_present=50.0
+    )
+    machine = cluster.machine("ws")
+    assert machine.console_active is False
+    # Run long enough for several sessions.
+    cluster.env.run(until=3000.0)
+    assert len(activity.sessions) >= 3
+    for session in activity.sessions[:-1]:
+        assert session.end is not None
+        assert session.end > session.start
+
+
+def test_initially_present(cluster):
+    activity = cluster.add_owner_activity(
+        "ws", mean_away=100.0, mean_present=50.0, initially_present=True
+    )
+    machine = cluster.machine("ws")
+    assert machine.console_active is True
+    assert "ann" in machine.logged_in
+    assert activity.sessions[0].start == 0.0
+
+
+def test_console_state_tracks_sessions(cluster):
+    activity = cluster.add_owner_activity(
+        "ws", mean_away=60.0, mean_present=60.0
+    )
+    machine = cluster.machine("ws")
+    observations = []
+
+    def sampler():
+        while True:
+            yield cluster.env.timeout(5.0)
+            observations.append(machine.console_active)
+
+    cluster.env.process(sampler())
+    cluster.env.run(until=2000.0)
+    assert True in observations and False in observations
+
+
+def test_stop_halts_generator(cluster):
+    activity = cluster.add_owner_activity(
+        "ws", mean_away=10.0, mean_present=10.0
+    )
+    cluster.env.run(until=100.0)
+    count = len(activity.sessions)
+    activity.stop()
+    cluster.env.run(until=1000.0)
+    assert len(activity.sessions) == count
+
+
+def test_sessions_deterministic_per_seed():
+    def starts(seed):
+        c = Cluster(
+            ClusterSpec(
+                machines=[MachineSpec(name="ws", private_owner="a")],
+                seed=seed,
+            )
+        )
+        act = c.add_owner_activity("ws", mean_away=50.0, mean_present=20.0)
+        c.env.run(until=1000.0)
+        return [s.start for s in act.sessions]
+
+    assert starts(7) == starts(7)
+    assert starts(7) != starts(8)

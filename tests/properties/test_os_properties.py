@@ -1,0 +1,125 @@
+"""Property-based tests for the simulated OS and network."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.network import Network
+from repro.os import Machine, OSProcess, SIGKILL, SIGTERM
+from repro.os.programs import ProgramDirectory
+from repro.sim import Environment
+
+
+def _rig():
+    env = Environment()
+    network = Network(env)
+    directory = ProgramDirectory("system")
+    for name in ("a", "b"):
+        machine = Machine(env, name)
+        machine.path = [directory]
+        network.add_machine(machine)
+    return env, network, directory
+
+
+@given(messages=st.lists(st.integers(), min_size=0, max_size=40))
+@settings(deadline=None)
+def test_connection_preserves_order_and_content(messages):
+    env, network, directory = _rig()
+    received = []
+
+    @directory.register("server")
+    def server(proc):
+        listener = proc.listen(9000)
+        conn = yield listener.accept()
+        for _ in messages:
+            received.append((yield conn.recv()))
+
+    @directory.register("client")
+    def client(proc):
+        conn = yield proc.connect("a", 9000)
+        for message in messages:
+            conn.send(message)
+        yield proc.sleep(1.0)
+
+    OSProcess(network.machines["a"], ["server"], uid="u", startup_delay=0.0)
+    OSProcess(network.machines["b"], ["client"], uid="u", startup_delay=0.0)
+    env.run()
+    assert received == messages
+
+
+@given(
+    tree=st.recursive(
+        st.just([]),
+        lambda children: st.lists(children, min_size=1, max_size=3),
+        max_leaves=8,
+    ),
+    kill_kind=st.sampled_from([SIGKILL, SIGTERM]),
+)
+@settings(deadline=None)
+def test_kill_tree_terminates_every_descendant(tree, kill_kind):
+    """Random process trees: kill_tree leaves no survivor and empties the
+    machine's process table of the whole family."""
+    env, network, directory = _rig()
+    spawned = []
+
+    @directory.register("node")
+    def node(proc):
+        depth_key = proc.environ.get("SHAPE", "")
+        shape = SHAPES[depth_key]
+        spawned.append(proc)
+        for index, child_shape in enumerate(shape):
+            key = f"{depth_key}.{index}"
+            SHAPES[key] = child_shape
+            proc.spawn(["node"], environ={"SHAPE": key})
+        yield proc.sleep(1000.0)
+
+    SHAPES = {"": tree}
+    root = OSProcess(
+        network.machines["a"],
+        ["node"],
+        uid="u",
+        environ={"SHAPE": ""},
+        startup_delay=0.0,
+    )
+    env.run(until=5.0)
+
+    def count_nodes(shape):
+        return 1 + sum(count_nodes(child) for child in shape)
+
+    assert len(spawned) == count_nodes(tree)
+    killed = root.kill_tree(kill_kind)
+    assert killed == len(spawned)
+    env.run(until=10.0)
+    assert all(not p.is_alive for p in spawned)
+    assert all(p.pid not in network.machines["a"].procs for p in spawned)
+
+
+@given(
+    n_procs=st.integers(min_value=1, max_value=10),
+    kill_at=st.floats(min_value=0.1, max_value=3.0, allow_nan=False),
+)
+@settings(deadline=None)
+def test_cpu_load_consistent_after_random_kills(n_procs, kill_at):
+    """However many compute processes we kill, the CPU's task count equals
+    the number of still-alive compute processes."""
+    env, network, directory = _rig()
+
+    @directory.register("burn")
+    def burn(proc):
+        yield proc.compute(100.0)
+
+    machine = network.machines["a"]
+    procs = [
+        OSProcess(machine, ["burn"], uid="u", startup_delay=0.0)
+        for _ in range(n_procs)
+    ]
+
+    def killer():
+        yield env.timeout(kill_at)
+        for victim in procs[:: 2]:
+            if victim.is_alive:
+                victim.signal(SIGKILL)
+
+    env.process(killer())
+    env.run(until=kill_at + 1.0)
+    alive = sum(1 for p in procs if p.is_alive)
+    assert machine.cpu.load == alive

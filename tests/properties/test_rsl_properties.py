@@ -1,0 +1,80 @@
+"""Property-based tests for the RSL parser and symbolic name matching."""
+
+import string
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rsl import parse_rsl, symbolic_matches
+from repro.rsl.parser import Clause, RSLRequest
+
+_attr = st.text(
+    alphabet=string.ascii_lowercase + "_", min_size=1, max_size=12
+).filter(lambda s: not s[0].isdigit())
+
+_str_value = st.text(
+    alphabet=string.ascii_letters + string.digits + "._-",
+    min_size=0,
+    max_size=12,
+)
+
+_value = st.one_of(
+    st.integers(min_value=-(10**6), max_value=10**6), _str_value
+)
+
+_op = st.sampled_from(["=", "!=", ">=", "<=", ">", "<"])
+
+
+@st.composite
+def clauses(draw):
+    attr = draw(_attr)
+    if draw(st.booleans()):
+        return Clause(attr, "flag", True)
+    return Clause(attr, draw(_op), draw(_value))
+
+
+@given(st.lists(clauses(), min_size=0, max_size=8))
+def test_parse_roundtrip(clause_list):
+    """str(parse(x)) == str(parse(str(parse(x)))) — rendering is canonical."""
+    request = RSLRequest(clauses=clause_list)
+    text = str(request)
+    reparsed = parse_rsl(text)
+    assert str(reparsed) == text
+    assert len(reparsed.clauses) == len(clause_list)
+    for original, parsed in zip(clause_list, reparsed.clauses):
+        assert parsed.attr == original.attr
+        assert parsed.op == original.op
+        assert parsed.value == original.value
+
+
+@given(st.lists(clauses(), min_size=0, max_size=8))
+def test_parse_is_idempotent_on_semantics(clause_list):
+    request = RSLRequest(clauses=clause_list)
+    reparsed = parse_rsl(str(request))
+    assert reparsed.count_min == request.count_min
+    assert reparsed.module == request.module
+    assert reparsed.adaptive == request.adaptive
+
+
+@given(
+    platform=st.text(
+        alphabet=string.ascii_lowercase + string.digits, min_size=0, max_size=16
+    )
+)
+def test_anyhost_matches_everything(platform):
+    assert symbolic_matches("anyhost", {"platform": platform})
+    assert symbolic_matches("any", {"platform": platform})
+
+
+@given(
+    suffix=st.text(
+        alphabet=string.ascii_lowercase, min_size=1, max_size=8
+    ),
+    platform=st.text(
+        alphabet=string.ascii_lowercase + string.digits, min_size=0, max_size=16
+    ),
+)
+def test_symbolic_match_is_substring_semantics(suffix, platform):
+    name = "any" + suffix
+    expected = suffix in platform
+    assert symbolic_matches(name, {"platform": platform}) == expected

@@ -1,0 +1,110 @@
+"""Model-based property tests for the PLinda tuple space."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+from repro.systems.plinda.space import TupleSpace, tuple_matches
+
+_tuples = st.tuples(
+    st.sampled_from(["task", "result", "cfg"]),
+    st.integers(min_value=0, max_value=5),
+)
+
+
+@given(pattern=_tuples, candidate=_tuples)
+def test_match_reflexive_and_exact(pattern, candidate):
+    assert tuple_matches(candidate, candidate)
+    assert tuple_matches(pattern, candidate) == (pattern == candidate)
+
+
+@given(candidate=_tuples)
+def test_wildcards_weaken_monotonically(candidate):
+    assert tuple_matches((candidate[0], None), candidate)
+    assert tuple_matches((None, candidate[1]), candidate)
+    assert tuple_matches((None, None), candidate)
+
+
+@given(
+    outs=st.lists(_tuples, min_size=0, max_size=20),
+    n_takes=st.integers(min_value=0, max_value=20),
+)
+@settings(deadline=None)
+def test_abort_restores_exact_multiset(outs, n_takes):
+    """out N tuples, take up to n under one transaction, abort: the space
+    holds exactly the original multiset again."""
+    env = Environment()
+    space = TupleSpace(env)
+    for tup in outs:
+        space.out(tup)
+    space.begin(1)
+    taken = []
+
+    def taker():
+        for _ in range(min(n_takes, len(outs))):
+            tup = yield space.take((None, None), txn_id=1)
+            taken.append(tup)
+
+    env.process(taker())
+    env.run()
+    assert Counter(taken) + Counter(space._store.items) == Counter(outs)
+    space.abort(1)
+    assert Counter(space._store.items) == Counter(outs)
+
+
+@given(
+    outs=st.lists(_tuples, min_size=1, max_size=20),
+    n_takes=st.integers(min_value=1, max_value=20),
+)
+@settings(deadline=None)
+def test_commit_makes_takes_permanent(outs, n_takes):
+    env = Environment()
+    space = TupleSpace(env)
+    for tup in outs:
+        space.out(tup)
+    space.begin(1)
+    k = min(n_takes, len(outs))
+
+    def taker():
+        for _ in range(k):
+            yield space.take((None, None), txn_id=1)
+
+    env.process(taker())
+    env.run()
+    space.commit(1)
+    space.abort(1)  # must be a no-op after commit
+    assert len(space) == len(outs) - k
+
+
+@given(outs=st.lists(_tuples, min_size=0, max_size=15))
+def test_read_preserves_contents(outs):
+    env = Environment()
+    space = TupleSpace(env)
+    for tup in outs:
+        space.out(tup)
+
+    def reader():
+        for _ in range(len(outs)):
+            yield space.read((None, None))
+
+    env.process(reader())
+    env.run()
+    assert Counter(space._store.items) == Counter(outs)
+
+
+@given(
+    outs=st.lists(_tuples, min_size=0, max_size=15),
+    pattern=st.tuples(
+        st.one_of(st.none(), st.sampled_from(["task", "result", "cfg"])),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=5)),
+    ),
+)
+def test_count_agrees_with_matching(outs, pattern):
+    env = Environment()
+    space = TupleSpace(env)
+    for tup in outs:
+        space.out(tup)
+    expected = sum(1 for t in outs if tuple_matches(pattern, t))
+    assert space.count(pattern) == expected

@@ -1,0 +1,122 @@
+"""Integration tests for rsh/rshd over the simulated cluster."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(ClusterSpec.uniform(3))
+
+
+def run_to_exit(cluster, proc):
+    cluster.env.run(until=proc.terminated)
+    return proc.exit_code
+
+
+def test_rsh_runs_null_remotely(cluster):
+    proc = cluster.run_command("n00", ["rsh", "n01", "null"])
+    code = run_to_exit(cluster, proc)
+    assert code == 0
+    # Paper Table 1: "rsh n01 null" completes in ~0.3 s.
+    assert 0.25 <= cluster.now <= 0.40
+    cluster.assert_no_crashes()
+
+
+def test_rsh_loop_takes_loop_time(cluster):
+    proc = cluster.run_command("n00", ["rsh", "n01", "loop"])
+    run_to_exit(cluster, proc)
+    # Paper Table 1: "rsh n01 loop" ~ rsh overhead + 6.5 s.
+    expected = cluster.calibration.loop_work
+    assert expected + 0.25 <= cluster.now <= expected + 0.45
+
+
+def test_rsh_remote_process_runs_on_target(cluster):
+    seen = {}
+
+    @cluster.system_bin.register("whereami")
+    def whereami(proc):
+        seen["host"] = proc.machine.name
+        seen["uid"] = proc.uid
+        yield proc.sleep(0)
+
+    proc = cluster.run_command("n00", ["rsh", "n02", "whereami"], uid="carol")
+    run_to_exit(cluster, proc)
+    assert seen == {"host": "n02", "uid": "carol"}
+
+
+def test_rsh_unknown_host_fails(cluster):
+    proc = cluster.run_command("n00", ["rsh", "anylinux", "null"])
+    assert run_to_exit(cluster, proc) == 1
+
+
+def test_rsh_unknown_command_fails(cluster):
+    proc = cluster.run_command("n00", ["rsh", "n01", "no-such-cmd"])
+    assert run_to_exit(cluster, proc) == 1
+
+
+def test_rsh_propagates_remote_failure(cluster):
+    @cluster.system_bin.register("failing")
+    def failing(proc):
+        yield proc.sleep(0)
+        return 2
+
+    proc = cluster.run_command("n00", ["rsh", "n01", "failing"])
+    assert run_to_exit(cluster, proc) == 1  # rsh collapses to 0/1
+
+
+def test_rsh_missing_args(cluster):
+    proc = cluster.run_command("n00", ["rsh", "n01"])
+    assert run_to_exit(cluster, proc) == 1
+
+
+def test_rsh_blocks_until_remote_exit(cluster):
+    @cluster.system_bin.register("slow")
+    def slow(proc):
+        yield proc.sleep(5.0)
+
+    proc = cluster.run_command("n00", ["rsh", "n01", "slow"])
+    run_to_exit(cluster, proc)
+    assert cluster.now > 5.0
+
+
+def test_rsh_returns_early_for_daemonizing_command(cluster):
+    @cluster.system_bin.register("daemon-prog")
+    def daemon_prog(proc):
+        yield proc.sleep(0.1)
+        proc.daemonize()
+        yield proc.sleep(60.0)  # keeps running in background
+
+    proc = cluster.run_command("n00", ["rsh", "n01", "daemon-prog"])
+    code = run_to_exit(cluster, proc)
+    assert code == 0
+    assert cluster.now < 5.0  # rsh returned long before the daemon exits
+    # The daemon is still alive on n01.
+    assert any(
+        p.argv[0] == "daemon-prog" for p in cluster.machine("n01").procs.values()
+    )
+
+
+def test_concurrent_rsh_to_same_host(cluster):
+    procs = [
+        cluster.run_command("n00", ["rsh", "n01", "null"]) for _ in range(4)
+    ]
+    cluster.env.run(until=cluster.env.all_of([p.terminated for p in procs]))
+    assert all(p.exit_code == 0 for p in procs)
+    cluster.assert_no_crashes()
+
+
+def test_remote_uid_is_requesting_user(cluster):
+    """rshd must run the command as the requesting user, so the user's other
+    processes can signal it (the property the app layer depends on)."""
+    seen = {}
+
+    @cluster.system_bin.register("id")
+    def id_prog(proc):
+        seen["uid"] = proc.uid
+        yield proc.sleep(0)
+
+    proc = cluster.run_command("n00", ["rsh", "n01", "id"], uid="dave")
+    run_to_exit(cluster, proc)
+    assert seen["uid"] == "dave"

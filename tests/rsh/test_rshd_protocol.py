@@ -1,0 +1,82 @@
+"""rshd wire-protocol edge cases (malformed and hostile clients)."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, ports
+from repro.os.errors import ConnectionClosed
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(ClusterSpec.uniform(2))
+
+
+def talk_to_rshd(cluster, request):
+    """Open a raw connection to n01's rshd, send ``request``, record replies."""
+    replies = []
+
+    @cluster.system_bin.register("prober")
+    def prober(proc):
+        conn = yield proc.connect("n01", ports.RSHD)
+        if request is not None:
+            conn.send(request)
+        try:
+            while True:
+                replies.append((yield conn.recv()))
+        except ConnectionClosed:
+            pass
+        return 0
+
+    proc = cluster.run_command("n00", ["prober"])
+    cluster.env.run(until=proc.terminated)
+    return replies
+
+
+def test_malformed_request_rejected(cluster):
+    replies = talk_to_rshd(cluster, {"type": "what"})
+    assert replies == [{"type": "error", "message": "bad request {'type': 'what'}"}]
+
+
+def test_non_dict_request_rejected(cluster):
+    replies = talk_to_rshd(cluster, "garbage")
+    assert replies[0]["type"] == "error"
+
+
+def test_empty_command_rejected(cluster):
+    replies = talk_to_rshd(
+        cluster, {"type": "exec", "user": "u", "argv": [], "block": True}
+    )
+    assert replies == [{"type": "error", "message": "empty command"}]
+
+
+def test_client_hangup_before_request_tolerated(cluster):
+    @cluster.system_bin.register("hangup")
+    def hangup(proc):
+        conn = yield proc.connect("n01", ports.RSHD)
+        conn.close()
+        return 0
+
+    proc = cluster.run_command("n00", ["hangup"])
+    cluster.env.run(until=proc.terminated)
+    cluster.env.run(until=cluster.now + 1.0)
+    # rshd survives and still serves.
+    ok = cluster.run_command("n00", ["rsh", "n01", "null"])
+    cluster.env.run(until=ok.terminated)
+    assert ok.exit_code == 0
+    cluster.assert_no_crashes()
+
+
+def test_nonblocking_exec_returns_immediately(cluster):
+    replies = talk_to_rshd(
+        cluster,
+        {"type": "exec", "user": "u", "argv": ["loop"], "block": False},
+    )
+    # Only the "started" message; rshd closed without waiting for exit.
+    assert [r["type"] for r in replies] == ["started"]
+
+
+def test_compute_program_bad_args(cluster):
+    for argv in (["compute"], ["compute", "not-a-number"]):
+        proc = cluster.run_command("n00", argv)
+        cluster.env.run(until=proc.terminated)
+        assert proc.exit_code == 1

@@ -1,0 +1,119 @@
+"""Unit tests for the RSL parser and symbolic host names."""
+
+import pytest
+
+from repro.rsl import (
+    RSLError,
+    is_symbolic_hostname,
+    parse_rsl,
+    symbolic_matches,
+)
+
+
+def test_paper_example():
+    req = parse_rsl('+(count>=4)(arch="i686linux")(module="pvm")')
+    assert req.count_min == 4
+    assert req.arch == "i686linux"
+    assert req.module == "pvm"
+    assert req.adaptive  # module implies adaptive
+
+
+def test_empty_spec():
+    req = parse_rsl("")
+    assert req.count_min == 1
+    assert req.module is None
+    assert not req.adaptive
+    assert req.matches_machine({"platform": "anything"})
+
+
+def test_flag_clause():
+    req = parse_rsl("+(adaptive)")
+    assert req.adaptive
+    assert req.module is None
+
+
+def test_adaptive_explicit_value():
+    assert parse_rsl("(adaptive=1)").adaptive
+    assert not parse_rsl("(adaptive=0)").adaptive
+
+
+def test_count_operators():
+    assert parse_rsl("(count>=3)").count_min == 3
+    assert parse_rsl("(count=2)").count_min == 2
+    assert parse_rsl("(count>2)").count_min == 3
+
+
+def test_start_script():
+    req = parse_rsl('(start_script="run.sh")')
+    assert req.start_script == "run.sh"
+
+
+def test_ampersand_prefix_accepted():
+    req = parse_rsl('&(count>=2)')
+    assert req.count_min == 2
+
+
+def test_whitespace_tolerated():
+    req = parse_rsl('+ ( count >= 4 ) ( arch = "i686linux" )')
+    assert req.count_min == 4
+    assert req.arch == "i686linux"
+
+
+def test_numeric_coercion():
+    req = parse_rsl("(mem>=128)")
+    clause = req.clauses[0]
+    assert clause.value == 128 and isinstance(clause.value, int)
+
+
+def test_garbage_rejected():
+    with pytest.raises(RSLError):
+        parse_rsl("(count>=")
+    with pytest.raises(RSLError):
+        parse_rsl("count>=4")
+
+
+def test_matches_machine_arch():
+    req = parse_rsl('(arch="i686linux")')
+    assert req.matches_machine({"platform": "i686linux"})
+    assert not req.matches_machine({"platform": "sparcsolaris"})
+
+
+def test_matches_machine_ignores_job_attrs():
+    req = parse_rsl('(count>=4)(module="pvm")(adaptive)')
+    assert req.matches_machine({"platform": "whatever"})
+
+
+def test_matches_machine_unknown_attr_verbatim():
+    req = parse_rsl('(kind="public")')
+    assert req.matches_machine({"kind": "public"})
+    assert not req.matches_machine({"kind": "private"})
+
+
+def test_round_trip_str():
+    text = '+(count>=4)(arch="i686linux")(module="pvm")'
+    req = parse_rsl(text)
+    assert str(req) == text
+
+
+def test_symbolic_hostnames():
+    assert is_symbolic_hostname("anyhost")
+    assert is_symbolic_hostname("anylinux")
+    assert is_symbolic_hostname("ANYLINUX")
+    assert not is_symbolic_hostname("n01")
+    assert not is_symbolic_hostname("germany")  # prefix, not substring
+
+
+def test_symbolic_match_any():
+    assert symbolic_matches("anyhost", {"platform": "sparcsolaris"})
+    assert symbolic_matches("any", {"platform": "x"})
+
+
+def test_symbolic_match_platform_substring():
+    assert symbolic_matches("anylinux", {"platform": "i686linux"})
+    assert not symbolic_matches("anylinux", {"platform": "sparcsolaris"})
+    assert symbolic_matches("anysolaris", {"platform": "sparcsolaris"})
+
+
+def test_symbolic_match_rejects_real_names():
+    with pytest.raises(ValueError):
+        symbolic_matches("n01", {})

@@ -1,0 +1,339 @@
+"""Unit tests for the DES kernel: events, processes, run loop."""
+
+import pytest
+
+from repro.sim import Environment, Event, Interrupt, Timeout
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    env.process(_sleep(env, 3.5))
+    env.run()
+    assert env.now == pytest.approx(3.5)
+
+
+def _sleep(env, delay):
+    yield env.timeout(delay)
+
+
+def test_timeout_carries_value():
+    env = Environment()
+
+    def proc():
+        value = yield env.timeout(1.0, value="hello")
+        return value
+
+    p = env.process(proc())
+    assert env.run(p) == "hello"
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+    env.process(_sleep(env, 100.0))
+    env.run(until=42.0)
+    assert env.now == 42.0
+
+
+def test_run_until_past_time_rejected():
+    env = Environment()
+    env.process(_sleep(env, 5.0))
+    env.run(until=5.0)
+    with pytest.raises(ValueError):
+        env.run(until=1.0)
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1)
+        return 17
+
+    assert env.run(env.process(proc())) == 17
+
+
+def test_processes_interleave_in_time_order():
+    env = Environment()
+    log = []
+
+    def worker(name, delay):
+        yield env.timeout(delay)
+        log.append((env.now, name))
+
+    env.process(worker("b", 2.0))
+    env.process(worker("a", 1.0))
+    env.process(worker("c", 3.0))
+    env.run()
+    assert log == [(1.0, "a"), (2.0, "b"), (3.0, "c")]
+
+
+def test_same_time_events_fifo_by_creation():
+    env = Environment()
+    log = []
+
+    def worker(name):
+        yield env.timeout(1.0)
+        log.append(name)
+
+    for name in "abcd":
+        env.process(worker(name))
+    env.run()
+    assert log == list("abcd")
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    gate = env.event()
+    log = []
+
+    def waiter():
+        value = yield gate
+        log.append((env.now, value))
+
+    def opener():
+        yield env.timeout(4.0)
+        gate.succeed("open")
+
+    env.process(waiter())
+    env.process(opener())
+    env.run()
+    assert log == [(4.0, "open")]
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    gate = env.event()
+
+    def waiter():
+        try:
+            yield gate
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    def failer():
+        yield env.timeout(1.0)
+        gate.fail(RuntimeError("boom"))
+
+    p = env.process(waiter())
+    env.process(failer())
+    assert env.run(p) == "caught boom"
+
+
+def test_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+    with pytest.raises(RuntimeError):
+        ev.fail(ValueError())
+
+
+def test_fail_with_non_exception_rejected():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_unhandled_process_exception_stops_run():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1.0)
+        raise ValueError("unhandled")
+
+    env.process(bad())
+    with pytest.raises(ValueError, match="unhandled"):
+        env.run()
+
+
+def test_waiting_on_finished_process_returns_its_value():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1.0)
+        return "done"
+
+    def parent(child_proc):
+        yield env.timeout(5.0)  # child finishes first
+        value = yield child_proc
+        return value
+
+    c = env.process(child())
+    p = env.process(parent(c))
+    assert env.run(p) == "done"
+
+
+def test_yield_non_event_is_a_type_error():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(TypeError, match="not an Event"):
+        env.run()
+
+
+def test_all_of_collects_values():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1.0, value="x")
+        t2 = env.timeout(2.0, value="y")
+        results = yield env.all_of([t1, t2])
+        return sorted(results.values())
+
+    p = env.process(proc())
+    assert env.run(p) == ["x", "y"]
+    assert env.now == 2.0
+
+
+def test_any_of_returns_first():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(5.0, value="slow")
+        t2 = env.timeout(1.0, value="fast")
+        results = yield env.any_of([t1, t2])
+        return list(results.values())
+
+    p = env.process(proc())
+    assert env.run(p) == ["fast"]
+    assert env.now == 1.0
+
+
+def test_and_or_operators():
+    env = Environment()
+
+    def proc():
+        both = yield env.timeout(1, value=1) & env.timeout(2, value=2)
+        either = yield env.timeout(1, value=3) | env.timeout(9, value=4)
+        return (sorted(both.values()), sorted(either.values()))
+
+    p = env.process(proc())
+    assert env.run(p) == ([1, 2], [3])
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+
+    def victim():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as intr:
+            return ("interrupted", intr.cause, env.now)
+
+    def attacker(target):
+        yield env.timeout(2.0)
+        target.interrupt("why")
+
+    v = env.process(victim())
+    env.process(attacker(v))
+    assert env.run(v) == ("interrupted", "why", 2.0)
+
+
+def test_interrupt_then_continue_waiting():
+    env = Environment()
+
+    def victim():
+        try:
+            yield env.timeout(10.0)
+        except Interrupt:
+            pass
+        yield env.timeout(1.0)  # keep going after the interrupt
+        return env.now
+
+    def attacker(target):
+        yield env.timeout(3.0)
+        target.interrupt()
+
+    v = env.process(victim())
+    env.process(attacker(v))
+    assert env.run(v) == 4.0
+
+
+def test_interrupt_dead_process_rejected():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    p = env.process(quick())
+    env.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_original_event_does_not_resume_interrupted_process():
+    """After an interrupt, the abandoned event must not wake the process."""
+    env = Environment()
+    wakeups = []
+
+    def victim():
+        try:
+            yield env.timeout(5.0)
+            wakeups.append("timeout")
+        except Interrupt:
+            wakeups.append("interrupt")
+        yield env.timeout(100.0)
+
+    def attacker(target):
+        yield env.timeout(1.0)
+        target.interrupt()
+
+    v = env.process(victim())
+    env.process(attacker(v))
+    env.run(until=50.0)
+    assert wakeups == ["interrupt"]
+
+
+def test_run_until_event():
+    env = Environment()
+    gate = env.event()
+
+    def opener():
+        yield env.timeout(7.0)
+        gate.succeed("v")
+
+    env.process(opener())
+    assert env.run(until=gate) == "v"
+    assert env.now == 7.0
+
+
+def test_run_drains_queue_when_no_until():
+    env = Environment()
+    env.process(_sleep(env, 1.0))
+    env.run()
+    assert env.peek() == float("inf")
+
+
+def test_rng_streams_are_reproducible():
+    a = Environment(seed=7)
+    b = Environment(seed=7)
+    assert a.rng.stream("x").random() == b.rng.stream("x").random()
+
+
+def test_rng_streams_are_independent_by_name():
+    env = Environment(seed=7)
+    x = env.rng.stream("x").random()
+    y = env.rng.stream("y").random()
+    assert x != y
+
+
+def test_rng_different_seeds_differ():
+    assert (
+        Environment(seed=1).rng.stream("x").random()
+        != Environment(seed=2).rng.stream("x").random()
+    )

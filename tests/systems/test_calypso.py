@@ -1,0 +1,103 @@
+"""Integration tests for the Calypso substrate."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.os.signals import SIGKILL, SIGTERM
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(ClusterSpec.uniform(4))
+
+
+def hostfile(cluster, host, uid, entries):
+    cluster.machine(host).fs.write(
+        f"/home/{uid}/.hosts", "".join(e + "\n" for e in entries)
+    )
+
+
+def workers_on(cluster, host):
+    return [
+        p
+        for p in cluster.machine(host).procs.values()
+        if p.argv[0] == "calypso_worker"
+    ]
+
+
+def test_completes_with_explicit_hosts(cluster):
+    hostfile(cluster, "n00", "user", ["n01", "n02"])
+    master = cluster.run_command("n00", ["calypso", "8", "1.0", "2"])
+    cluster.env.run(until=master.terminated)
+    assert master.exit_code == 0
+    # 8 steps of 1 CPU-second over 2 workers: ~4 s of compute plus startup.
+    assert 4.0 <= cluster.now <= 8.0
+    cluster.assert_no_crashes()
+
+
+def test_workers_placed_per_hostfile(cluster):
+    hostfile(cluster, "n00", "user", ["n01", "n02"])
+    master = cluster.run_command("n00", ["calypso", "50", "1.0", "2"])
+    cluster.env.run(until=cluster.now + 3.0)
+    assert len(workers_on(cluster, "n01")) == 1
+    assert len(workers_on(cluster, "n02")) == 1
+
+
+def test_worker_kill_does_not_lose_steps(cluster):
+    """Eager scheduling: killing a worker mid-step re-runs the step."""
+    hostfile(cluster, "n00", "user", ["n01", "n02"])
+    master = cluster.run_command("n00", ["calypso", "10", "1.0", "2"])
+    cluster.env.run(until=cluster.now + 3.2)
+    victim = workers_on(cluster, "n01")[0]
+    victim.signal(SIGKILL)
+    cluster.env.run(until=master.terminated)
+    assert master.exit_code == 0
+    cluster.assert_no_crashes()
+
+
+def test_worker_sigterm_graceful_and_replaced(cluster):
+    hostfile(cluster, "n00", "user", ["n01", "n02"])
+    master = cluster.run_command("n00", ["calypso", "200", "1.0", "2"])
+    cluster.env.run(until=cluster.now + 3.2)
+    victim = workers_on(cluster, "n02")[0]
+    victim.signal(SIGTERM)
+    cluster.env.run(until=cluster.now + 4.0)
+    # The master's grow slot re-acquired a worker on the same host.
+    assert len(workers_on(cluster, "n02")) == 1
+    assert master.is_alive
+    cluster.assert_no_crashes()
+
+
+def test_all_workers_lost_then_recovered(cluster):
+    hostfile(cluster, "n00", "user", ["n01", "n02"])
+    master = cluster.run_command("n00", ["calypso", "30", "1.0", "2"])
+    cluster.env.run(until=cluster.now + 3.2)
+    for host in ("n01", "n02"):
+        for worker in workers_on(cluster, host):
+            worker.signal(SIGKILL)
+    cluster.env.run(until=master.terminated)
+    assert master.exit_code == 0
+
+
+def test_under_broker_uses_anylinux(cluster):
+    cluster.start_broker()
+    svc = cluster.broker
+    svc.wait_ready()
+    handle = svc.submit(
+        "n00", ["calypso", "12", "1.0", "3"], rsl="+(adaptive)"
+    )
+    code = handle.wait()
+    assert code == 0
+    # Workers were acquired through the broker.
+    grants = svc.events_of("grant")
+    assert len(grants) >= 3
+    cluster.assert_no_crashes()
+
+
+def test_bad_arguments(cluster):
+    master = cluster.run_command("n00", ["calypso", "0", "1.0", "2"])
+    cluster.env.run(until=master.terminated)
+    assert master.exit_code == 1
+    master = cluster.run_command("n00", ["calypso"])
+    cluster.env.run(until=master.terminated)
+    assert master.exit_code == 1

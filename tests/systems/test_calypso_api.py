@@ -1,0 +1,208 @@
+"""Tests for the CalypsoRuntime library API (multi-phase adaptive programs)."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.os.signals import SIGKILL
+from repro.systems.calypso import CalypsoRuntime, ParallelStep
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(ClusterSpec.uniform(4))
+    c.machine("n00").fs.write("/home/user/.hosts", "n01\nn02\n")
+    return c
+
+
+def run_app(cluster, body, host="n00"):
+    cluster.system_bin.register("testapp", body)
+    proc = cluster.run_command(host, ["testapp"])
+    cluster.env.run(until=proc.terminated)
+    return proc
+
+
+def test_single_phase_returns_ordered_results(cluster):
+    collected = {}
+
+    def app(proc):
+        runtime = CalypsoRuntime(proc, target_workers=2)
+        runtime.start()
+        results = yield from runtime.run_phase(
+            [ParallelStep(work=0.5, payload=f"p{i}") for i in range(8)]
+        )
+        runtime.shutdown()
+        collected["results"] = results
+        return 0
+
+    proc = run_app(cluster, app)
+    assert proc.exit_code == 0
+    assert collected["results"] == [f"p{i}" for i in range(8)]
+    cluster.assert_no_crashes()
+
+
+def test_multiple_phases_reuse_worker_pool(cluster):
+    counts = {}
+
+    def app(proc):
+        runtime = CalypsoRuntime(proc, target_workers=2)
+        runtime.start()
+        a = yield from runtime.run_phase(
+            [ParallelStep(work=0.5, payload=i) for i in range(4)]
+        )
+        # sequential section
+        yield proc.sleep(1.0)
+        b = yield from runtime.run_phase(
+            [ParallelStep(work=0.5, payload=i * 10) for i in range(4)]
+        )
+        counts["a"], counts["b"] = a, b
+        counts["workers_seen"] = runtime.workers_seen
+        runtime.shutdown()
+        return 0
+
+    proc = run_app(cluster, app)
+    assert proc.exit_code == 0
+    assert counts["a"] == [0, 1, 2, 3]
+    assert counts["b"] == [0, 10, 20, 30]
+    # The pool persisted across phases: exactly two workers ever joined.
+    assert counts["workers_seen"] == 2
+
+
+def test_empty_phase_completes_immediately(cluster):
+    def app(proc):
+        runtime = CalypsoRuntime(proc, target_workers=1)
+        runtime.start()
+        results = yield from runtime.run_phase([])
+        runtime.shutdown()
+        assert results == []
+        yield proc.sleep(0)
+        return 0
+
+    proc = run_app(cluster, app)
+    assert proc.exit_code == 0
+
+
+def test_custom_worker_program_computes_results(cluster):
+    @cluster.system_bin.register("squareworker")
+    def squareworker(proc):
+        from repro.os.errors import ConnectionClosed
+
+        conn = yield proc.connect(proc.argv[1], int(proc.argv[2]))
+        conn.send({"type": "worker_hello", "host": proc.machine.name})
+        try:
+            while True:
+                msg = yield conn.recv()
+                if msg.get("type") != "assign":
+                    break
+                yield proc.compute(float(msg["work"]))
+                value = int(msg["payload"]) ** 2
+                conn.send(
+                    {"type": "result", "step": msg["step"], "value": value}
+                )
+        except ConnectionClosed:
+            return 0
+        return 0
+
+    outcome = {}
+
+    def app(proc):
+        runtime = CalypsoRuntime(
+            proc, target_workers=2, worker_program="squareworker"
+        )
+        runtime.start()
+        results = yield from runtime.run_phase(
+            [ParallelStep(work=0.3, payload=i) for i in range(6)]
+        )
+        runtime.shutdown()
+        outcome["results"] = results
+        return 0
+
+    proc = run_app(cluster, app)
+    assert proc.exit_code == 0
+    assert outcome["results"] == [0, 1, 4, 9, 16, 25]
+    cluster.assert_no_crashes()
+
+
+def test_worker_murder_mid_phase_recovered(cluster):
+    outcome = {}
+
+    def app(proc):
+        runtime = CalypsoRuntime(proc, target_workers=2)
+        runtime.start()
+        results = yield from runtime.run_phase(
+            [ParallelStep(work=1.0, payload=i) for i in range(10)]
+        )
+        runtime.shutdown()
+        outcome["results"] = results
+        return 0
+
+    cluster.system_bin.register("testapp", app)
+    proc = cluster.run_command("n00", ["testapp"])
+
+    def killer():
+        yield cluster.env.timeout(2.5)
+        victims = [
+            p
+            for p in cluster.machine("n01").procs.values()
+            if p.argv[0] == "calypso_worker"
+        ]
+        if victims:
+            victims[0].signal(SIGKILL)
+
+    cluster.env.process(killer())
+    cluster.env.run(until=proc.terminated)
+    assert proc.exit_code == 0
+    assert outcome["results"] == list(range(10))  # nothing lost
+    cluster.assert_no_crashes()
+
+
+def test_run_phase_while_running_rejected(cluster):
+    def app(proc):
+        runtime = CalypsoRuntime(proc, target_workers=1)
+        runtime.start()
+        gen = runtime.run_phase([ParallelStep(work=5.0)])
+        first_event = next(gen)  # phase started, not finished
+        try:
+            inner = runtime.run_phase([ParallelStep(work=1.0)])
+            next(inner)
+        except RuntimeError:
+            runtime.shutdown()
+            yield proc.sleep(0)
+            return 0
+        return 1
+
+    proc = run_app(cluster, app)
+    assert proc.exit_code == 0
+
+
+def test_shutdown_then_run_rejected(cluster):
+    def app(proc):
+        runtime = CalypsoRuntime(proc, target_workers=1)
+        runtime.start()
+        runtime.shutdown()
+        try:
+            gen = runtime.run_phase([ParallelStep(work=1.0)])
+            next(gen)
+        except RuntimeError:
+            yield proc.sleep(0)
+            return 0
+        return 1
+
+    proc = run_app(cluster, app)
+    assert proc.exit_code == 0
+
+
+def test_invalid_worker_count():
+    cluster = Cluster(ClusterSpec.uniform(2))
+
+    def app(proc):
+        try:
+            CalypsoRuntime(proc, target_workers=0)
+        except ValueError:
+            yield proc.sleep(0)
+            return 0
+        return 1
+
+    cluster.system_bin.register("testapp", app)
+    proc = cluster.run_command("n00", ["testapp"])
+    cluster.env.run(until=proc.terminated)
+    assert proc.exit_code == 0

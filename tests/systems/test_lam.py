@@ -1,0 +1,109 @@
+"""Integration tests for the LAM/MPI substrate."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(ClusterSpec.uniform(4))
+
+
+def run_cmd(cluster, host, argv, uid="user"):
+    proc = cluster.run_command(host, argv, uid=uid)
+    cluster.env.run(until=proc.terminated)
+    return proc
+
+
+def lamds_on(cluster, host):
+    return [
+        p for p in cluster.machine(host).procs.values() if p.argv[0] == "lamd"
+    ]
+
+
+def test_lamboot_starts_universe(cluster):
+    proc = run_cmd(cluster, "n00", ["lamboot", "n01", "n02"])
+    assert proc.exit_code == 0
+    for host in ("n00", "n01", "n02"):
+        assert len(lamds_on(cluster, host)) == 1
+    cluster.assert_no_crashes()
+
+
+def test_lamgrow_adds_node(cluster):
+    run_cmd(cluster, "n00", ["lamboot"])
+    proc = run_cmd(cluster, "n00", ["lamgrow", "n03"])
+    assert proc.exit_code == 0
+    assert len(lamds_on(cluster, "n03")) == 1
+
+
+def test_lamgrow_without_universe_fails(cluster):
+    proc = run_cmd(cluster, "n00", ["lamgrow", "n01"])
+    assert proc.exit_code == 1
+
+
+def test_lamgrow_symbolic_fails_without_broker(cluster):
+    run_cmd(cluster, "n00", ["lamboot"])
+    proc = run_cmd(cluster, "n00", ["lamgrow", "anylinux"])
+    assert proc.exit_code == 1  # tolerated failed attempt
+
+
+def test_unexpected_lamd_rejected(cluster):
+    run_cmd(cluster, "n00", ["lamboot"])
+    host, port = cluster.machine("n00").fs.read("/home/user/.lamd").split()
+    rogue = cluster.run_command("n02", ["lamd", "-remote", host, port])
+    cluster.env.run(until=rogue.terminated)
+    assert rogue.exit_code == 1
+    assert lamds_on(cluster, "n02") == []
+
+
+def test_lamshrink_removes_node(cluster):
+    run_cmd(cluster, "n00", ["lamboot", "n01"])
+    proc = run_cmd(cluster, "n00", ["lamshrink", "n01"])
+    assert proc.exit_code == 0
+    assert lamds_on(cluster, "n01") == []
+
+
+def test_lamhalt_tears_down(cluster):
+    run_cmd(cluster, "n00", ["lamboot", "n01", "n02"])
+    run_cmd(cluster, "n00", ["lamhalt"])
+    for host in ("n00", "n01", "n02"):
+        assert lamds_on(cluster, host) == []
+    assert not cluster.machine("n00").fs.exists("/home/user/.lamd")
+    cluster.assert_no_crashes()
+
+
+def test_lam_per_host_slower_than_pvm(cluster):
+    """Paper Table 3: LAM's per-host costs exceed PVM's."""
+    t0 = cluster.now
+    run_cmd(cluster, "n00", ["pvm", "add", "n01"])
+    pvm_time = cluster.now - t0
+    cluster2 = Cluster(ClusterSpec.uniform(4))
+    t0 = cluster2.now
+    proc = cluster2.run_command("n00", ["lamboot", "n01"])
+    cluster2.env.run(until=proc.terminated)
+    lam_time = cluster2.now - t0
+    assert lam_time > pvm_time
+
+
+def test_lam_job_add_anylinux_via_module(cluster):
+    cluster.start_broker()
+    svc = cluster.broker
+    svc.wait_ready()
+    job = svc.submit("n00", ["lam"], rsl='+(module="lam")', uid="mia")
+    cluster.env.run(until=cluster.now + 3.0)
+    grow = cluster.run_command("n00", ["lamgrow", "anylinux"], uid="mia")
+    cluster.env.run(until=grow.terminated)
+    assert grow.exit_code == 1  # phase I failure
+    cluster.env.run(until=cluster.now + 10.0)
+    remotes = [
+        p
+        for m in cluster.machines.values()
+        for p in m.procs.values()
+        if p.argv[0] == "lamd" and "-remote" in p.argv
+    ]
+    assert len(remotes) == 1
+    assert remotes[0].parent.argv[0] == "subapp"
+    record = job.job_record()
+    assert svc.holdings()[record.jobid] == [remotes[0].machine.name]
+    cluster.assert_no_crashes()

@@ -1,0 +1,170 @@
+"""Integration tests for the PLinda substrate."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.os.signals import SIGKILL
+from repro.sim import Environment
+from repro.systems.plinda.space import TupleSpace, tuple_matches
+
+
+# -- pure tuple-space unit tests -------------------------------------------
+
+
+def test_tuple_matching():
+    assert tuple_matches(("task", None), ("task", 3))
+    assert not tuple_matches(("task", None), ("result", 3))
+    assert not tuple_matches(("task",), ("task", 3))
+    assert tuple_matches((None, None), ("a", "b"))
+
+
+def test_space_out_take():
+    env = Environment()
+    space = TupleSpace(env)
+    space.out(("task", 1))
+    got = {}
+
+    def taker():
+        tup = yield space.take(("task", None))
+        got["tup"] = tup
+
+    env.process(taker())
+    env.run()
+    assert got["tup"] == ("task", 1)
+    assert len(space) == 0
+
+
+def test_space_read_is_non_destructive():
+    env = Environment()
+    space = TupleSpace(env)
+    space.out(("cfg", 42))
+
+    def reader():
+        tup = yield space.read(("cfg", None))
+        return tup
+
+    p = env.process(reader())
+    assert env.run(p) == ("cfg", 42)
+    assert len(space) == 1
+
+
+def test_space_take_blocks_until_out():
+    env = Environment()
+    space = TupleSpace(env)
+    times = {}
+
+    def taker():
+        yield space.take(("x",))
+        times["got"] = env.now
+
+    def producer():
+        yield env.timeout(3.0)
+        space.out(("x",))
+
+    env.process(taker())
+    env.process(producer())
+    env.run()
+    assert times["got"] == pytest.approx(3.0)
+
+
+def test_transaction_abort_restores_takes():
+    env = Environment()
+    space = TupleSpace(env)
+    space.out(("task", 1))
+    space.begin(7)
+
+    def taker():
+        yield space.take(("task", None), txn_id=7)
+
+    env.process(taker())
+    env.run()
+    assert len(space) == 0
+    space.abort(7)
+    assert len(space) == 1
+    assert space.try_read(("task", None)) == ("task", 1)
+
+
+def test_transaction_commit_is_final():
+    env = Environment()
+    space = TupleSpace(env)
+    space.out(("task", 1))
+    space.begin(7)
+
+    def taker():
+        yield space.take(("task", None), txn_id=7)
+
+    env.process(taker())
+    env.run()
+    space.commit(7)
+    space.abort(7)  # after commit this must be a no-op
+    assert len(space) == 0
+
+
+def test_transaction_abort_withdraws_outs():
+    env = Environment()
+    space = TupleSpace(env)
+    space.begin(1)
+    space.out(("partial", 1), txn_id=1)
+    space.abort(1)
+    assert len(space) == 0
+
+
+# -- full-system tests ------------------------------------------------------
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(ClusterSpec.uniform(4))
+
+
+def hostfile(cluster, host, uid, entries):
+    cluster.machine(host).fs.write(
+        f"/home/{uid}/.hosts", "".join(e + "\n" for e in entries)
+    )
+
+
+def test_bag_of_tasks_completes(cluster):
+    hostfile(cluster, "n00", "user", ["n01", "n02"])
+    master = cluster.run_command("n00", ["plinda", "8", "1.0", "2"])
+    cluster.env.run(until=master.terminated)
+    assert master.exit_code == 0
+    assert 4.0 <= cluster.now <= 9.0
+    cluster.assert_no_crashes()
+
+
+def test_worker_kill_mid_task_task_redone(cluster):
+    """The transactional guarantee: a task taken by a killed worker
+    reappears and is completed by another worker."""
+    hostfile(cluster, "n00", "user", ["n01", "n02"])
+    master = cluster.run_command("n00", ["plinda", "10", "1.0", "2"])
+    cluster.env.run(until=cluster.now + 3.2)
+    victims = [
+        p
+        for p in cluster.machine("n01").procs.values()
+        if p.argv[0] == "plinda_worker"
+    ]
+    assert victims
+    victims[0].signal(SIGKILL)
+    cluster.env.run(until=master.terminated)
+    # All 10 results collected despite the murder.
+    assert master.exit_code == 0
+    cluster.assert_no_crashes()
+
+
+def test_under_broker(cluster):
+    cluster.start_broker()
+    svc = cluster.broker
+    svc.wait_ready()
+    handle = svc.submit(
+        "n00", ["plinda", "9", "1.0", "3"], rsl="+(adaptive)"
+    )
+    assert handle.wait() == 0
+    assert len(svc.events_of("grant")) >= 3
+    cluster.assert_no_crashes()
+
+
+def test_server_cleans_advertisement(cluster):
+    hostfile(cluster, "n00", "user", ["n01"])
+    master = cluster.run_command("n00", ["plinda", "2", "0.5", "1"])
+    cluster.env.run(until=master.terminated)
+    assert not cluster.machine("n00").fs.exists("/home/user/.plinda")

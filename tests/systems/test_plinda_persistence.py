@@ -1,0 +1,118 @@
+"""Tests for PLinda's persistence: server crash + checkpoint recovery."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.os.signals import SIGKILL
+from repro.sim import Environment
+from repro.systems.plinda.server import PLINDA_CKPT, _committed_tuples
+from repro.systems.plinda.space import TupleSpace
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(ClusterSpec.uniform(4))
+    c.machine("n00").fs.write("/home/user/.hosts", "n01\nn02\n")
+    return c
+
+
+def server_procs(cluster, host="n00"):
+    return [
+        p
+        for p in cluster.machine(host).procs.values()
+        if p.argv[0] == "plinda_server"
+    ]
+
+
+# -- committed-state computation (pure) ------------------------------------
+
+
+def test_committed_state_is_store_plus_open_takes():
+    env = Environment()
+    space = TupleSpace(env)
+    space.out(("task", 1))
+    space.out(("task", 2))
+    space.begin(7)
+
+    def taker():
+        yield space.take(("task", 1), txn_id=7)
+
+    env.process(taker())
+    env.run()
+    space.out(("partial", 9), txn_id=7)  # uncommitted write
+    committed = sorted(_committed_tuples(space))
+    # The open take is restored, the uncommitted out is excluded.
+    assert committed == [("task", 1), ("task", 2)]
+
+
+def test_committed_state_after_commit():
+    env = Environment()
+    space = TupleSpace(env)
+    space.out(("task", 1))
+    space.begin(7)
+
+    def taker():
+        yield space.take(("task", 1), txn_id=7)
+
+    env.process(taker())
+    env.run()
+    space.out(("result", 1), txn_id=7)
+    space.commit(7)
+    assert _committed_tuples(space) == [("result", 1)]
+
+
+# -- full-system crash/recovery ----------------------------------------------
+
+
+def test_checkpoint_file_written(cluster):
+    master = cluster.run_command("n00", ["plinda", "4", "2.0", "2"])
+    cluster.env.run(until=cluster.now + 2.0)
+    assert cluster.machine("n00").fs.exists("/home/user/.plinda_ckpt")
+    cluster.env.run(until=master.terminated)
+    cluster.env.run(until=cluster.now + 1.0)  # let the server finish teardown
+    # Cleaned up on orderly halt.
+    assert not cluster.machine("n00").fs.exists("/home/user/.plinda_ckpt")
+
+
+def test_server_crash_recovery_completes_computation(cluster):
+    master = cluster.run_command("n00", ["plinda", "10", "1.0", "2"])
+    cluster.env.run(until=cluster.now + 3.0)
+    (server,) = server_procs(cluster)
+    server.signal(SIGKILL)
+    cluster.env.run(until=master.terminated)
+    # The master restarted the server from its checkpoint; every one of the
+    # 10 results was collected despite the crash.
+    assert master.exit_code == 0
+    cluster.assert_no_crashes()
+
+
+def test_server_crash_twice_still_completes(cluster):
+    master = cluster.run_command("n00", ["plinda", "12", "1.0", "2"])
+    for _ in range(2):
+        cluster.env.run(until=cluster.now + 3.0)
+        servers = server_procs(cluster)
+        if servers:
+            servers[0].signal(SIGKILL)
+    cluster.env.run(until=master.terminated)
+    assert master.exit_code == 0
+    cluster.assert_no_crashes()
+
+
+def test_workers_reattach_to_restarted_server(cluster):
+    master = cluster.run_command("n00", ["plinda", "30", "1.0", "2"])
+    cluster.env.run(until=cluster.now + 3.0)
+    (server,) = server_procs(cluster)
+    old_pid = server.pid
+    server.signal(SIGKILL)
+    cluster.env.run(until=cluster.now + 5.0)
+    servers = server_procs(cluster)
+    assert servers and servers[0].pid != old_pid
+    # Workers found the new advertisement and are computing again.
+    workers = [
+        p
+        for host in ("n01", "n02")
+        for p in cluster.machine(host).procs.values()
+        if p.argv[0] == "plinda_worker"
+    ]
+    assert len(workers) == 2
+    master.kill_tree(SIGKILL)

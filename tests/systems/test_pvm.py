@@ -1,0 +1,190 @@
+"""Integration tests for the PVM substrate — with and without the broker."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.os.process import OSProcess
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(ClusterSpec.uniform(5))
+
+
+def run_cmd(cluster, host, argv, uid="user"):
+    proc = cluster.run_command(host, argv, uid=uid)
+    cluster.env.run(until=proc.terminated)
+    return proc
+
+
+def pvmds_on(cluster, host):
+    return [
+        p for p in cluster.machine(host).procs.values() if p.argv[0] == "pvmd"
+    ]
+
+
+def test_console_boots_master_daemon(cluster):
+    run_cmd(cluster, "n00", ["pvm", "conf"])
+    assert len(pvmds_on(cluster, "n00")) == 1
+    assert cluster.machine("n00").fs.exists("/home/user/.pvmd")
+    cluster.assert_no_crashes()
+
+
+def test_add_explicit_hosts(cluster):
+    proc = run_cmd(cluster, "n00", ["pvm", "add", "n01", "n02"])
+    assert proc.exit_code == 0
+    assert len(pvmds_on(cluster, "n01")) == 1
+    assert len(pvmds_on(cluster, "n02")) == 1
+    cluster.assert_no_crashes()
+
+
+def test_add_timing_roughly_linear(cluster):
+    t0 = cluster.now
+    run_cmd(cluster, "n00", ["pvm", "add", "n01"])
+    one = cluster.now - t0
+    t1 = cluster.now
+    run_cmd(cluster, "n00", ["pvm", "add", "n02", "n03", "n04"])
+    three = cluster.now - t1
+    # Both invocations pay one console startup; each add costs roughly
+    # rsh + slave startup (~1 s), so the 3-host run exceeds the 1-host run
+    # by two marginal adds.
+    marginal = (three - one) / 2.0
+    assert 0.8 <= marginal <= 1.4
+    assert three > one
+
+
+def test_add_unknown_host_fails_but_console_survives(cluster):
+    proc = run_cmd(cluster, "n00", ["pvm", "add", "zz99"])
+    assert proc.exit_code == 1  # required condition 3: tolerate failed adds
+    proc = run_cmd(cluster, "n00", ["pvm", "add", "n01"])
+    assert proc.exit_code == 0
+
+
+def test_add_symbolic_name_fails_without_broker(cluster):
+    proc = run_cmd(cluster, "n00", ["pvm", "add", "anylinux"])
+    assert proc.exit_code == 1
+
+
+def test_unexpected_slave_rejected(cluster):
+    run_cmd(cluster, "n00", ["pvm", "conf"])  # boot master
+    host, port = cluster.machine("n00").fs.read("/home/user/.pvmd").split()
+    # An interloper starts a slave pvmd by hand from n03.
+    rogue = cluster.run_command(
+        "n03", ["pvmd", "-slave", host, port], uid="user"
+    )
+    cluster.env.run(until=rogue.terminated)
+    assert rogue.exit_code == 1  # rejected: master never asked for n03
+    assert pvmds_on(cluster, "n03") == []
+
+
+def test_delete_host_stops_slave(cluster):
+    run_cmd(cluster, "n00", ["pvm", "add", "n01"])
+    assert len(pvmds_on(cluster, "n01")) == 1
+    proc = run_cmd(cluster, "n00", ["pvm", "delete", "n01"])
+    assert proc.exit_code == 0
+    assert pvmds_on(cluster, "n01") == []
+
+
+def test_halt_tears_everything_down(cluster):
+    run_cmd(cluster, "n00", ["pvm", "add", "n01", "n02"])
+    run_cmd(cluster, "n00", ["pvm", "halt"])
+    for host in ("n00", "n01", "n02"):
+        assert pvmds_on(cluster, host) == []
+    assert not cluster.machine("n00").fs.exists("/home/user/.pvmd")
+    cluster.assert_no_crashes()
+
+
+def test_spawn_round_robin(cluster):
+    placed = {}
+
+    @cluster.system_bin.register("task")
+    def task(proc):
+        placed.setdefault(proc.machine.name, 0)
+        placed[proc.machine.name] += 1
+        yield proc.sleep(1.0)
+
+    run_cmd(cluster, "n00", ["pvm", "add", "n01", "n02"])
+    run_cmd(cluster, "n00", ["pvm", "spawn", "6", "task"])
+    cluster.env.run(until=cluster.now + 3.0)
+    assert placed == {"n00": 2, "n01": 2, "n02": 2}
+
+
+def test_pvmrc_script_drives_console(cluster):
+    """The hook the pvm_grow module uses: commands in ~/.pvmrc."""
+    run_cmd(cluster, "n00", ["pvm", "conf"])  # boot master
+    cluster.machine("n00").fs.write("/home/user/.pvmrc", "add n02\nquit\n")
+    proc = run_cmd(cluster, "n00", ["pvm"])
+    assert proc.exit_code == 0
+    assert len(pvmds_on(cluster, "n02")) == 1
+
+
+def test_slave_loss_tolerated(cluster):
+    """Killing a slave daemon drops the host; the VM keeps working."""
+    from repro.os.signals import SIGKILL
+
+    run_cmd(cluster, "n00", ["pvm", "add", "n01", "n02"])
+    (slave,) = pvmds_on(cluster, "n01")
+    slave.signal(SIGKILL)
+    cluster.env.run(until=cluster.now + 1.0)
+    # Re-adding n01 works: the master dropped it from its tables.
+    proc = run_cmd(cluster, "n00", ["pvm", "add", "n01"])
+    assert proc.exit_code == 0
+    assert len(pvmds_on(cluster, "n01")) == 1
+    cluster.assert_no_crashes()
+
+
+# -- under the broker -------------------------------------------------------
+
+
+@pytest.fixture
+def brokered(cluster):
+    cluster.start_broker()
+    cluster.broker.wait_ready()
+    return cluster
+
+
+def test_pvm_job_add_anylinux_via_module(brokered):
+    svc = brokered.broker
+    job = svc.submit("n00", ["pvm"], rsl='+(module="pvm")', uid="pat")
+    brokered.env.run(until=brokered.now + 3.0)
+    # The attached console + master daemon are up; now the user asks for a
+    # broker-chosen machine.
+    add = brokered.run_command("n00", ["pvm", "add", "anylinux"], uid="pat")
+    brokered.env.run(until=add.terminated)
+    # Phase I: the add itself reports failure...
+    assert add.exit_code == 1
+    # ...but phase II (module grow) adds a real machine shortly after.
+    brokered.env.run(until=brokered.now + 8.0)
+    slaves = [
+        p
+        for m in brokered.machines.values()
+        for p in m.procs.values()
+        if p.argv[0] == "pvmd" and "-slave" in p.argv
+    ]
+    assert len(slaves) == 1
+    # The slave runs under a subapp (phase II was wrapped).
+    assert slaves[0].parent is not None
+    assert slaves[0].parent.argv[0] == "subapp"
+    # The broker accounted the machine to the PVM job.
+    record = job.job_record()
+    assert svc.holdings()[record.jobid] == [slaves[0].machine.name]
+    brokered.assert_no_crashes()
+
+
+def test_pvm_explicit_add_passthrough_under_broker(brokered):
+    svc = brokered.broker
+    svc.submit("n00", ["pvm"], rsl='+(module="pvm")', uid="pat")
+    brokered.env.run(until=brokered.now + 3.0)
+    add = brokered.run_command("n00", ["pvm", "add", "n02"], uid="pat")
+    brokered.env.run(until=add.terminated)
+    assert add.exit_code == 0
+    slaves = [
+        p
+        for p in brokered.machine("n02").procs.values()
+        if p.argv[0] == "pvmd"
+    ]
+    assert len(slaves) == 1
+    # Explicit name: no subapp wrapping, no broker allocation.
+    assert slaves[0].parent.argv[0] == "rshd"
+    assert svc.holdings() == {}
+    assert svc.events_of("machine_request") == []

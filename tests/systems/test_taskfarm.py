@@ -1,0 +1,132 @@
+"""Integration tests for the self-scheduling task farms (PVM and LAM/MPI)."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.os.signals import SIGKILL
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(ClusterSpec.uniform(4))
+
+
+def run_cmd(cluster, host, argv, uid="user"):
+    proc = cluster.run_command(host, argv, uid=uid)
+    cluster.env.run(until=proc.terminated)
+    return proc
+
+
+def workers_everywhere(cluster):
+    return [
+        p
+        for m in cluster.machines.values()
+        for p in m.procs.values()
+        if p.argv[0] == "farmworker"
+    ]
+
+
+# -- PVM farm ---------------------------------------------------------------
+
+
+def test_pvm_farm_completes(cluster):
+    run_cmd(cluster, "n00", ["pvm", "add", "n01", "n02"])
+    t0 = cluster.now
+    farm = run_cmd(cluster, "n00", ["pvm_farm", "12", "1.0"])
+    assert farm.exit_code == 0
+    # 12 tasks x 1 CPU-second over 3 hosts: ~4 s of compute + startup.
+    assert 4.0 <= cluster.now - t0 <= 8.0
+    cluster.assert_no_crashes()
+
+
+def test_pvm_farm_spawns_one_worker_per_host(cluster):
+    run_cmd(cluster, "n00", ["pvm", "add", "n01", "n02"])
+    farm = cluster.run_command("n00", ["pvm_farm", "300", "1.0"])
+    cluster.env.run(until=cluster.now + 2.0)
+    hosts = sorted({w.machine.name for w in workers_everywhere(cluster)})
+    assert hosts == ["n00", "n01", "n02"]
+    farm.kill_tree(SIGKILL)
+
+
+def test_pvm_farm_without_vm_fails(cluster):
+    farm = run_cmd(cluster, "n00", ["pvm_farm", "4", "1.0"])
+    assert farm.exit_code == 1
+
+
+def test_pvm_farm_survives_worker_murder(cluster):
+    run_cmd(cluster, "n00", ["pvm", "add", "n01"])
+    farm = cluster.run_command("n00", ["pvm_farm", "10", "1.0"])
+    cluster.env.run(until=cluster.now + 2.5)
+    victims = [
+        w for w in workers_everywhere(cluster) if w.machine.name == "n01"
+    ]
+    assert victims
+    victims[0].signal(SIGKILL)
+    cluster.env.run(until=farm.terminated)
+    # The task held by the murdered worker was requeued and finished.
+    assert farm.exit_code == 0
+    cluster.assert_no_crashes()
+
+
+# -- mpirun / MPI farm --------------------------------------------------------
+
+
+def test_mpirun_places_tasks_round_robin(cluster):
+    placed = {}
+
+    @cluster.system_bin.register("mpitask")
+    def mpitask(proc):
+        placed.setdefault(proc.machine.name, 0)
+        placed[proc.machine.name] += 1
+        yield proc.sleep(0.5)
+
+    run_cmd(cluster, "n00", ["lamboot", "n01", "n02"])
+    launcher = run_cmd(cluster, "n00", ["mpirun", "6", "mpitask"])
+    assert launcher.exit_code == 0
+    cluster.env.run(until=cluster.now + 2.0)
+    assert placed == {"n00": 2, "n01": 2, "n02": 2}
+
+
+def test_mpirun_without_universe_fails(cluster):
+    launcher = run_cmd(cluster, "n00", ["mpirun", "2", "null"])
+    assert launcher.exit_code == 1
+
+
+def test_mpi_farm_completes(cluster):
+    run_cmd(cluster, "n00", ["lamboot", "n01", "n02", "n03"])
+    t0 = cluster.now
+    farm = run_cmd(cluster, "n00", ["mpi_farm", "16", "1.0"])
+    assert farm.exit_code == 0
+    assert 4.0 <= cluster.now - t0 <= 9.0
+    cluster.assert_no_crashes()
+
+
+def test_mpi_farm_under_broker_with_module_growth(cluster):
+    """The full stack: an unmodified MPI program gets machines just-in-time
+    through lamgrow anylinux, then computes on them."""
+    cluster.start_broker()
+    svc = cluster.broker
+    svc.wait_ready()
+    svc.submit("n00", ["lam"], rsl='+(module="lam")', uid="mia")
+    cluster.env.run(until=cluster.now + 3.0)
+    for _ in range(2):
+        grow = cluster.run_command(
+            "n00", ["lamgrow", "anylinux"], uid="mia"
+        )
+        cluster.env.run(until=grow.terminated)
+    # Wait for the async phase-II adds.
+    deadline = cluster.now + 30.0
+    fs = cluster.machine("n00").fs
+    while cluster.now < deadline:
+        cluster.env.run(until=cluster.now + 0.5)
+        if (
+            fs.exists("/home/mia/.lam_nodes")
+            and len(fs.read_lines("/home/mia/.lam_nodes")) == 3
+        ):
+            break
+    assert len(fs.read_lines("/home/mia/.lam_nodes")) == 3
+
+    farm = cluster.run_command("n00", ["mpi_farm", "9", "1.0"], uid="mia")
+    cluster.env.run(until=farm.terminated)
+    assert farm.exit_code == 0
+    cluster.assert_no_crashes()

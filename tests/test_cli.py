@@ -1,0 +1,34 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_demo_runs(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "grants" in out
+    assert "n01" in out  # the Gantt rows
+
+
+def test_single_table_command(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "rsh' anylinux null" in out
+
+
+def test_utilization_quick(capsys):
+    assert main(["utilization", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "total detected idleness" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["no-such-command"])
+
+
+def test_no_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

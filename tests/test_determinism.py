@@ -1,0 +1,58 @@
+"""End-to-end determinism: identical seeds give identical histories.
+
+DESIGN.md's determinism claim, verified at the whole-stack level: two
+independent runs of a non-trivial brokered workload produce byte-identical
+broker event logs, and changing the seed changes stochastic traces without
+breaking any invariant.
+"""
+
+from repro.cluster import Cluster, ClusterSpec, MachineSpec
+from tests.broker.conftest import install_greedy
+
+
+def _run_scenario(seed):
+    spec = ClusterSpec(
+        machines=[
+            MachineSpec(name="n00"),
+            MachineSpec(name="n01"),
+            MachineSpec(name="n02"),
+            MachineSpec(name="p00", private_owner="ann"),
+        ],
+        seed=seed,
+    )
+    cluster = Cluster(spec)
+    svc = cluster.start_broker()
+    svc.wait_ready()
+    cluster.add_owner_activity("p00", mean_away=120.0, mean_present=40.0)
+    install_greedy(cluster)
+    svc.submit("n00", ["greedy", "3"], rsl="+(adaptive)", uid="a")
+    cluster.env.run(until=cluster.now + 5.0)
+    rng = cluster.env.rng.stream("scenario")
+    for i in range(4):
+        cluster.env.run(until=cluster.now + float(rng.uniform(5.0, 20.0)))
+        svc.submit(
+            "n00",
+            ["rsh", "anylinux", "compute", f"{float(rng.uniform(3, 12)):.2f}"],
+            uid=f"s{i}",
+        )
+    cluster.env.run(until=600.0)
+    cluster.assert_no_crashes()
+    return svc.events
+
+
+def test_same_seed_identical_event_log():
+    first = _run_scenario(42)
+    second = _run_scenario(42)
+    assert first == second
+    assert len(first) > 10  # a real history, not a trivial one
+
+
+def test_different_seed_different_history():
+    a = _run_scenario(42)
+    b = _run_scenario(43)
+    # Owner activity and workload draws differ, so the logs diverge...
+    assert a != b
+    # ...but both contain the same structural phases.
+    kinds_a = {e["event"] for e in a}
+    kinds_b = {e["event"] for e in b}
+    assert {"submit", "machine_request", "grant"} <= kinds_a & kinds_b

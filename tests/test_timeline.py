@@ -1,0 +1,85 @@
+"""Unit tests for allocation-timeline folding and Gantt rendering."""
+
+import pytest
+
+from repro.metrics.timeline import (
+    allocation_intervals,
+    machine_busy_fraction,
+    render_gantt,
+)
+
+
+def _events():
+    return [
+        {"event": "grant", "host": "n01", "jobid": 1, "time": 1.0},
+        {"event": "grant", "host": "n02", "jobid": 1, "time": 2.0},
+        {"event": "released", "host": "n01", "jobid": 1, "time": 5.0},
+        {"event": "grant", "host": "n01", "jobid": 2, "time": 5.5},
+        {"event": "job_done", "jobid": 2, "time": 8.0},
+        # jobid 1 still holds n02 at the end.
+    ]
+
+
+def test_intervals_fold_grant_release():
+    intervals = allocation_intervals(_events())
+    by_key = {(iv.host, iv.jobid, iv.start): iv for iv in intervals}
+    assert by_key[("n01", 1, 1.0)].end == 5.0
+    assert by_key[("n01", 2, 5.5)].end == 8.0  # closed by job_done
+    assert by_key[("n02", 1, 2.0)].end is None  # still open
+
+
+def test_intervals_until_closes_open_ones():
+    intervals = allocation_intervals(_events(), until=10.0)
+    assert all(iv.end is not None for iv in intervals)
+    open_one = [iv for iv in intervals if iv.host == "n02"][0]
+    assert open_one.end == 10.0
+
+
+def test_busy_fraction():
+    intervals = allocation_intervals(_events(), until=10.0)
+    # n01: [1,5] + [5.5,8] = 6.5 of 10.
+    assert machine_busy_fraction(intervals, "n01", 0.0, 10.0) == pytest.approx(
+        0.65
+    )
+    assert machine_busy_fraction(intervals, "nXX", 0.0, 10.0) == 0.0
+
+
+def test_busy_fraction_clips_to_window():
+    intervals = allocation_intervals(_events(), until=10.0)
+    # Window [4,6]: n01 covered by [4,5] and [5.5,6] = 1.5 of 2.
+    assert machine_busy_fraction(intervals, "n01", 4.0, 6.0) == pytest.approx(
+        0.75
+    )
+
+
+def test_render_gantt_shape():
+    intervals = allocation_intervals(_events(), until=10.0)
+    art = render_gantt(intervals, 0.0, 10.0, width=40)
+    lines = art.splitlines()
+    assert len(lines) == 3  # header + n01 + n02
+    n01 = [l for l in lines if l.startswith("n01")][0]
+    assert "1" in n01 and "2" in n01 and "." in n01
+    n02 = [l for l in lines if l.startswith("n02")][0]
+    assert "2" not in n02.split()[1]
+
+
+def test_render_gantt_rejects_empty_window():
+    with pytest.raises(ValueError):
+        render_gantt([], 5.0, 5.0)
+
+
+def test_gantt_from_live_cluster():
+    """End to end: run a short brokered workload and render its timeline."""
+    from repro.cluster import Cluster, ClusterSpec
+
+    cluster = Cluster(ClusterSpec.uniform(3))
+    svc = cluster.start_broker()
+    svc.wait_ready()
+    t0 = cluster.now
+    handle = svc.submit("n00", ["rsh", "anylinux", "compute", "3.0"])
+    handle.wait()
+    cluster.env.run(until=cluster.now + 1.0)
+    intervals = allocation_intervals(svc.events, until=cluster.now)
+    assert len(intervals) == 1
+    art = render_gantt(intervals, t0, cluster.now)
+    assert intervals[0].host in art
