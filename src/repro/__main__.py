@@ -16,6 +16,28 @@ from __future__ import annotations
 import argparse
 import sys
 
+#: Shared help text for every subcommand's ``--trace`` option.
+_TRACE_HELP = (
+    "export the run's span trace to PATH "
+    "(.jsonl for JSON Lines, anything else for Chrome trace_event "
+    "format loadable in ui.perfetto.dev)"
+)
+
+
+def _collector(args):
+    """A TraceCollector when ``--trace`` was given, else None."""
+    if getattr(args, "trace", None) is None:
+        return None
+    from repro.obs import TraceCollector
+
+    return TraceCollector()
+
+
+def _write_collected(args, collector) -> None:
+    if collector is not None:
+        collector.write(args.trace)
+        print(f"\ntrace written to {args.trace} (open in ui.perfetto.dev)")
+
 
 def _cmd_reproduce(args) -> int:
     from repro.experiments import (
@@ -26,16 +48,18 @@ def _cmd_reproduce(args) -> int:
         run_utilization,
     )
 
-    print(run_table1())
+    collector = _collector(args)
+    print(run_table1(trace=collector))
     print()
-    print(run_table2())
+    print(run_table2(trace=collector))
     print()
-    print(run_table3())
+    print(run_table3(trace=collector))
     print()
-    print(run_fig7())
+    print(run_fig7(trace=collector))
     print()
     horizon = 1800.0 if args.quick else 5 * 3600.0
-    print(run_utilization(horizon=horizon))
+    print(run_utilization(horizon=horizon, trace=collector))
+    _write_collected(args, collector)
     return 0
 
 
@@ -44,10 +68,12 @@ def _cmd_single(name):
         from repro import experiments
 
         fn = getattr(experiments, f"run_{name}")
+        collector = _collector(args)
         if name == "utilization" and args.quick:
-            print(fn(horizon=1800.0))
+            print(fn(horizon=1800.0, trace=collector))
         else:
-            print(fn())
+            print(fn(trace=collector))
+        _write_collected(args, collector)
         return 0
 
     return runner
@@ -78,6 +104,12 @@ def _cmd_demo(args) -> int:
         f"\n{len(service.events_of('revoke'))} revocations, "
         f"{len(service.events_of('grant'))} grants in 90 s"
     )
+    if getattr(args, "trace", None) is not None:
+        from repro.obs import write_trace
+
+        write_trace(args.trace, service.tracer, service.metrics)
+        print(f"trace written to {args.trace} (open in ui.perfetto.dev)")
+        print("\n" + service.metrics.render())
     return 0
 
 
@@ -96,14 +128,17 @@ def main(argv=None) -> int:
         action="store_true",
         help="shorten the five-hour utilization run to 30 minutes",
     )
+    reproduce.add_argument("--trace", metavar="PATH", help=_TRACE_HELP)
     reproduce.set_defaults(fn=_cmd_reproduce)
 
     for name in ("table1", "table2", "table3", "fig7", "utilization"):
         single = sub.add_parser(name, help=f"regenerate {name} only")
         single.add_argument("--quick", action="store_true")
+        single.add_argument("--trace", metavar="PATH", help=_TRACE_HELP)
         single.set_defaults(fn=_cmd_single(name))
 
     demo = sub.add_parser("demo", help="90-second adaptive-allocation tour")
+    demo.add_argument("--trace", metavar="PATH", help=_TRACE_HELP)
     demo.set_defaults(fn=_cmd_demo)
 
     args = parser.parse_args(argv)

@@ -74,14 +74,19 @@ class _AppState:
     broker_lost: bool = False
     reqids: Any = None
     tokenids: Any = None
-    #: FIFO of ("grow"|"shrink", host): module scripts run one at a time —
-    #: they share user-level state like ~/.pvmrc, exactly as the real
-    #: scripts in the paper do.
+    #: FIFO of ("grow"|"shrink", host, trace-context): module scripts run one
+    #: at a time — they share user-level state like ~/.pvmrc, exactly as the
+    #: real scripts in the paper do.
     module_queue: Store = None  # type: ignore[assignment]
+    #: Observability: the run-wide tracer and this app's ``app.run`` span.
+    tracer: Any = None
+    span: Any = None
 
 
 def app_main(proc):
     """Program body: ``argv = ["app", rsl_text, command, args...]``."""
+    from repro.obs import context_from_environ, tracer_of
+
     if len(proc.argv) < 3:
         return 1
     rsl_text, command = proc.argv[1], proc.argv[2:]
@@ -90,6 +95,20 @@ def app_main(proc):
         return 1
     cal = proc.machine.network.calibration
     rsl = parse_rsl(rsl_text)
+    tracer = tracer_of(proc)
+    app_span = tracer.start(
+        "app.run",
+        parent=context_from_environ(proc.environ),
+        actor=f"app:{proc.machine.name}",
+        host=proc.machine.name,
+        argv=list(command),
+    )
+    proc.terminated.add_callback(
+        lambda ev: app_span.end(code=ev.value) if not app_span.finished else None
+    )
+    register_span = tracer.start(
+        "app.register", parent=app_span, actor=app_span.attrs["actor"]
+    )
 
     # One-time submission cost (app startup + registration bookkeeping).
     yield proc.sleep(cal.app_submit)
@@ -99,20 +118,27 @@ def app_main(proc):
     try:
         broker = yield proc.connect(broker_host, ports.BROKER)
     except (ConnectionRefused, NoSuchHost):
+        register_span.end(error="broker unreachable")
         return 1
     broker.send(
-        protocol.submit(
-            user=proc.uid,
-            host=proc.machine.name,
-            rsl=rsl_text,
-            argv=command,
-            adaptive=rsl.adaptive,
+        protocol.attach_trace(
+            protocol.submit(
+                user=proc.uid,
+                host=proc.machine.name,
+                rsl=rsl_text,
+                argv=command,
+                adaptive=rsl.adaptive,
+            ),
+            app_span.context,
         )
     )
     try:
         ack = yield broker.recv()
     except ConnectionClosed:
+        register_span.end(error="broker hung up")
         return 1
+    register_span.end(jobid=int(ack["jobid"]))
+    app_span.set(jobid=int(ack["jobid"]))
 
     st = _AppState(
         jobid=int(ack["jobid"]),
@@ -125,6 +151,8 @@ def app_main(proc):
         reqids=itertools.count(1),
         tokenids=itertools.count(1),
         module_queue=Store(proc.env),
+        tracer=tracer,
+        span=app_span,
     )
 
     # The paper's start_script RSL extension: a user-supplied setup program
@@ -147,6 +175,8 @@ def app_main(proc):
             "RB_APP_HOST": proc.machine.name,
             "RB_APP_PORT": str(port),
             "RB_JOBID": str(st.jobid),
+            # Descendant rsh' invocations parent their spans under the app.
+            **app_span.environ(),
         },
     )
 
@@ -176,9 +206,9 @@ def app_main(proc):
         msg = get.value
         kind = msg.get("type")
         if kind == "revoke":
-            yield from _handle_revoke(proc, st, msg["host"], cal)
+            yield from _handle_revoke(proc, st, msg, cal)
         elif kind == "async_grant":
-            _begin_module_add(proc, st, msg["host"])
+            _begin_module_add(proc, st, msg["host"], protocol.trace_of(msg))
         elif kind == "subapp_gone":
             _handle_subapp_gone(st, msg["host"])
         elif kind == "halt":
@@ -236,9 +266,13 @@ def _broker_reader(proc, st):
             if waiter is not None:
                 waiter.succeed(msg["host"])
             else:
-                # Asynchronous phase-II grant for a module job.
+                # Asynchronous phase-II grant for a module job.  Forward the
+                # grant's trace context so the module grow stays connected.
                 st.inbox.put_nowait(
-                    {"type": "async_grant", "host": msg["host"]}
+                    protocol.attach_trace(
+                        {"type": "async_grant", "host": msg["host"]},
+                        protocol.trace_of(msg),
+                    )
                 )
         elif kind == "machine_denied":
             waiter = st.waiters.pop(msg["reqid"], None)
@@ -285,6 +319,12 @@ def _make_token(proc, st, argv, host):
 def _handle_rsh_request(proc, st, conn, msg):
     cal = proc.machine.network.calibration
     host, argv = msg["host"], msg["argv"]
+    span = st.tracer.start(
+        "app.rsh_request",
+        parent=protocol.trace_of(msg) or st.span,
+        actor=st.span.attrs["actor"],
+        host=host,
+    )
 
     if not is_symbolic_hostname(host):
         # Phase II of the module protocol: a real name we just arranged.
@@ -293,17 +333,25 @@ def _handle_rsh_request(proc, st, conn, msg):
             proc.unlink_file(expect_marker_path(host))
             token = _make_token(proc, st, argv, host)
             conn.send(protocol.rsh_exec(host, wrap=True, token=token))
+            span.end(path="expected")
         else:
             # A host the user named explicitly: let it proceed untouched.
             conn.send(protocol.rsh_exec(host, wrap=False))
+            span.end(path="passthrough")
         return
 
     # Symbolic name: a just-in-time allocation request.
     reqid = next(st.reqids)
     waiter = proc.env.event()
     st.waiters[reqid] = waiter
+    wait_span = st.tracer.start(
+        "app.machine_wait", parent=span, actor=span.attrs["actor"], reqid=reqid
+    )
     st.broker.send(
-        protocol.machine_request(st.jobid, host, reqid, firm=st.firm)
+        protocol.attach_trace(
+            protocol.machine_request(st.jobid, host, reqid, firm=st.firm),
+            wait_span.context,
+        )
     )
     if st.module is not None:
         # Module path: bounded wait, then report failure (phase I).  The
@@ -314,40 +362,57 @@ def _handle_rsh_request(proc, st, conn, msg):
         )
         if waiter in outcome and waiter.value is not None:
             target = waiter.value
+            wait_span.end(outcome="granted", host=target)
             conn.send(protocol.rsh_fail("deferred to module grow"))
-            _begin_module_add(proc, st, target)
+            _begin_module_add(proc, st, target, wait_span.context)
+            span.end(path="module")
         else:
             st.waiters.pop(reqid, None)  # future grant -> async path
+            wait_span.end(outcome="queued")
             conn.send(protocol.rsh_fail("request queued"))
+            span.end(path="module")
         return
 
     # Default path: block until the broker produces a machine, then
     # redirect the rsh there, wrapped with a subapp.
     target = yield waiter
     if target is None:
+        wait_span.end(outcome="denied")
         conn.send(protocol.rsh_fail("request denied"))
+        span.end(path="denied")
         return
+    wait_span.end(outcome="granted", host=target)
     token = _make_token(proc, st, argv, target)
     conn.send(protocol.rsh_exec(target, wrap=True, token=token))
+    span.end(path="redirected", target=target)
 
 
-def _begin_module_add(proc, st, target):
+def _begin_module_add(proc, st, target, ctx=None):
     """Phase II: mark the host expected and queue ``<module>_grow <host>``."""
     st.pending_add.add(target)
     proc.write_file(expect_marker_path(target), "1\n")
-    st.module_queue.put_nowait(("grow", target))
+    st.module_queue.put_nowait(("grow", target, ctx))
 
 
 def _module_runner(proc, st):
     """Run the job's module scripts strictly one at a time."""
     while True:
-        verb, host = yield st.module_queue.get()
+        verb, host, ctx = yield st.module_queue.get()
         program = (
             grow_program(st.module) if verb == "grow" else shrink_program(st.module)
         )
+        span = st.tracer.start(
+            f"module.{program}",
+            parent=ctx or st.span,
+            actor=st.span.attrs["actor"],
+            host=host,
+        )
         try:
-            script = proc.spawn([program, host])
+            # The script's own children (console commands, rsh chains)
+            # parent under the module span via the environ breadcrumb.
+            script = proc.spawn([program, host], environ=span.environ())
         except NoSuchProgram:
+            span.end(error="no such program")
             if verb == "grow":
                 # Misconfigured module: give the machine back, don't leak it.
                 st.pending_add.discard(host)
@@ -359,7 +424,8 @@ def _module_runner(proc, st):
                 if record is not None:
                     record.conn.send(protocol.subapp_revoke())
             continue
-        yield proc.wait(script)
+        code = yield proc.wait(script)
+        span.end(code=code)
         if verb == "grow" and host in st.pending_add:
             # The grow script finished without the job ever rsh-ing to the
             # granted host (e.g. the runtime considered it already present).
@@ -405,7 +471,14 @@ def _handle_subapp(proc, st, conn, hello):
 # -- revocation ---------------------------------------------------------------
 
 
-def _handle_revoke(proc, st, host, cal):
+def _handle_revoke(proc, st, msg, cal):
+    host = msg["host"]
+    span = st.tracer.start(
+        "app.revoke",
+        parent=protocol.trace_of(msg) or st.span,
+        actor=st.span.attrs["actor"],
+        host=host,
+    )
     record = st.subapps.get(host)
     if record is None:
         # Nothing of ours runs there (e.g. a not-yet-consumed pending add).
@@ -413,17 +486,19 @@ def _handle_revoke(proc, st, host, cal):
             st.pending_add.discard(host)
             proc.unlink_file(expect_marker_path(host))
         st.broker.send(protocol.released(st.jobid, host))
+        span.end(path="idle")
         return
     st.revoking.add(host)
     if st.module is not None:
         # Ask the job itself to drop the host, via the user's module script
         # (queued: scripts share user state); the runtime shutting down its
         # remote process makes the subapp's child exit, which we await below.
-        st.module_queue.put_nowait(("shrink", host))
+        st.module_queue.put_nowait(("shrink", host, span.context))
     else:
         record.conn.send(protocol.subapp_revoke())
     yield record.exited
     st.broker.send(protocol.released(st.jobid, host))
+    span.end(path="module" if st.module is not None else "subapp")
 
 
 def _handle_subapp_gone(st, host):

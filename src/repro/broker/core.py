@@ -59,8 +59,16 @@ class _BrokerControl:
         self.state = service.state
         self.policy = service.policy
         self.cal = proc.machine.network.calibration
+        self.tracer = service.tracer
+        self.metrics = service.metrics
         self._reqids = {}  # (jobid, reqid) -> PendingRequest (for dedupe)
         self._reports_seen = set()
+        # Span bookkeeping lives here, NOT on the state dataclasses: putting
+        # spans on PendingRequest would change its equality semantics, which
+        # the pending-queue membership tests rely on.
+        self._job_spans = {}  # jobid -> broker.job span
+        self._request_spans = {}  # (jobid, reqid) -> broker.request span
+        self._reclaim_spans = {}  # host -> broker.reclaim span
 
     # -- daemon management ----------------------------------------------------
 
@@ -170,6 +178,15 @@ class _BrokerControl:
             adaptive_hint=bool(submit_msg.get("adaptive")),
         )
         job.conn = conn
+        self._job_spans[job.jobid] = self.tracer.start(
+            "broker.job",
+            parent=protocol.trace_of(submit_msg),
+            actor="rbroker",
+            host=self.proc.machine.name,
+            jobid=job.jobid,
+            user=job.user,
+        )
+        self.metrics.counter("broker.submits").inc()
         self.service.log(
             event="submit",
             jobid=job.jobid,
@@ -203,6 +220,16 @@ class _BrokerControl:
             )
             self.state.pending.append(request)
             self._reqids[(job.jobid, request.reqid)] = request
+            self._request_spans[(job.jobid, request.reqid)] = self.tracer.start(
+                "broker.request",
+                parent=protocol.trace_of(msg) or self._job_spans.get(job.jobid),
+                actor="rbroker",
+                jobid=job.jobid,
+                reqid=request.reqid,
+                symbolic=request.symbolic,
+                firm=request.firm,
+            )
+            self.metrics.gauge("broker.pending_requests").inc()
             self.service.log(
                 event="machine_request",
                 jobid=job.jobid,
@@ -244,6 +271,11 @@ class _BrokerControl:
                 return  # satisfiable in principle; stay queued
         self.state.pending.remove(request)
         self._reqids.pop((job.jobid, request.reqid), None)
+        span = self._request_spans.pop((job.jobid, request.reqid), None)
+        if span is not None:
+            span.end(outcome="denied")
+        self.metrics.counter("broker.denials").inc()
+        self.metrics.gauge("broker.pending_requests").dec()
         self.service.log(
             event="denied",
             jobid=job.jobid,
@@ -288,15 +320,29 @@ class _BrokerControl:
         self.state.allocate(
             host, request.jobid, firm=request.firm, now=self.proc.env.now
         )
+        waited = self.proc.env.now - request.arrived_at
+        span = self._request_spans.pop((request.jobid, request.reqid), None)
+        if span is not None:
+            span.end(outcome="granted", host=host, waited=waited)
+        self.metrics.counter("broker.grants").inc()
+        self.metrics.histogram("broker.grant_wait").observe(waited)
+        self.metrics.gauge("broker.pending_requests").dec()
         self.service.log(
             event="grant",
             jobid=request.jobid,
             reqid=request.reqid,
             host=host,
-            waited=self.proc.env.now - request.arrived_at,
+            waited=waited,
         )
         if job.conn is not None:
-            job.conn.send(protocol.machine_grant(request.reqid, host))
+            # The grant carries the request span's context so the app can
+            # parent asynchronous module grows under the broker's decision.
+            job.conn.send(
+                protocol.attach_trace(
+                    protocol.machine_grant(request.reqid, host),
+                    span.context if span is not None else None,
+                )
+            )
 
     def _start_reclaim(self, host: str, claimed_by) -> None:
         record = self.state.machine(host)
@@ -307,6 +353,22 @@ class _BrokerControl:
         if claimed_by is not None:
             claimed_by.reserved_host = host
         victim = self.state.job(allocation.jobid)
+        # Parent the reclaim under whatever demanded it: the claiming
+        # request's span, or the victim's own job span on owner reclaims.
+        if claimed_by is not None:
+            parent = self._request_spans.get((claimed_by.jobid, claimed_by.reqid))
+        else:
+            parent = self._job_spans.get(allocation.jobid)
+        reclaim = self.tracer.start(
+            "broker.reclaim",
+            parent=parent,
+            actor="rbroker",
+            host=host,
+            victim=allocation.jobid,
+            for_jobid=claimed_by.jobid if claimed_by else None,
+        )
+        self._reclaim_spans[host] = reclaim
+        self.metrics.counter("broker.revokes").inc()
         self.service.log(
             event="revoke",
             host=host,
@@ -314,7 +376,9 @@ class _BrokerControl:
             for_jobid=claimed_by.jobid if claimed_by else None,
         )
         if victim.conn is not None:
-            victim.conn.send(protocol.revoke(host))
+            victim.conn.send(
+                protocol.attach_trace(protocol.revoke(host), reclaim.context)
+            )
 
     def _on_released(self, job, host: str):
         record = self.state.machines.get(host)
@@ -323,6 +387,12 @@ class _BrokerControl:
         if record.allocation.jobid != job.jobid:
             return  # stale release from a previous holder
         allocation = self.state.release(host)
+        reclaim = self._reclaim_spans.pop(host, None)
+        if reclaim is not None:
+            reclaim.end()
+            self.metrics.histogram("broker.reclaim_seconds").observe(
+                reclaim.duration
+            )
         self.service.log(event="released", host=host, jobid=job.jobid)
         claim = allocation.claimed_by
         if claim is not None:
@@ -345,10 +415,19 @@ class _BrokerControl:
     def _finish_job(self, job, code):
         job.done = True
         self.state.drop_job_requests(job.jobid)
+        for key in [k for k in self._request_spans if k[0] == job.jobid]:
+            self._request_spans.pop(key).end(outcome="dropped")
+            self.metrics.gauge("broker.pending_requests").dec()
         for allocation in self.state.allocations_of(job.jobid):
             released = self.state.release(allocation.host)
+            reclaim = self._reclaim_spans.pop(allocation.host, None)
+            if reclaim is not None:
+                reclaim.end(outcome="job_done")
             claim = released.claimed_by if released else None
             if claim is not None:
                 claim.reserved_host = None
+        span = self._job_spans.pop(job.jobid, None)
+        if span is not None:
+            span.end(code=code)
         self.service.log(event="job_done", jobid=job.jobid, code=code)
         yield from self._schedule()

@@ -18,21 +18,32 @@ from repro.broker import protocol
 
 def rbdaemon_main(proc):
     """Program body: ``argv = ["rbdaemon", broker_host]``."""
+    from repro.obs import metrics_of, tracer_of
+
     if len(proc.argv) < 2:
         return 1
     broker_host = proc.argv[1]
     cal = proc.machine.network.calibration
+    boot = tracer_of(proc).start(
+        "rbdaemon.boot",
+        actor=f"rbdaemon:{proc.machine.name}",
+        host=proc.machine.name,
+    )
     yield proc.sleep(cal.daemon_startup)
     try:
         conn = yield proc.connect(broker_host, ports.BROKER)
     except (ConnectionRefused, NoSuchHost):
+        boot.end(error="broker unreachable")
         return 1
     conn.send(protocol.daemon_hello(proc.machine.name))
+    boot.end()
     # Detach so the broker's rsh invocation returns while we keep running.
     proc.daemonize()
+    reports = metrics_of(proc).counter("rbdaemon.reports")
     try:
         while True:
             conn.send(protocol.daemon_report(proc.machine.snapshot()))
+            reports.inc()
             yield proc.sleep(cal.daemon_report_interval)
     except ConnectionClosed:
         return 1

@@ -39,6 +39,28 @@ from typing import Any, Dict, List, Optional
 Message = Dict[str, Any]
 
 
+# -- trace context propagation -----------------------------------------------
+#
+# Any message may carry a ``"trace"`` key: the span context of the operation
+# that caused it (see :mod:`repro.obs.spans`).  Receivers parent their own
+# spans under it, which is what stitches one submission's rsh', app, broker
+# and module activity into a single trace tree across process and machine
+# boundaries.  The key is optional everywhere: hand-built test messages and
+# untraced callers keep working unchanged.
+
+
+def attach_trace(message: Message, context: Optional[Dict[str, int]]) -> Message:
+    """Attach a span context to ``message`` (no-op on None); returns it."""
+    if context:
+        message["trace"] = dict(context)
+    return message
+
+
+def trace_of(message: Message) -> Optional[Dict[str, int]]:
+    """The span context ``message`` carries, if any."""
+    return message.get("trace")
+
+
 # -- resource-management layer ----------------------------------------------
 
 

@@ -32,10 +32,19 @@ from repro.rsl import is_symbolic_hostname
 
 def rshprime_main(proc):
     """Program body: ``argv = ["rsh", host, command, args...]``."""
+    from repro.obs import context_from_environ, tracer_of
+
     if len(proc.argv) < 3:
         return RshExit.ERROR
     host, command_argv = proc.argv[1], proc.argv[2:]
     cal = proc.machine.network.calibration
+    span = tracer_of(proc).start(
+        "rshprime",
+        parent=context_from_environ(proc.environ),
+        actor=f"rsh:{proc.machine.name}",
+        host=host,
+        argv=list(command_argv),
+    )
 
     app_port = proc.environ.get("RB_APP_PORT")
     app_host = proc.environ.get("RB_APP_HOST")
@@ -47,6 +56,7 @@ def rshprime_main(proc):
         # Plain passthrough; marginal cost only (Table 3 "w/ host" rows).
         yield proc.sleep(cal.rshp_passthrough)
         code = yield from remote_exec(proc, host, command_argv)
+        span.end(path="passthrough", code=code)
         return code
 
     # Consult the app process this job belongs to.
@@ -54,20 +64,29 @@ def rshprime_main(proc):
     try:
         conn = yield proc.connect(app_host, int(app_port))
     except (ConnectionRefused, NoSuchHost):
+        span.end(path="negotiated", error="app unreachable")
         return RshExit.ERROR
-    conn.send(protocol.rsh_request(host, command_argv, proc.uid))
+    conn.send(
+        protocol.attach_trace(
+            protocol.rsh_request(host, command_argv, proc.uid), span.context
+        )
+    )
     try:
         reply = yield conn.recv()
     except ConnectionClosed:
+        span.end(path="negotiated", error="app hung up")
         return RshExit.ERROR
     conn.close()
 
     if reply.get("type") != "rsh_exec":
-        return RshExit.ERROR  # rsh_fail: module phase I, or denial
+        # rsh_fail: module phase I, or denial.
+        span.end(path="negotiated", error=reply.get("reason", "rsh_fail"))
+        return RshExit.ERROR
     target = reply["target"]
     if reply.get("wrap"):
         remote_argv = ["subapp", app_host, str(app_port), reply["token"]]
     else:
         remote_argv = command_argv
     code = yield from remote_exec(proc, target, remote_argv)
+    span.end(path="negotiated", target=target, code=code)
     return code

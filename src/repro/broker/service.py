@@ -17,7 +17,7 @@ from repro.broker.app import app_main, subapp_main
 from repro.broker.core import make_broker_main
 from repro.broker.daemon import rbdaemon_main
 from repro.broker.rshprime import rshprime_main
-from repro.broker.tools import rbctl_main, rbstat_main
+from repro.broker.tools import rbctl_main, rbstat_main, rbtop_main, rbtrace_main
 from repro.broker.state import BrokerState, JobRecord
 from repro.os.process import OSProcess
 from repro.os.programs import ProgramDirectory
@@ -38,6 +38,8 @@ class JobHandle:
     argv: List[str]
     rsl: str
     uid: str
+    #: Root span of this submission's trace tree (``job.submit``).
+    span: Any = None
 
     @property
     def terminated(self):
@@ -83,6 +85,10 @@ class BrokerService:
         self.broker_host = broker_host or self.managed_hosts[0]
         self.state = BrokerState()
         self.events: List[Dict[str, Any]] = []
+        self._events_by_kind: Dict[str, List[Dict[str, Any]]] = {}
+        #: Run-wide observability, shared with everything on this network.
+        self.tracer = cluster.network.tracer
+        self.metrics = cluster.network.metrics
         self.ready = self.env.event()
         self._daemon_down: Dict[str, Any] = {}
 
@@ -95,6 +101,8 @@ class BrokerService:
         self.rb_bin.register("rbroker", make_broker_main(self))
         self.rb_bin.register("rbstat", rbstat_main)
         self.rb_bin.register("rbctl", rbctl_main)
+        self.rb_bin.register("rbtrace", rbtrace_main)
+        self.rb_bin.register("rbtop", rbtop_main)
 
         for host in self.managed_hosts:
             machine = cluster.machines[host]
@@ -117,10 +125,15 @@ class BrokerService:
         """Append a timestamped entry to the broker event log."""
         entry.setdefault("time", self.env.now)
         self.events.append(entry)
+        kind = entry.get("event")
+        if kind is not None:
+            # Index at append time so events_of() is O(matches), not a full
+            # scan — experiment harnesses poll it in tight wait loops.
+            self._events_by_kind.setdefault(kind, []).append(entry)
 
     def events_of(self, event: str) -> List[Dict[str, Any]]:
         """All logged entries of one event kind, in order."""
-        return [e for e in self.events if e.get("event") == event]
+        return list(self._events_by_kind.get(event, ()))
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -139,17 +152,30 @@ class BrokerService:
         """Submit ``argv`` from ``host`` through an app process.
 
         This is the user typing ``app <rsl> <command>`` at a shell prompt on
-        ``host``.
+        ``host``.  The submission roots a new trace: every span the job's
+        app, rsh' chain, broker session and module scripts produce hangs off
+        the returned handle's ``span``.
         """
+        span = self.tracer.start(
+            "job.submit",
+            host=host,
+            actor="user",
+            uid=uid,
+            argv=list(argv),
+            rsl=rsl,
+        )
         app_argv = ["app", rsl, *argv]
         proc = self.cluster.run_command(
             host,
             app_argv,
             uid=uid,
-            environ={"RB_BROKER_HOST": self.broker_host},
+            environ={"RB_BROKER_HOST": self.broker_host, **span.environ()},
+        )
+        proc.terminated.add_callback(
+            lambda ev: span.end(code=ev.value) if not span.finished else None
         )
         return JobHandle(
-            service=self, proc=proc, argv=list(argv), rsl=rsl, uid=uid
+            service=self, proc=proc, argv=list(argv), rsl=rsl, uid=uid, span=span
         )
 
     def halt_job(self, jobid: int, host: Optional[str] = None) -> OSProcess:

@@ -11,6 +11,8 @@ program; these two cover the rest:
 * ``rbctl halt <jobid>`` — ask the broker to stop a job (delivered to the
   job's app, which uses the job's ``<module>_halt`` script when there is
   one).
+* ``rbtrace`` — dump the run's span trees (``repro.obs``) to ``~/.rbtrace``.
+* ``rbtop`` — dump the run's metrics registry to ``~/.rbtop``.
 """
 
 from __future__ import annotations
@@ -21,6 +23,12 @@ from repro.os.errors import ConnectionClosed, ConnectionRefused, NoSuchHost
 
 #: Where rbstat drops its report (home-relative).
 RBSTAT_FILE = "~/.rbstat"
+
+#: Where rbtrace drops its span-tree outline (home-relative).
+RBTRACE_FILE = "~/.rbtrace"
+
+#: Where rbtop drops its metrics snapshot (home-relative).
+RBTOP_FILE = "~/.rbtop"
 
 
 def _broker_host(proc):
@@ -90,3 +98,27 @@ def rbctl_main(proc):
         return 1
     conn.close()
     return 0 if reply.get("ok") else 1
+
+
+def rbtrace_main(proc):
+    """``rbtrace``: write the run's span trees to ``~/.rbtrace``.
+
+    Reads the run-wide tracer directly (the simulation's observability
+    plane is ambient, not a broker RPC) and renders every trace as an
+    indented outline — the terminal analogue of opening the Chrome-trace
+    export in Perfetto.
+    """
+    from repro.obs import format_trace, tracer_of
+
+    yield proc.sleep(0)
+    proc.write_file(RBTRACE_FILE, format_trace(tracer_of(proc)))
+    return 0
+
+
+def rbtop_main(proc):
+    """``rbtop``: write a snapshot of the run's metrics to ``~/.rbtop``."""
+    from repro.obs import metrics_of
+
+    yield proc.sleep(0)
+    proc.write_file(RBTOP_FILE, metrics_of(proc).render())
+    return 0

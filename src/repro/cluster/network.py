@@ -181,6 +181,8 @@ class Network:
         env: "Environment",
         calibration: Calibration = DEFAULT,
     ) -> None:
+        from repro.obs import MetricsRegistry, Tracer
+
         self.env = env
         self.calibration = calibration
         self.latency = calibration.network_latency
@@ -189,6 +191,10 @@ class Network:
         self.crashed: List["OSProcess"] = []
         self.trace: Optional[Callable[[str], None]] = None
         self._ephemeral: Dict[str, int] = {}
+        #: Run-wide observability: the span tracer and metrics registry every
+        #: program body reaches via ``repro.obs.tracer_of`` / ``metrics_of``.
+        self.tracer = Tracer(env)
+        self.metrics = MetricsRegistry(env)
 
     def ephemeral_port(self, machine: "Machine") -> int:
         """A fresh high port on ``machine`` (never reused within a run)."""

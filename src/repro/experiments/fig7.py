@@ -20,7 +20,7 @@ from typing import List, Optional
 
 from repro.cluster import Cluster, ClusterSpec
 from repro.experiments.results import ExperimentTable
-from repro.metrics.timers import grant_timeline
+from repro.obs import grant_times
 
 #: Request sizes plotted (the paper sweeps to its full 16-machine testbed).
 DEFAULT_SIZES = [1, 2, 4, 8, 12, 16]
@@ -48,7 +48,7 @@ def _cluster_for(k: int, seed: int):
     return cluster, svc
 
 
-def measure_reallocation(k: int, seed: int = 0) -> dict:
+def measure_reallocation(k: int, seed: int = 0, trace=None) -> dict:
     """Time to pull ``k`` machines from Calypso for a fresh PVM job."""
     cluster, svc = _cluster_for(k, seed)
     pvm_handle = svc.submit("n00", ["pvm"], rsl='+(module="pvm")', uid="pat")
@@ -65,9 +65,11 @@ def measure_reallocation(k: int, seed: int = 0) -> dict:
     deadline = cluster.now + 10.0 + 5.0 * k
     while len(grants) < k and cluster.now < deadline:
         cluster.env.run(until=cluster.now + 0.25)
-        grants = grant_timeline(svc, pvm_job.jobid, since=t0)
+        grants = grant_times(svc, pvm_job.jobid, since=t0)
     assert len(grants) >= k, f"only {len(grants)} of {k} machines granted"
     cluster.assert_no_crashes()
+    if trace is not None:
+        trace.add_cluster(cluster, label=f"fig7 k={k}")
     return {
         "k": k,
         "available_at": grants[k - 1],
@@ -76,8 +78,14 @@ def measure_reallocation(k: int, seed: int = 0) -> dict:
     }
 
 
-def run_fig7(sizes: Optional[List[int]] = None, seed: int = 0) -> ExperimentTable:
-    """Regenerate Figure 7's series."""
+def run_fig7(
+    sizes: Optional[List[int]] = None, seed: int = 0, trace=None
+) -> ExperimentTable:
+    """Regenerate Figure 7's series.
+
+    ``trace`` may be a :class:`repro.obs.TraceCollector`; each size's
+    cluster is then captured as its own labelled trace group.
+    """
     sizes = sizes or DEFAULT_SIZES
     table = ExperimentTable(
         title="Figure 7: Resource reallocation using PVM and ResourceBroker",
@@ -85,7 +93,7 @@ def run_fig7(sizes: Optional[List[int]] = None, seed: int = 0) -> ExperimentTabl
     )
     per_machine = []
     for k in sizes:
-        result = measure_reallocation(k, seed=seed)
+        result = measure_reallocation(k, seed=seed, trace=trace)
         table.add(str(k), result["available_at"], result["per_machine"])
         per_machine.append(result["per_machine"])
     table.meta["per_machine"] = per_machine

@@ -25,17 +25,19 @@ def _fresh_cluster(seed: int, broker: bool) -> Cluster:
     return cluster
 
 
-def _measure_plain(seed: int, program: str) -> float:
+def _measure_plain(seed: int, program: str, trace=None) -> float:
     cluster = _fresh_cluster(seed, broker=False)
     t0 = cluster.now
     proc = cluster.run_command("n00", ["rsh", "n01", program])
     cluster.env.run(until=proc.terminated)
     assert proc.exit_code == 0, f"rsh n01 {program} failed"
     cluster.assert_no_crashes()
+    if trace is not None:
+        trace.add_cluster(cluster, label=f"rsh n01 {program}")
     return cluster.now - t0
 
 
-def _measure_brokered(seed: int, target: str, program: str) -> float:
+def _measure_brokered(seed: int, target: str, program: str, trace=None) -> float:
     cluster = _fresh_cluster(seed, broker=True)
     svc = cluster.broker
     t0 = cluster.now
@@ -43,21 +45,31 @@ def _measure_brokered(seed: int, target: str, program: str) -> float:
     code = handle.wait()
     assert code == 0, f"rsh' {target} {program} failed"
     cluster.assert_no_crashes()
+    if trace is not None:
+        trace.add_cluster(cluster, label=f"rsh' {target} {program}")
     return cluster.now - t0
 
 
-def run_table1(seed: int = 0) -> ExperimentTable:
-    """Regenerate Table 1."""
+def run_table1(seed: int = 0, trace=None) -> ExperimentTable:
+    """Regenerate Table 1.
+
+    ``trace`` may be a :class:`repro.obs.TraceCollector`; each measurement's
+    cluster is then captured as its own labelled trace group.
+    """
     table = ExperimentTable(
         title="Table 1: Performance of rsh' (seconds)",
         columns=["Operation", "Time (s)"],
     )
-    table.add("rsh n01 null", _measure_plain(seed, "null"))
-    table.add("rsh' n01 null", _measure_brokered(seed, "n01", "null"))
-    table.add("rsh' anylinux null", _measure_brokered(seed, "anylinux", "null"))
-    table.add("rsh n01 loop", _measure_plain(seed, "loop"))
-    table.add("rsh' n01 loop", _measure_brokered(seed, "n01", "loop"))
-    table.add("rsh' anylinux loop", _measure_brokered(seed, "anylinux", "loop"))
+    table.add("rsh n01 null", _measure_plain(seed, "null", trace))
+    table.add("rsh' n01 null", _measure_brokered(seed, "n01", "null", trace))
+    table.add(
+        "rsh' anylinux null", _measure_brokered(seed, "anylinux", "null", trace)
+    )
+    table.add("rsh n01 loop", _measure_plain(seed, "loop", trace))
+    table.add("rsh' n01 loop", _measure_brokered(seed, "n01", "loop", trace))
+    table.add(
+        "rsh' anylinux loop", _measure_brokered(seed, "anylinux", "loop", trace)
+    )
     table.notes.append(
         "paper: null 0.3 / 0.6 / 0.6; loop = null + ~6.5 in each row"
     )

@@ -41,35 +41,43 @@ def _cluster_with_calypso(seed: int):
     return cluster, svc
 
 
-def _measure_plain(seed: int, program: str) -> float:
+def _measure_plain(seed: int, program: str, trace=None) -> float:
     cluster, _svc = _cluster_with_calypso(seed)
     t0 = cluster.now
     proc = cluster.run_command("n00", ["rsh", "n01", program])
     cluster.env.run(until=proc.terminated)
     assert proc.exit_code == 0
+    if trace is not None:
+        trace.add_cluster(cluster, label=f"rsh n01 {program}")
     return cluster.now - t0
 
 
-def _measure_brokered(seed: int, program: str) -> float:
+def _measure_brokered(seed: int, program: str, trace=None) -> float:
     cluster, svc = _cluster_with_calypso(seed)
     t0 = cluster.now
     handle = svc.submit("n00", ["rsh", "anylinux", program])
     code = handle.wait()
     assert code == 0
     cluster.assert_no_crashes()
+    if trace is not None:
+        trace.add_cluster(cluster, label=f"rsh' anylinux {program}")
     return cluster.now - t0
 
 
-def run_table2(seed: int = 0) -> ExperimentTable:
-    """Regenerate Table 2."""
+def run_table2(seed: int = 0, trace=None) -> ExperimentTable:
+    """Regenerate Table 2.
+
+    ``trace`` may be a :class:`repro.obs.TraceCollector`; each measurement's
+    cluster is then captured as its own labelled trace group.
+    """
     table = ExperimentTable(
         title="Table 2: Performance of reallocation (seconds)",
         columns=["Operation", "Time (s)"],
     )
-    table.add("rsh n01 null", _measure_plain(seed, "null"))
-    table.add("rsh' anylinux null", _measure_brokered(seed, "null"))
-    table.add("rsh n01 loop", _measure_plain(seed, "loop"))
-    table.add("rsh' anylinux loop", _measure_brokered(seed, "loop"))
+    table.add("rsh n01 null", _measure_plain(seed, "null", trace))
+    table.add("rsh' anylinux null", _measure_brokered(seed, "null", trace))
+    table.add("rsh n01 loop", _measure_plain(seed, "loop", trace))
+    table.add("rsh' anylinux loop", _measure_brokered(seed, "loop", trace))
     table.notes.append(
         "paper: null 0.3 vs ~1.3; loop shares the CPU under plain rsh but "
         "runs on a cleared machine after reallocation"

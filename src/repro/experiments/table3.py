@@ -77,7 +77,7 @@ def _pvm_measure(cluster, hosts: List[str], uid="user") -> float:
     return cluster.now - t0
 
 
-def _row_pvm(seed: int, mode: str) -> List[float]:
+def _row_pvm(seed: int, mode: str, trace=None) -> List[float]:
     times = []
     for k in _SIZES:
         if mode == "rsh":
@@ -93,6 +93,8 @@ def _row_pvm(seed: int, mode: str) -> List[float]:
             _pvm_boot_brokered(cluster)
             hosts = ["anylinux"] * k
         times.append(_pvm_measure(cluster, hosts))
+        if trace is not None:
+            trace.add_cluster(cluster, label=f"pvm w/ {mode} k={k}")
     return times
 
 
@@ -127,7 +129,7 @@ def _lam_measure(cluster, hosts: List[str], uid="user") -> float:
     return cluster.now - t0
 
 
-def _row_lam(seed: int, mode: str) -> List[float]:
+def _row_lam(seed: int, mode: str, trace=None) -> List[float]:
     times = []
     for k in _SIZES:
         if mode == "rsh":
@@ -143,11 +145,17 @@ def _row_lam(seed: int, mode: str) -> List[float]:
             _lam_boot_brokered(cluster)
             hosts = ["anylinux"] * k
         times.append(_lam_measure(cluster, hosts))
+        if trace is not None:
+            trace.add_cluster(cluster, label=f"lam w/ {mode} k={k}")
     return times
 
 
-def run_table3(seed: int = 0) -> ExperimentTable:
-    """Regenerate Table 3."""
+def run_table3(seed: int = 0, trace=None) -> ExperimentTable:
+    """Regenerate Table 3.
+
+    ``trace`` may be a :class:`repro.obs.TraceCollector`; every per-size
+    cluster is then captured as its own labelled trace group.
+    """
     table = ExperimentTable(
         title=(
             "Table 3: Time to dynamically add resources to PVM and LAM "
@@ -155,12 +163,12 @@ def run_table3(seed: int = 0) -> ExperimentTable:
         ),
         columns=["Operation"] + [f"{k} machine(s)" for k in _SIZES],
     )
-    pvm_rsh = _row_pvm(seed, "rsh")
-    pvm_host = _row_pvm(seed, "host")
-    pvm_any = _row_pvm(seed, "anylinux")
-    lam_rsh = _row_lam(seed, "rsh")
-    lam_host = _row_lam(seed, "host")
-    lam_any = _row_lam(seed, "anylinux")
+    pvm_rsh = _row_pvm(seed, "rsh", trace)
+    pvm_host = _row_pvm(seed, "host", trace)
+    pvm_any = _row_pvm(seed, "anylinux", trace)
+    lam_rsh = _row_lam(seed, "rsh", trace)
+    lam_host = _row_lam(seed, "host", trace)
+    lam_any = _row_lam(seed, "anylinux", trace)
     table.add("pvm w/ rsh", *pvm_rsh)
     table.add("pvm w/ host", *pvm_host)
     table.add("pvm w/ anylinux", *pvm_any)

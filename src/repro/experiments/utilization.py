@@ -26,8 +26,13 @@ def run_utilization(
     period: float = 100.0,
     machines: int = 8,
     seed: int = 0,
+    trace=None,
 ) -> ExperimentTable:
-    """Regenerate the utilization experiment (horizon shrinkable for tests)."""
+    """Regenerate the utilization experiment (horizon shrinkable for tests).
+
+    ``trace`` may be a :class:`repro.obs.TraceCollector`; the run's cluster
+    is then captured as one labelled trace group.
+    """
     cluster = Cluster(ClusterSpec.uniform(machines + 1, seed=seed))
     svc = cluster.start_broker()
     svc.wait_ready()
@@ -53,14 +58,14 @@ def run_utilization(
     meter.start()
     start = cluster.now
 
-    trace = periodic_sequential_jobs(
+    workload = periodic_sequential_jobs(
         cluster.env, period=period, horizon=horizon
     )
     submitted = 0
 
     def submitter():
         nonlocal submitted
-        for arrival, duration in trace.jobs():
+        for arrival, duration in workload.jobs():
             now = cluster.env.now - start
             if arrival > now:
                 yield cluster.env.timeout(arrival - now)
@@ -74,6 +79,8 @@ def run_utilization(
     cluster.env.process(submitter())
     cluster.env.run(until=start + horizon)
 
+    if trace is not None:
+        trace.add_cluster(cluster, label="utilization")
     idleness = meter.idleness()
     table = ExperimentTable(
         title="Utilization of a dynamic environment (paper section 6.2)",

@@ -1,4 +1,12 @@
-"""Elapsed-time capture and broker event-log reductions."""
+"""Elapsed-time capture and broker event-log reductions.
+
+.. deprecated::
+    New code should use :mod:`repro.obs` instead: spans
+    (:class:`repro.obs.Tracer`) subsume :class:`ElapsedTimer` for anything on
+    the allocation path, and :func:`repro.obs.grant_times` replaces
+    :func:`grant_timeline`.  These helpers remain as thin compatibility
+    shims for existing harness code.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +14,11 @@ from typing import List, Optional
 
 
 class ElapsedTimer:
-    """Measure simulated elapsed time around an operation."""
+    """Measure simulated elapsed time around an operation.
+
+    .. deprecated:: Prefer a span from :class:`repro.obs.Tracer` — a span
+       records the same start/stop pair *and* lands in the exported trace.
+    """
 
     def __init__(self, env) -> None:
         self.env = env
@@ -32,9 +44,12 @@ class ElapsedTimer:
 
 
 def grant_timeline(service, jobid: int, since: float = 0.0) -> List[float]:
-    """Times of `grant` events for one job, relative to ``since``."""
-    return sorted(
-        e["time"] - since
-        for e in service.events_of("grant")
-        if e["jobid"] == jobid and e["time"] >= since
-    )
+    """Times of `grant` events for one job, relative to ``since``.
+
+    .. deprecated:: Thin shim over :func:`repro.obs.grant_times`, which reads
+       the span tree (a granted ``broker.request`` span ends at exactly the
+       instant the grant event used to be logged).
+    """
+    from repro.obs import grant_times
+
+    return grant_times(service, jobid, since)

@@ -35,8 +35,14 @@ class UtilizationMeter:
         }
 
     def utilization(self) -> float:
-        """Mean busy fraction across all measured machines."""
+        """Mean busy fraction across all measured machines.
+
+        An empty host set measures nothing: report 0.0 busy rather than
+        dividing by zero.
+        """
         per_host = self.utilization_by_host()
+        if not per_host:
+            return 0.0
         return sum(per_host.values()) / len(per_host)
 
     def idleness(self) -> float:

@@ -1,0 +1,237 @@
+"""Trace exporters: JSONL and Chrome ``trace_event`` format.
+
+Two outputs, two audiences:
+
+* **JSONL** — one span per line, stable key order; the machine-diffable form
+  (the determinism tests pin byte-identical exports for identical seeds, and
+  perf PRs can diff per-phase breakdowns instead of only totals);
+* **Chrome trace** — a ``{"traceEvents": [...]}`` document loadable in
+  ``about:tracing`` or https://ui.perfetto.dev; each simulated machine
+  becomes a "process" row, each component (app, broker, rsh, module, ...) a
+  "thread" within it, and metrics become counter tracks.
+
+Simulated seconds are mapped to trace microseconds, so 1 simulated second
+reads as 1 s in the viewer.
+
+:class:`TraceCollector` accumulates spans from the *several* clusters a
+single experiment builds (Table 1 alone boots six) into one file, with each
+measurement labelled as its own process group.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Span, Tracer
+
+#: Simulated seconds -> Chrome trace microseconds.
+_US = 1_000_000.0
+
+
+def span_record(span: Span, now: Optional[float] = None) -> Dict[str, Any]:
+    """The JSONL dict for one span (open spans clamp to ``now``)."""
+    end = span.ended_at
+    if end is None and now is not None:
+        end = now
+    return {
+        "name": span.name,
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "start": span.started_at,
+        "end": end,
+        "open": span.ended_at is None,
+        "attrs": span.attrs,
+    }
+
+
+def to_jsonl(spans: List[Span], now: Optional[float] = None) -> str:
+    """Render spans as JSON Lines, one span per line, stable key order."""
+    lines = [
+        json.dumps(span_record(span, now=now), sort_keys=True, default=str)
+        for span in spans
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _actor_of(span: Span) -> str:
+    actor = span.attrs.get("actor")
+    if actor:
+        return str(actor)
+    return span.name.split(".", 1)[0]
+
+
+def to_chrome(
+    spans: List[Span],
+    metrics: Optional[MetricsRegistry] = None,
+    now: Optional[float] = None,
+    label: Optional[str] = None,
+    _state: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build a Chrome ``trace_event`` document from spans (+ metrics).
+
+    ``label`` prefixes the process names (used when merging several runs);
+    ``_state`` is the collector's shared pid/tid allocator, internal.
+    """
+    state = _state if _state is not None else {"pids": {}, "tids": {}, "events": []}
+    pids: Dict[Tuple[str, str], int] = state["pids"]
+    tids: Dict[Tuple[int, str], int] = state["tids"]
+    events: List[Dict[str, Any]] = state["events"]
+
+    def pid_for(host: str) -> int:
+        key = (label or "", host)
+        if key not in pids:
+            pids[key] = len(pids) + 1
+            name = host if not label else f"{label}: {host}"
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pids[key],
+                    "tid": 0,
+                    "args": {"name": name},
+                }
+            )
+        return pids[key]
+
+    def tid_for(pid: int, actor: str) -> int:
+        key = (pid, actor)
+        if key not in tids:
+            tids[key] = sum(1 for p, _ in tids if p == pid) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tids[key],
+                    "args": {"name": actor},
+                }
+            )
+        return tids[key]
+
+    for span in spans:
+        end = span.ended_at
+        if end is None:
+            end = now if now is not None else span.started_at
+        pid = pid_for(str(span.attrs.get("host", "sim")))
+        tid = tid_for(pid, _actor_of(span))
+        args = {k: v for k, v in span.attrs.items() if k not in ("host", "actor")}
+        args["trace_id"] = span.trace_id
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": _actor_of(span),
+                "ts": span.started_at * _US,
+                "dur": max(0.0, end - span.started_at) * _US,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+
+    if metrics is not None:
+        pid = pid_for("metrics")
+        for metric in metrics.all_metrics():
+            samples = getattr(metric, "samples", None)
+            if not samples:
+                continue
+            for when, value in samples:
+                events.append(
+                    {
+                        "ph": "C",
+                        "name": metric.name,
+                        "ts": when * _US,
+                        "pid": pid,
+                        "tid": 0,
+                        "args": {"value": value},
+                    }
+                )
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_trace(
+    path: str,
+    tracer: Tracer,
+    metrics: Optional[MetricsRegistry] = None,
+) -> str:
+    """Export one tracer to ``path``; format chosen by extension.
+
+    ``.jsonl`` writes JSON Lines, anything else the Chrome trace document.
+    Returns the path for chaining.
+    """
+    now = tracer.env.now
+    if path.endswith(".jsonl"):
+        payload = to_jsonl(tracer.spans, now=now)
+    else:
+        payload = json.dumps(to_chrome(tracer.spans, metrics=metrics, now=now))
+    with open(path, "w") as fh:
+        fh.write(payload)
+    return path
+
+
+class TraceCollector:
+    """Accumulates traces from the many clusters one experiment builds.
+
+    Experiment harnesses call :meth:`add_cluster` after each measurement;
+    :meth:`write` then emits a single file with one labelled process group
+    per measurement.  Each cluster keeps its own simulated timeline (they
+    all start at t=0), which the Chrome viewer handles naturally since the
+    groups are distinct processes.
+    """
+
+    def __init__(self) -> None:
+        self.runs: List[Tuple[str, List[Span], Optional[MetricsRegistry], float]] = []
+
+    def add_cluster(self, cluster: Any, label: Optional[str] = None) -> None:
+        """Capture a cluster's tracer (and metrics) under ``label``."""
+        network = cluster.network
+        self.add_tracer(network.tracer, label=label, metrics=network.metrics)
+
+    def add_tracer(
+        self,
+        tracer: Tracer,
+        label: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        """Capture one tracer's spans under ``label``."""
+        name = label if label is not None else f"run{len(self.runs)}"
+        self.runs.append((name, list(tracer.spans), metrics, tracer.env.now))
+
+    def jsonl(self) -> str:
+        """All runs as JSON Lines; each record carries its run label."""
+        lines = []
+        for name, spans, _metrics, now in self.runs:
+            for span in spans:
+                record = span_record(span, now=now)
+                record["run"] = name
+                lines.append(json.dumps(record, sort_keys=True, default=str))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def chrome(self) -> Dict[str, Any]:
+        """All runs as one Chrome trace document (one group per run)."""
+        state: Dict[str, Any] = {"pids": {}, "tids": {}, "events": []}
+        doc: Dict[str, Any] = {"traceEvents": state["events"], "displayTimeUnit": "ms"}
+        for name, spans, metrics, now in self.runs:
+            doc = to_chrome(spans, metrics=metrics, now=now, label=name, _state=state)
+        return doc
+
+    def write(self, path: str) -> str:
+        """Write the collected trace; ``.jsonl`` selects JSON Lines."""
+        if path.endswith(".jsonl"):
+            payload = self.jsonl()
+        else:
+            payload = json.dumps(self.chrome())
+        with open(path, "w") as fh:
+            fh.write(payload)
+        return path
+
+    def __repr__(self) -> str:
+        total = sum(len(spans) for _, spans, _, _ in self.runs)
+        return f"<TraceCollector runs={len(self.runs)} spans={total}>"

@@ -1,0 +1,182 @@
+"""A metrics registry keyed on simulated time.
+
+Counters, gauges and histograms in the Prometheus mould, except that every
+sample is stamped with the *simulated* clock — the same axis the paper's
+tables use — so a metric series can be replayed against a trace and exported
+as counter tracks in the Chrome trace viewer.
+
+All instruments are get-or-create through :class:`MetricsRegistry` (one per
+simulated cluster, next to the tracer), so instrumentation sites never need
+to coordinate declaration order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+#: One time-stamped sample: ``(simulated time, value)``.
+Sample = Tuple[float, float]
+
+
+class Counter:
+    """A monotonically increasing count with a time-stamped sample series."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, env: Any, help: str = "") -> None:
+        self.name = name
+        self.env = env
+        self.help = help
+        self.value = 0.0
+        self.samples: List[Sample] = []
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) at the current simulated instant."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+        self.samples.append((self.env.now, self.value))
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A value that can go up and down, sampled on every change."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, env: Any, help: str = "") -> None:
+        self.name = name
+        self.env = env
+        self.help = help
+        self.value = 0.0
+        self.samples: List[Sample] = []
+
+    def set(self, value: float) -> None:
+        """Set the gauge at the current simulated instant."""
+        self.value = float(value)
+        self.samples.append((self.env.now, self.value))
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the gauge upward."""
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Adjust the gauge downward."""
+        self.set(self.value - amount)
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """A distribution of observations, each stamped with simulated time."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, env: Any, help: str = "") -> None:
+        self.name = name
+        self.env = env
+        self.help = help
+        self.observations: List[Sample] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation at the current simulated instant."""
+        self.observations.append((self.env.now, float(value)))
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self.observations)
+
+    @property
+    def total(self) -> float:
+        """Sum of all observed values."""
+        return sum(v for _, v in self.observations)
+
+    def mean(self) -> float:
+        """Mean observed value (0.0 when empty)."""
+        return self.total / self.count if self.observations else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) by nearest rank; 0.0 when empty."""
+        if not (0.0 <= q <= 1.0):
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if not self.observations:
+            return 0.0
+        ordered = sorted(v for _, v in self.observations)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count} mean={self.mean():.4f}>"
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument of one simulation."""
+
+    def __init__(self, env: Any) -> None:
+        self.env = env
+        self._metrics: Dict[str, Any] = {}
+
+    def _get(self, cls, name: str, help: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, self.env, help=help)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        return self._get(Histogram, name, help)
+
+    def all_metrics(self) -> List[Any]:
+        """Every registered instrument, sorted by name."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """A plain-dict summary of every instrument (for tools/tests)."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for metric in self.all_metrics():
+            if isinstance(metric, Histogram):
+                out[metric.name] = {
+                    "kind": metric.kind,
+                    "count": metric.count,
+                    "total": metric.total,
+                    "mean": metric.mean(),
+                    "p50": metric.percentile(0.5),
+                    "p95": metric.percentile(0.95),
+                }
+            else:
+                out[metric.name] = {"kind": metric.kind, "value": metric.value}
+        return out
+
+    def render(self) -> str:
+        """Human-readable rendering (what ``rbtop`` writes)."""
+        lines = [f"== metrics @ t={self.env.now:.3f}s =="]
+        for name, info in self.snapshot().items():
+            if info["kind"] == "histogram":
+                lines.append(
+                    f"{name}: n={info['count']} total={info['total']:.3f} "
+                    f"mean={info['mean']:.3f} p50={info['p50']:.3f} "
+                    f"p95={info['p95']:.3f}"
+                )
+            else:
+                lines.append(f"{name}: {info['value']:g}")
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:
+        return f"<MetricsRegistry metrics={len(self._metrics)}>"

@@ -176,6 +176,8 @@ class CalypsoRuntime:
             )
 
     def _session(self, conn):
+        from repro.obs import context_from_environ, tracer_of
+
         try:
             hello = yield conn.recv()
         except ConnectionClosed:
@@ -184,6 +186,15 @@ class CalypsoRuntime:
         if hello.get("type") != "worker_hello":
             conn.close()
             return
+        # One span per worker lifetime (join -> loss/shutdown), parented
+        # under the master program's context.
+        span = tracer_of(self.proc).start(
+            "calypso.worker",
+            parent=context_from_environ(self.proc.environ),
+            actor=f"calypso:{self.proc.machine.name}",
+            host=hello.get("host"),
+        )
+        steps_done = 0
         assigned: Optional[int] = None
         phase: Optional[_Phase] = None
         try:
@@ -211,6 +222,7 @@ class CalypsoRuntime:
                 assigned = None
                 if reply.get("type") == "result":
                     phase.complete(int(reply["step"]), reply.get("value"))
+                    steps_done += 1
                 elif reply.get("type") == "worker_bye":
                     break
         except ConnectionClosed:
@@ -221,4 +233,7 @@ class CalypsoRuntime:
                     0, phase.assignments[assigned] - 1
                 )
                 phase._dispatch.append(assigned)
+            span.end(steps=steps_done, outcome="lost")
+        if not span.finished:
+            span.end(steps=steps_done, outcome="dismissed")
         conn.close()

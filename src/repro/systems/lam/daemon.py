@@ -143,7 +143,9 @@ def _tool_command(proc, universe, msg):
         return {"type": "lam_reply", "nodes": sorted(universe.nodes)}
     if cmd == "grow":
         host = msg.get("host")
-        outcome = yield from _boot_node(proc, universe, host)
+        outcome = yield from _boot_node(
+            proc, universe, host, ctx=msg.get("trace")
+        )
         return {"type": "lam_reply", "result": outcome}
     if cmd == "shrink":
         host = msg.get("host")
@@ -194,18 +196,30 @@ def _spawn_tasks(proc, universe, argv, count):
     return placed
 
 
-def _boot_node(proc, universe, host):
+def _boot_node(proc, universe, host, ctx=None):
+    from repro.obs import context_from_environ, tracer_of
+
     if host in universe.nodes:
         return "already"
+    span = tracer_of(proc).start(
+        "lam.boot_node",
+        parent=ctx or context_from_environ(proc.environ),
+        actor=f"lamd:{universe.origin}",
+        host=host,
+    )
     universe.expected.add(host)
     rsh = proc.spawn(
-        ["rsh", host, "lamd", "-remote", universe.origin, str(universe.port)]
+        ["rsh", host, "lamd", "-remote", universe.origin, str(universe.port)],
+        environ=span.environ(),
     )
     code = yield proc.wait(rsh)
     if code != 0:
         universe.expected.discard(host)
+        span.end(result="failed")
         return "failed"
-    return "ok" if host in universe.nodes else "failed"
+    result = "ok" if host in universe.nodes else "failed"
+    span.end(result=result)
+    return result
 
 
 def _drop_node(proc, universe, host):

@@ -24,7 +24,9 @@ def _connect_origin(proc, retries: int = 40, retry_delay: float = 0.05):
     raise LamError("no lamd running (missing ~/.lamd)")
 
 
-def _tool(conn, payload):
+def _tool(conn, payload, ctx=None):
+    if ctx:
+        payload = {**payload, "trace": dict(ctx)}
     conn.send({"type": "lam_tool", **payload})
     try:
         reply = yield conn.recv()
@@ -43,6 +45,8 @@ def _tool_startup(proc):
 
 def lamboot_main(proc):
     """``lamboot [host...]``: start the origin lamd, boot listed hosts."""
+    from repro.obs import context_from_environ
+
     yield from _tool_startup(proc)
     if not proc.file_exists(LAMD_FILE) and not proc.file_exists(LAMD_LOCK):
         proc.write_file(LAMD_LOCK, "starting\n")
@@ -52,8 +56,9 @@ def lamboot_main(proc):
     except LamError:
         return 1
     status = 0
+    ctx = context_from_environ(proc.environ)
     for host in proc.argv[1:]:
-        reply = yield from _tool(conn, {"cmd": "grow", "host": host})
+        reply = yield from _tool(conn, {"cmd": "grow", "host": host}, ctx=ctx)
         if reply.get("result") == "failed":
             status = 1
     conn.close()
@@ -62,12 +67,18 @@ def lamboot_main(proc):
 
 def lamgrow_main(proc):
     """``lamgrow <host>``: add one node to the running universe."""
+    from repro.obs import context_from_environ
+
     if len(proc.argv) < 2:
         return 1
     yield from _tool_startup(proc)
     try:
         conn = yield from _connect_origin(proc)
-        reply = yield from _tool(conn, {"cmd": "grow", "host": proc.argv[1]})
+        reply = yield from _tool(
+            conn,
+            {"cmd": "grow", "host": proc.argv[1]},
+            ctx=context_from_environ(proc.environ),
+        )
     except LamError:
         return 1
     conn.close()

@@ -42,7 +42,10 @@ def _gather_commands(proc):
 
 def pvm_console_main(proc):
     """Program body of the ``pvm`` console (see module docstring)."""
+    from repro.obs import context_from_environ
+
     cal = proc.machine.network.calibration
+    ctx = context_from_environ(proc.environ)
     yield proc.sleep(cal.pvm_console)
 
     # Start the master daemon if there is none (paper: the console
@@ -62,7 +65,7 @@ def pvm_console_main(proc):
         verb, args = command[0], command[1:]
         try:
             if verb == "add":
-                results = yield from pvm_addhosts(conn, args)
+                results = yield from pvm_addhosts(conn, args, ctx=ctx)
                 if any(r == "failed" for r in results.values()):
                     status = 1
             elif verb == "delete":

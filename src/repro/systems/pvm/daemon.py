@@ -164,7 +164,9 @@ def _console_command(proc, state, msg):
     if cmd == "add":
         results = {}
         for host in msg.get("hosts", []):
-            results[host] = yield from _add_host(proc, state, host)
+            results[host] = yield from _add_host(
+                proc, state, host, ctx=msg.get("trace")
+            )
         return {"type": "console_reply", "results": results}
     if cmd == "delete":
         results = {}
@@ -183,20 +185,32 @@ def _console_command(proc, state, msg):
     return {"type": "console_reply", "error": f"unknown command {cmd!r}"}
 
 
-def _add_host(proc, state, host):
+def _add_host(proc, state, host, ctx=None):
     """One ``add <host>``: rsh a slave pvmd onto the target."""
+    from repro.obs import context_from_environ, tracer_of
+
     if host in state.hosts:
         return "already"
+    span = tracer_of(proc).start(
+        "pvm.add_host",
+        parent=ctx or context_from_environ(proc.environ),
+        actor=f"pvmd:{state.myhost}",
+        host=host,
+    )
     state.expected.add(host)
     rsh = proc.spawn(
-        ["rsh", host, "pvmd", "-slave", state.myhost, str(state.port)]
+        ["rsh", host, "pvmd", "-slave", state.myhost, str(state.port)],
+        environ=span.environ(),
     )
     code = yield proc.wait(rsh)
     if code != 0:
         state.expected.discard(host)
+        span.end(result="failed")
         return "failed"
     # The slave registered (it daemonizes only after our ack).
-    return "ok" if host in state.hosts else "failed"
+    result = "ok" if host in state.hosts else "failed"
+    span.end(result=result)
+    return result
 
 
 def _delete_host(proc, state, host):

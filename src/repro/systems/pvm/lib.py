@@ -45,9 +45,17 @@ def _command(conn, payload):
     return reply
 
 
-def pvm_addhosts(conn, hosts):
-    """``pvm_addhosts()``: returns {host: "ok"|"failed"|"already"}."""
-    reply = yield from _command(conn, {"cmd": "add", "hosts": list(hosts)})
+def pvm_addhosts(conn, hosts, ctx=None):
+    """``pvm_addhosts()``: returns {host: "ok"|"failed"|"already"}.
+
+    ``ctx`` is an optional span context (see :mod:`repro.obs.spans`) that
+    rides the console command so the daemon's per-host add spans stay in the
+    caller's trace.
+    """
+    payload = {"cmd": "add", "hosts": list(hosts)}
+    if ctx:
+        payload["trace"] = dict(ctx)
+    reply = yield from _command(conn, payload)
     return reply.get("results", {})
 
 

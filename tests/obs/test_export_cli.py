@@ -1,0 +1,98 @@
+"""TraceCollector, write_trace, the --trace CLI flag and rbtrace/rbtop.
+
+The demo smoke test doubles as the lint-adjacent acceptance check: the CLI
+must emit a Chrome trace document that ``json.loads`` accepts and that
+contains real duration events.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.obs import TraceCollector, write_trace
+
+
+@pytest.fixture
+def busy_cluster():
+    """A brokered cluster with one granted sequential job on record."""
+    cluster = Cluster(ClusterSpec.uniform(3))
+    svc = cluster.start_broker()
+    svc.wait_ready()
+    svc.submit("n00", ["rsh", "anylinux", "compute", "2.0"], uid="seq")
+    cluster.env.run(until=cluster.now + 6.0)
+    return cluster
+
+
+def test_collector_merges_runs_into_one_jsonl(busy_cluster):
+    other = Cluster(ClusterSpec.uniform(2))
+    other.start_broker()
+    other.broker.wait_ready()
+    other.env.run(until=other.now + 2.0)
+
+    collector = TraceCollector()
+    collector.add_cluster(busy_cluster, label="first")
+    collector.add_cluster(other, label="second")
+    records = [
+        json.loads(line) for line in collector.jsonl().splitlines()
+    ]
+    assert {r["run"] for r in records} == {"first", "second"}
+
+
+def test_collector_chrome_keeps_run_groups_apart(busy_cluster):
+    collector = TraceCollector()
+    collector.add_cluster(busy_cluster, label="a")
+    collector.add_cluster(busy_cluster, label="b")
+    doc = collector.chrome()
+    process_names = [
+        e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    ]
+    assert any(name.startswith("a: ") for name in process_names)
+    assert any(name.startswith("b: ") for name in process_names)
+
+
+def test_collector_write_picks_format_by_extension(busy_cluster, tmp_path):
+    collector = TraceCollector()
+    collector.add_cluster(busy_cluster, label="run")
+    jsonl_path = collector.write(str(tmp_path / "out.jsonl"))
+    for line in open(jsonl_path).read().splitlines():
+        json.loads(line)
+    chrome_path = collector.write(str(tmp_path / "out.json"))
+    doc = json.load(open(chrome_path))
+    assert doc["traceEvents"]
+
+
+def test_write_trace_single_tracer(busy_cluster, tmp_path):
+    svc = busy_cluster.broker
+    path = write_trace(
+        str(tmp_path / "run.json"), svc.tracer, metrics=svc.metrics
+    )
+    doc = json.load(open(path))
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+def test_demo_cli_trace_smoke(tmp_path, capsys):
+    from repro.__main__ import main
+
+    out = tmp_path / "demo.json"
+    assert main(["demo", "--trace", str(out)]) == 0
+    doc = json.load(open(out))
+    durations = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert durations, "demo trace has no duration events"
+    printed = capsys.readouterr().out
+    assert "trace written to" in printed
+    assert "== metrics @" in printed
+
+
+def test_rbtrace_and_rbtop_tools(busy_cluster):
+    for tool, path, needle in [
+        ("rbtrace", "/home/bob/.rbtrace", "job.submit"),
+        ("rbtop", "/home/bob/.rbtop", "broker.grants"),
+    ]:
+        proc = busy_cluster.run_command("n01", [tool], uid="bob")
+        busy_cluster.env.run(until=proc.terminated)
+        assert proc.exit_code == 0
+        report = busy_cluster.machine("n01").fs.read(path)
+        assert needle in report

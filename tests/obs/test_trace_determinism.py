@@ -1,0 +1,41 @@
+"""Satellite: identical seeds must produce byte-identical trace exports.
+
+Span and trace ids come from a per-tracer ``itertools.count`` and all
+timestamps from the deterministic simulated clock, so two runs of the same
+seeded scenario must serialise to the same JSON Lines, byte for byte.
+"""
+
+import json
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.obs import to_jsonl
+
+
+def _traced_run(seed):
+    """A small brokered workload; returns its JSONL trace export."""
+    cluster = Cluster(ClusterSpec.uniform(4, seed=seed))
+    svc = cluster.start_broker()
+    svc.wait_ready()
+    svc.submit("n00", ["pvm"], rsl='+(module="pvm")', uid="pat")
+    cluster.env.run(until=cluster.now + 3.0)
+    add = cluster.run_command("n00", ["pvm", "add", "anylinux"], uid="pat")
+    cluster.env.run(until=add.terminated)
+    cluster.env.run(until=cluster.now + 8.0)
+    svc.submit("n00", ["rsh", "anylinux", "compute", "2.0"], uid="seq")
+    cluster.env.run(until=cluster.now + 5.0)
+    return to_jsonl(cluster.network.tracer.spans, now=cluster.now)
+
+
+def test_same_seed_gives_byte_identical_jsonl():
+    first = _traced_run(seed=3)
+    second = _traced_run(seed=3)
+    assert first.encode() == second.encode()
+    # Sanity: the export is non-trivial and parseable.
+    records = [json.loads(line) for line in first.splitlines()]
+    assert len(records) > 10
+
+
+def test_different_seed_still_parses():
+    other = _traced_run(seed=4)
+    for line in other.splitlines():
+        json.loads(line)

@@ -1,0 +1,125 @@
+"""Acceptance: a PVM ``anylinux`` grow yields one connected trace tree.
+
+The scenario mirrors ``tests/systems/test_pvm.py`` — a ``pvm`` module job,
+then ``pvm add anylinux`` — and asserts the whole allocation path (rsh' ->
+broker grant -> pvm_grow module -> slave pvmd join) lands in the *same*
+trace, causally linked back to the ``job.submit`` root.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.obs import (
+    format_trace,
+    is_connected,
+    phase_durations,
+    to_chrome,
+    to_jsonl,
+    trace_root,
+)
+
+#: Span names the grow scenario must produce inside the submit's trace.
+EXPECTED_SPANS = {
+    "job.submit",
+    "app.run",
+    "app.register",
+    "broker.job",
+    "rshprime",
+    "app.rsh_request",
+    "app.machine_wait",
+    "broker.request",
+    "module.pvm_grow",
+    "pvm.add_host",
+}
+
+
+@pytest.fixture(scope="module")
+def grown():
+    """One brokered cluster after a completed anylinux grow."""
+    cluster = Cluster(ClusterSpec.uniform(5))
+    svc = cluster.start_broker()
+    svc.wait_ready()
+    job = svc.submit("n00", ["pvm"], rsl='+(module="pvm")', uid="pat")
+    cluster.env.run(until=cluster.now + 3.0)
+    add = cluster.run_command("n00", ["pvm", "add", "anylinux"], uid="pat")
+    cluster.env.run(until=add.terminated)
+    cluster.env.run(until=cluster.now + 8.0)
+    cluster.assert_no_crashes()
+    return cluster, svc, job
+
+
+def test_trace_is_connected_and_complete(grown):
+    cluster, svc, job = grown
+    tid = job.span.trace_id
+    assert trace_root(svc.tracer, tid) is job.span
+    assert is_connected(svc.tracer, tid)
+    names = {span.name for span in svc.tracer.trace(tid)}
+    assert EXPECTED_SPANS <= names
+
+
+def test_granted_request_carries_host_and_wait(grown):
+    cluster, svc, job = grown
+    granted = [
+        span
+        for span in svc.tracer.trace(job.span.trace_id)
+        if span.name == "broker.request" and span.attrs.get("host")
+    ]
+    assert granted, "no granted broker.request span in the trace"
+    span = granted[0]
+    assert span.finished
+    assert span.attrs["outcome"] == "granted"
+    assert span.duration == pytest.approx(span.attrs["waited"])
+
+
+def test_phase_durations_match_elapsed_time(grown):
+    cluster, svc, job = grown
+    tid = job.span.trace_id
+    phases = phase_durations(svc.tracer, tid)
+    for name in ("module.pvm_grow", "pvm.add_host", "rshprime"):
+        assert 0.0 < phases[name] <= cluster.now
+    # Spans nest causally: every child starts no earlier than its parent.
+    spans = svc.tracer.trace(tid)
+    by_id = {span.span_id: span for span in spans}
+    for span in spans:
+        if span.parent_id is not None:
+            assert span.started_at >= by_id[span.parent_id].started_at - 1e-9
+        if span.finished:
+            assert span.started_at <= span.ended_at <= cluster.now
+
+
+def test_broker_metrics_recorded_the_grant(grown):
+    cluster, svc, job = grown
+    assert svc.metrics.counter("broker.submits").value >= 1
+    assert svc.metrics.counter("broker.grants").value >= 1
+    wait = svc.metrics.histogram("broker.grant_wait")
+    assert wait.count >= 1
+
+
+def test_jsonl_export_of_the_run_parses(grown):
+    cluster, svc, job = grown
+    text = to_jsonl(svc.tracer.spans, now=cluster.now)
+    records = [json.loads(line) for line in text.splitlines()]
+    assert {r["span_id"] for r in records} == {
+        s.span_id for s in svc.tracer.spans
+    }
+    roots = [r for r in records if r["parent_id"] is None]
+    assert any(r["name"] == "job.submit" for r in roots)
+
+
+def test_chrome_export_of_the_run_is_valid(grown):
+    cluster, svc, job = grown
+    doc = to_chrome(svc.tracer.spans, metrics=svc.metrics, now=cluster.now)
+    json.dumps(doc)  # serialisable
+    kinds = {event["ph"] for event in doc["traceEvents"]}
+    assert {"X", "M", "C"} <= kinds
+    names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert "module.pvm_grow" in names
+
+
+def test_format_trace_renders_the_tree(grown):
+    cluster, svc, job = grown
+    text = format_trace(svc.tracer, job.span.trace_id)
+    assert "job.submit" in text
+    assert "module.pvm_grow" in text

@@ -166,6 +166,16 @@ def test_utilization_meter_requires_start():
         UtilizationMeter(cluster).utilization()
 
 
+def test_utilization_meter_empty_hosts_is_zero():
+    # Regression: an empty host set used to raise ZeroDivisionError.
+    cluster = Cluster(ClusterSpec.uniform(1))
+    meter = UtilizationMeter(cluster, hosts=[])
+    meter.start()
+    cluster.env.run(until=1.0)
+    assert meter.utilization() == 0.0
+    assert meter.idleness() == 1.0
+
+
 # -- program registry ---------------------------------------------------------
 
 
