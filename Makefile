@@ -1,0 +1,22 @@
+# Developer entry points.  `make check` is the tier-1 gate: lint + tests.
+
+export PYTHONPATH := src
+
+.PHONY: test lint check chaos
+
+test:  ## tier-1 test suite
+	python -m pytest -q tests
+
+lint:  ## ruff style gate (config in pyproject.toml); skips when ruff is absent
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	elif python -c "import ruff" >/dev/null 2>&1; then \
+		python -m ruff check src tests benchmarks examples; \
+	else \
+		echo "lint: ruff not installed — skipping (pip install ruff to enable)"; \
+	fi
+
+check: lint test
+
+chaos:  ## robustness capstone: mixed workload under a seeded fault schedule
+	python -m repro chaos --seed 1 --verbose

@@ -9,6 +9,10 @@ Commands
 ``demo``
     A 90-second tour: an adaptive job breathing around sequential arrivals,
     finished off with the allocation Gantt chart.
+``chaos [--seed N]``
+    Robustness capstone: a mixed workload under a seeded fault schedule
+    (crashes, partitions, lost heartbeats); exits non-zero unless every job
+    completes.
 """
 
 from __future__ import annotations
@@ -113,6 +117,20 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.experiments import run_chaos
+
+    collector = _collector(args)
+    table = run_chaos(seed=args.seed, trace=collector)
+    print(table)
+    if args.verbose:
+        print("\nfault plan:")
+        print(table.meta["plan"])
+    _write_collected(args, collector)
+    # The whole point: every job survives the faults.
+    return 0 if table.meta["completed"] == table.meta["jobs"] else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -140,6 +158,18 @@ def main(argv=None) -> int:
     demo = sub.add_parser("demo", help="90-second adaptive-allocation tour")
     demo.add_argument("--trace", metavar="PATH", help=_TRACE_HELP)
     demo.set_defaults(fn=_cmd_demo)
+
+    chaos = sub.add_parser(
+        "chaos", help="mixed workload under a seeded fault schedule"
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=1, help="fault-schedule seed (default 1)"
+    )
+    chaos.add_argument(
+        "--verbose", action="store_true", help="also print the fault plan"
+    )
+    chaos.add_argument("--trace", metavar="PATH", help=_TRACE_HELP)
+    chaos.set_defaults(fn=_cmd_chaos)
 
     args = parser.parse_args(argv)
     return args.fn(args)

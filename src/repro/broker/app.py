@@ -41,9 +41,36 @@ from repro.os.errors import (
     NoSuchHost,
     NoSuchProgram,
 )
+from repro.os.retry import connect_with_backoff
 from repro.os.signals import SIGKILL, SIGTERM
 from repro.rsl import is_symbolic_hostname, parse_rsl
 from repro.sim.stores import Store
+
+
+def _safe_send(conn, message) -> bool:
+    """Send unless the connection is locally closed (e.g. severed by a
+    fault); True if the message went out.  Peers that matter notice loss
+    through EOF, never through our crash."""
+    try:
+        conn.send(message)
+        return True
+    except ConnectionClosed:
+        return False
+
+
+def _send_broker(st, message) -> bool:
+    """Send to the broker unless the management link is gone; True if sent.
+
+    The paper's stance is that the job outlives its manager: losing the
+    broker degrades the job to an unmanaged one instead of killing it, so
+    every broker send funnels through this guard.
+    """
+    if st.broker_lost:
+        return False
+    if _safe_send(st.broker, message):
+        return True
+    st.broker_lost = True
+    return False
 
 
 # ---------------------------------------------------------------------------
@@ -116,11 +143,19 @@ def app_main(proc):
     port = proc.machine.network.ephemeral_port(proc.machine)
     listener = proc.listen(port)
     try:
-        broker = yield proc.connect(broker_host, ports.BROKER)
+        from repro.obs import metrics_of
+
+        broker = yield from connect_with_backoff(
+            proc,
+            broker_host,
+            ports.BROKER,
+            counter=metrics_of(proc).counter("app.connect_retries"),
+        )
     except (ConnectionRefused, NoSuchHost):
         register_span.end(error="broker unreachable")
         return 1
-    broker.send(
+    sent = _safe_send(
+        broker,
         protocol.attach_trace(
             protocol.submit(
                 user=proc.uid,
@@ -130,8 +165,11 @@ def app_main(proc):
                 adaptive=rsl.adaptive,
             ),
             app_span.context,
-        )
+        ),
     )
+    if not sent:
+        register_span.end(error="broker link lost")
+        return 1
     try:
         ack = yield broker.recv()
     except ConnectionClosed:
@@ -162,11 +200,11 @@ def app_main(proc):
         try:
             script = proc.spawn([rsl.start_script])
         except NoSuchProgram:
-            broker.send(protocol.job_done(st.jobid, 1))
+            _send_broker(st, protocol.job_done(st.jobid, 1))
             return 1
         script_code = yield proc.wait(script)
         if script_code != 0:
-            broker.send(protocol.job_done(st.jobid, script_code))
+            _send_broker(st, protocol.job_done(st.jobid, script_code))
             return int(script_code)
 
     child = proc.spawn(
@@ -229,16 +267,9 @@ def app_main(proc):
 
     # -- shutdown -------------------------------------------------------------
     code = child.exit_code
-    if not st.broker_lost:
-        try:
-            broker.send(protocol.job_done(st.jobid, code))
-        except ConnectionClosed:
-            pass
+    _send_broker(st, protocol.job_done(st.jobid, code))
     for record in list(st.subapps.values()):
-        try:
-            record.conn.send(protocol.subapp_revoke())
-        except ConnectionClosed:
-            pass
+        _safe_send(record.conn, protocol.subapp_revoke())
     return code
 
 
@@ -247,9 +278,10 @@ def _presize(proc, st, extra_machines):
     yield proc.sleep(3.0)
     for _ in range(extra_machines):
         reqid = next(st.reqids)
-        st.broker.send(
-            protocol.machine_request(st.jobid, "anyhost", reqid, firm=True)
-        )
+        if not _send_broker(
+            st, protocol.machine_request(st.jobid, "anyhost", reqid, firm=True)
+        ):
+            return
 
 
 def _broker_reader(proc, st):
@@ -332,11 +364,11 @@ def _handle_rsh_request(proc, st, conn, msg):
             st.pending_add.discard(host)
             proc.unlink_file(expect_marker_path(host))
             token = _make_token(proc, st, argv, host)
-            conn.send(protocol.rsh_exec(host, wrap=True, token=token))
+            _safe_send(conn, protocol.rsh_exec(host, wrap=True, token=token))
             span.end(path="expected")
         else:
             # A host the user named explicitly: let it proceed untouched.
-            conn.send(protocol.rsh_exec(host, wrap=False))
+            _safe_send(conn, protocol.rsh_exec(host, wrap=False))
             span.end(path="passthrough")
         return
 
@@ -347,12 +379,18 @@ def _handle_rsh_request(proc, st, conn, msg):
     wait_span = st.tracer.start(
         "app.machine_wait", parent=span, actor=span.attrs["actor"], reqid=reqid
     )
-    st.broker.send(
+    if not _send_broker(
+        st,
         protocol.attach_trace(
             protocol.machine_request(st.jobid, host, reqid, firm=st.firm),
             wait_span.context,
-        )
-    )
+        ),
+    ):
+        st.waiters.pop(reqid, None)
+        wait_span.end(outcome="broker_lost")
+        _safe_send(conn, protocol.rsh_fail("broker unreachable"))
+        span.end(path="broker_lost")
+        return
     if st.module is not None:
         # Module path: bounded wait, then report failure (phase I).  The
         # request stays queued broker-side; a later grant arrives as an
@@ -363,13 +401,13 @@ def _handle_rsh_request(proc, st, conn, msg):
         if waiter in outcome and waiter.value is not None:
             target = waiter.value
             wait_span.end(outcome="granted", host=target)
-            conn.send(protocol.rsh_fail("deferred to module grow"))
+            _safe_send(conn, protocol.rsh_fail("deferred to module grow"))
             _begin_module_add(proc, st, target, wait_span.context)
             span.end(path="module")
         else:
             st.waiters.pop(reqid, None)  # future grant -> async path
             wait_span.end(outcome="queued")
-            conn.send(protocol.rsh_fail("request queued"))
+            _safe_send(conn, protocol.rsh_fail("request queued"))
             span.end(path="module")
         return
 
@@ -378,12 +416,12 @@ def _handle_rsh_request(proc, st, conn, msg):
     target = yield waiter
     if target is None:
         wait_span.end(outcome="denied")
-        conn.send(protocol.rsh_fail("request denied"))
+        _safe_send(conn, protocol.rsh_fail("request denied"))
         span.end(path="denied")
         return
     wait_span.end(outcome="granted", host=target)
     token = _make_token(proc, st, argv, target)
-    conn.send(protocol.rsh_exec(target, wrap=True, token=token))
+    _safe_send(conn, protocol.rsh_exec(target, wrap=True, token=token))
     span.end(path="redirected", target=target)
 
 
@@ -417,12 +455,12 @@ def _module_runner(proc, st):
                 # Misconfigured module: give the machine back, don't leak it.
                 st.pending_add.discard(host)
                 proc.unlink_file(expect_marker_path(host))
-                st.broker.send(protocol.released(st.jobid, host))
+                _send_broker(st, protocol.released(st.jobid, host))
             else:
                 # Fall back to the blunt instrument.
                 record = st.subapps.get(host)
                 if record is not None:
-                    record.conn.send(protocol.subapp_revoke())
+                    _safe_send(record.conn, protocol.subapp_revoke())
             continue
         code = yield proc.wait(script)
         span.end(code=code)
@@ -432,7 +470,7 @@ def _module_runner(proc, st):
             # Give the machine back instead of leaking the allocation.
             st.pending_add.discard(host)
             proc.unlink_file(expect_marker_path(host))
-            st.broker.send(protocol.released(st.jobid, host))
+            _send_broker(st, protocol.released(st.jobid, host))
 
 
 # -- subapp sessions -------------------------------------------------------
@@ -442,13 +480,13 @@ def _handle_subapp(proc, st, conn, hello):
     token = hello.get("token")
     info = st.tokens.pop(token, None)
     if info is None:
-        conn.send({"type": "subapp_abort"})
+        _safe_send(conn, {"type": "subapp_abort"})
         conn.close()
         return
     host = hello["host"]
     record = _SubappRecord(host=host, conn=conn, exited=proc.env.event())
     st.subapps[host] = record
-    conn.send(protocol.subapp_run(info["argv"]))
+    _safe_send(conn, protocol.subapp_run(info["argv"]))
     code = None
     try:
         while True:
@@ -485,7 +523,7 @@ def _handle_revoke(proc, st, msg, cal):
         if host in st.pending_add:
             st.pending_add.discard(host)
             proc.unlink_file(expect_marker_path(host))
-        st.broker.send(protocol.released(st.jobid, host))
+        _send_broker(st, protocol.released(st.jobid, host))
         span.end(path="idle")
         return
     st.revoking.add(host)
@@ -495,9 +533,9 @@ def _handle_revoke(proc, st, msg, cal):
         # remote process makes the subapp's child exit, which we await below.
         st.module_queue.put_nowait(("shrink", host, span.context))
     else:
-        record.conn.send(protocol.subapp_revoke())
+        _safe_send(record.conn, protocol.subapp_revoke())
     yield record.exited
-    st.broker.send(protocol.released(st.jobid, host))
+    _send_broker(st, protocol.released(st.jobid, host))
     span.end(path="module" if st.module is not None else "subapp")
 
 
@@ -507,7 +545,7 @@ def _handle_subapp_gone(st, host):
         st.revoking.discard(host)
         return
     if not st.broker_lost:
-        st.broker.send(protocol.released(st.jobid, host))
+        _send_broker(st, protocol.released(st.jobid, host))
 
 
 # ---------------------------------------------------------------------------
@@ -530,7 +568,10 @@ def subapp_main(proc):
         conn = yield proc.connect(app_host, app_port)
     except (ConnectionRefused, NoSuchHost):
         return 1
-    conn.send(protocol.subapp_hello(token, proc.machine.name, proc.pid))
+    if not _safe_send(
+        conn, protocol.subapp_hello(token, proc.machine.name, proc.pid)
+    ):
+        return 1
     try:
         msg = yield conn.recv()
     except ConnectionClosed:
@@ -540,7 +581,7 @@ def subapp_main(proc):
         return 1
 
     child = proc.spawn(msg["argv"])
-    conn.send(protocol.subapp_started(child.pid))
+    _safe_send(conn, protocol.subapp_started(child.pid))
     # Stay attached: the rsh chain that started us returns when the command
     # finishes — or as soon as the command itself daemonizes (a pvmd-style
     # runtime daemon), in which case we detach with it.
@@ -562,8 +603,8 @@ def subapp_main(proc):
             proc.daemonize()
             daemon_ev = None
         if child.terminated.processed:
-            conn.send(
-                protocol.subapp_exit(proc.machine.name, child.exit_code)
+            _safe_send(
+                conn, protocol.subapp_exit(proc.machine.name, child.exit_code)
             )
             conn.close()
             # Our own exit status stands in for the command's (the rsh chain

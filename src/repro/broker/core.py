@@ -32,6 +32,17 @@ from repro.cluster import ports
 from repro.os.errors import ConnectionClosed
 
 
+def _safe_send(conn, message) -> bool:
+    """Send unless the connection died under us; True if the message went
+    out.  The broker serves many sessions from one process — one dead app
+    must never take the scheduler down with it."""
+    try:
+        conn.send(message)
+        return True
+    except ConnectionClosed:
+        return False
+
+
 def make_broker_main(service):
     """Build the broker program body bound to ``service``."""
 
@@ -40,6 +51,7 @@ def make_broker_main(service):
         listener = proc.listen(ports.BROKER)
         for host in service.managed_hosts:
             proc.thread(ctl.daemon_keeper(host), name=f"daemon-keeper-{host}")
+        proc.thread(ctl.liveness_sweeper(), name="liveness-sweeper")
         while True:
             try:
                 conn = yield listener.accept()
@@ -86,7 +98,61 @@ class _BrokerControl:
                 yield self.proc.sleep(self.cal.daemon_report_interval)
                 continue
             yield down  # triggered when the daemon's connection drops
+            self.metrics.counter("broker.daemon_restarts").inc()
             self.service.log(event="daemon_restart", host=host)
+
+    # -- liveness detection ---------------------------------------------------
+
+    def liveness_sweeper(self):
+        """Declare machines dead after a deadline of silence.
+
+        A healthy machine's daemon reports every ``daemon_report_interval``;
+        even a killed daemon is respawned by the keeper within roughly one
+        interval, so sustained silence past ``liveness_deadline`` means the
+        *machine* (or its network path) is gone, not just its daemon.  Dead
+        machines become ineligible and whatever they held is reclaimed
+        through the ordinary revocation path, so every substrate adapts
+        exactly as it does for an owner reclaim.
+        """
+        deadline = self.cal.liveness_deadline
+        while True:
+            yield self.proc.sleep(self.cal.daemon_report_interval)
+            now = self.proc.env.now
+            for record in list(self.state.machines.values()):
+                if record.dead or record.last_seen < 0.0:
+                    continue  # already handled / never heard from at all
+                silence = now - record.last_seen
+                if silence > deadline:
+                    yield from self._mark_machine_dead(record, silence)
+
+    def _mark_machine_dead(self, record, silence):
+        record.dead = True
+        record.last_report = -1.0  # ineligible until it reports again
+        span = self.tracer.start(
+            "broker.machine_dead",
+            actor="rbroker",
+            host=record.host,
+            silent_for=silence,
+        )
+        self.metrics.counter("broker.machines_marked_dead").inc()
+        self.service.log(
+            event="machine_dead", host=record.host, silent_for=silence
+        )
+        allocation = record.allocation
+        if allocation is not None and allocation.state is AllocationState.ACTIVE:
+            victim = self.state.jobs.get(allocation.jobid)
+            if victim is not None and not victim.done and victim.conn is not None:
+                # Reclaim via the normal revocation path: the victim's subapp
+                # connection was severed by the failure, so the app releases
+                # as soon as it processes the revoke.
+                self._start_reclaim(record.host, claimed_by=None)
+            else:
+                self.state.release(record.host)
+        # RECLAIMING allocations need nothing extra: a revoke is already in
+        # flight and the release arrives once the victim notices the severed
+        # subapp connection.
+        span.end()
+        yield from self._schedule()
 
     # -- connection dispatch -------------------------------------------------
 
@@ -102,16 +168,16 @@ class _BrokerControl:
         elif kind == "submit":
             yield from self._serve_app(conn, first)
         elif kind == "status":
-            conn.send(protocol.status_reply(self.state.summary()))
+            _safe_send(conn, protocol.status_reply(self.state.summary()))
             conn.close()
         elif kind == "halt_job":
             jobid = int(first.get("jobid", -1))
             job = self.state.jobs.get(jobid)
             ok = job is not None and not job.done and job.conn is not None
             if ok:
-                job.conn.send(protocol.halt())
+                _safe_send(job.conn, protocol.halt())
                 self.service.log(event="halt_job", jobid=jobid)
-            conn.send(protocol.halt_ack(jobid, ok))
+            _safe_send(conn, protocol.halt_ack(jobid, ok))
             conn.close()
         else:
             conn.close()
@@ -128,7 +194,11 @@ class _BrokerControl:
                     continue
                 was_reported = record.reported
                 was_active = record.console_active
+                was_dead = record.dead
                 record.update(msg["snapshot"])
+                if was_dead:
+                    self.metrics.counter("broker.machine_rejoins").inc()
+                    self.service.log(event="machine_rejoin", host=host)
                 self._note_ready(host)
                 self._owner_priority(record)
                 # Scheduling is event-driven: most reports change nothing a
@@ -194,7 +264,7 @@ class _BrokerControl:
             rsl=submit_msg["rsl"],
             argv=list(submit_msg["argv"]),
         )
-        conn.send(protocol.submit_ack(job.jobid))
+        _safe_send(conn, protocol.submit_ack(job.jobid))
         try:
             while True:
                 msg = yield conn.recv()
@@ -283,8 +353,9 @@ class _BrokerControl:
             symbolic=request.symbolic,
         )
         if job.conn is not None:
-            job.conn.send(
-                protocol.machine_denied(request.reqid, "no machine can match")
+            _safe_send(
+                job.conn,
+                protocol.machine_denied(request.reqid, "no machine can match"),
             )
 
     # -- allocation engine -----------------------------------------------------
@@ -337,11 +408,12 @@ class _BrokerControl:
         if job.conn is not None:
             # The grant carries the request span's context so the app can
             # parent asynchronous module grows under the broker's decision.
-            job.conn.send(
+            _safe_send(
+                job.conn,
                 protocol.attach_trace(
                     protocol.machine_grant(request.reqid, host),
                     span.context if span is not None else None,
-                )
+                ),
             )
 
     def _start_reclaim(self, host: str, claimed_by) -> None:
@@ -376,8 +448,9 @@ class _BrokerControl:
             for_jobid=claimed_by.jobid if claimed_by else None,
         )
         if victim.conn is not None:
-            victim.conn.send(
-                protocol.attach_trace(protocol.revoke(host), reclaim.context)
+            _safe_send(
+                victim.conn,
+                protocol.attach_trace(protocol.revoke(host), reclaim.context),
             )
 
     def _on_released(self, job, host: str):

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.cluster import ports
 from repro.os.errors import ConnectionClosed, ConnectionRefused, NoSuchHost
+from repro.os.retry import connect_with_backoff
 from repro.broker import protocol
 
 
@@ -31,7 +32,14 @@ def rbdaemon_main(proc):
     )
     yield proc.sleep(cal.daemon_startup)
     try:
-        conn = yield proc.connect(broker_host, ports.BROKER)
+        # The daemon may boot while the broker is still starting (or while
+        # the LAN is partitioned); retry with backoff before giving up.
+        conn = yield from connect_with_backoff(
+            proc,
+            broker_host,
+            ports.BROKER,
+            counter=metrics_of(proc).counter("rbdaemon.connect_retries"),
+        )
     except (ConnectionRefused, NoSuchHost):
         boot.end(error="broker unreachable")
         return 1

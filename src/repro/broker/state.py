@@ -48,6 +48,13 @@ class MachineRecord:
     cpu_load: int = 0
     n_processes: int = 0
     last_report: float = -1.0
+    #: Last instant *any* daemon report arrived — unlike ``last_report`` it
+    #: is never reset on connection loss, so the liveness sweeper can measure
+    #: true silence.  -1.0 until the machine has reported at least once.
+    last_seen: float = -1.0
+    #: Set by the liveness sweeper once the machine has been silent past the
+    #: deadline; cleared by the next daemon report (a rejoin).
+    dead: bool = False
     allocation: Optional[Allocation] = None
 
     @property
@@ -79,6 +86,8 @@ class MachineRecord:
         self.cpu_load = int(snapshot.get("cpu_load", 0))
         self.n_processes = int(snapshot.get("n_processes", 0))
         self.last_report = float(snapshot.get("time", 0.0))
+        self.last_seen = self.last_report
+        self.dead = False
 
 
 @dataclass

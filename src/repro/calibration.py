@@ -110,6 +110,21 @@ class Calibration:
     #: Broker policy evaluation time per decision (in-memory table scan).
     broker_decision: float = 0.004
 
+    #: How long the broker tolerates silence from a machine before declaring
+    #: it dead and reclaiming its allocation.  Not in the paper (which never
+    #: crashes a machine); must exceed the worst-case healthy gap between
+    #: daemon reports — a killed daemon is respawned within ~one report
+    #: interval plus rsh startup (~3 s of silence) — with margin, while
+    #: staying well under a crash-with-reboot outage (~8 s) so real failures
+    #: are detected before the machine returns.
+    liveness_deadline: float = 6.5
+
+    #: Bounded retry-with-backoff for boot-time connects (rbdaemon → broker,
+    #: app → broker): attempt count and exponential delay base/cap.
+    connect_retry_attempts: int = 5
+    connect_retry_base: float = 0.2
+    connect_retry_cap: float = 2.0
+
     #: How long a module job's intercepted rsh' waits for a synchronous
     #: grant before reporting failure and leaving the request queued for an
     #: asynchronous phase-II grow ("as machines become available,

@@ -23,7 +23,6 @@ from repro.calibration import DEFAULT, Calibration
 from repro.cluster.network import Network
 from repro.cluster.users import OwnerActivity
 from repro.os.machine import Machine, MachineKind
-from repro.os.signals import SIGKILL
 from repro.os.process import OSProcess
 from repro.os.programs import ProgramDirectory
 from repro.rsh.client import install_rsh
@@ -150,24 +149,38 @@ class Cluster:
             env_vars.update(environ)
         return OSProcess(machine, list(argv), uid=uid, environ=env_vars)
 
-    def crash_machine(self, host: str, reboot_after: float = 5.0) -> None:
+    def crash_machine(
+        self, host: str, reboot_after: Optional[float] = 5.0
+    ) -> None:
         """Power-cycle ``host``: every process dies instantly; after
         ``reboot_after`` seconds the machine comes back up with a fresh
         rshd (and nothing else — guests must be restarted by their owners,
-        the broker's daemon by the broker's keeper loop).
+        the broker's daemon by the broker's keeper loop).  With
+        ``reboot_after=None`` the machine stays down until
+        :meth:`boot_machine`.  A no-op on a machine that is already down.
         """
         machine = self.machines[host]
-        for proc in list(machine.procs.values()):
-            if proc.is_alive:
-                proc.signal(SIGKILL)
+        if not machine.up:
+            return
+        machine.crash()
+        if reboot_after is None:
+            return
 
         def reboot():
             yield self.env.timeout(reboot_after)
-            self.rshds[host] = OSProcess(
-                machine, ["rshd"], uid="root", startup_delay=0.0
-            )
+            self.boot_machine(host)
 
         self.env.process(reboot(), name=f"reboot-{host}")
+
+    def boot_machine(self, host: str) -> None:
+        """Bring a crashed ``host`` back up with a fresh rshd."""
+        machine = self.machines[host]
+        if machine.up:
+            return
+        machine.boot()
+        self.rshds[host] = OSProcess(
+            machine, ["rshd"], uid="root", startup_delay=0.0
+        )
 
     def add_owner_activity(self, host: str, **kwargs) -> OwnerActivity:
         """Attach an owner-activity generator to a private machine."""

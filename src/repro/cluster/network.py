@@ -5,6 +5,14 @@ after the calibrated network latency), reliable and ordered — the properties
 the real system gets from TCP on a quiet Fast Ethernet.  Closing an endpoint
 delivers EOF to the peer; receives after EOF fail with
 :class:`~repro.os.errors.ConnectionClosed`.
+
+That reliability is an invariant of the *healthy* network only.  A run may
+attach a :class:`~repro.faults.netfaults.NetworkFaults` model (``faults``
+attribute), after which sends can be dropped (partitions, lossy windows) and
+latency can spike; fault-induced losses are always visible in the metrics
+registry (``net.partition_drops``, ``net.fault_drops``), never silent.  EOF
+delivery is exempt from fault drops — a closed endpoint always surfaces to
+its peer, the way a broken TCP connection eventually surfaces as a reset.
 """
 
 from __future__ import annotations
@@ -35,10 +43,15 @@ EOF = _EOF()
 class Connection:
     """One endpoint of a bidirectional message connection."""
 
-    def __init__(self, network: "Network", label: str) -> None:
+    def __init__(
+        self, network: "Network", label: str, host: Optional[str] = None
+    ) -> None:
         self.network = network
         self.env = network.env
         self.label = label
+        #: Name of the machine this endpoint lives on (used by the fault
+        #: model to decide whether a partition cuts this connection).
+        self.host = host
         self._inbox: Store = Store(self.env)
         self.peer: Optional["Connection"] = None
         self.closed_local = False
@@ -50,19 +63,35 @@ class Connection:
         """Deliver ``message`` to the peer after one network latency.
 
         Raises :class:`ConnectionClosed` if this endpoint already closed;
-        sends into a remotely-closed connection are silently dropped (the
-        real-world analogue — a TCP RST — would surface asynchronously, and
-        no protocol in this codebase depends on it).
+        sends into a remotely-closed connection are dropped (the real-world
+        analogue — a TCP RST — would surface asynchronously, and no protocol
+        in this codebase depends on it) but counted in ``net.dropped_sends``
+        so lost traffic is observable.  An attached fault model may drop the
+        message (partition, lossy window) or stretch its latency.
         """
         if self.closed_local:
             raise ConnectionClosed(f"send on closed connection {self.label}")
         peer = self.peer
         assert peer is not None, "send before connection establishment"
-        timer = self.env.timeout(self.network.latency)
+        latency = self.network.latency
+        faults = self.network.faults
+        if faults is not None:
+            if faults.partitioned(self.host, peer.host):
+                self.network.metrics.counter("net.partition_drops").inc()
+                return
+            if faults.should_drop(self.host, peer.host, message):
+                self.network.metrics.counter("net.fault_drops").inc()
+                return
+            latency = faults.latency(latency)
+        timer = self.env.timeout(latency)
         timer.add_callback(lambda _ev: peer._deliver(message))
 
     def _deliver(self, message: object) -> None:
-        if not self.closed_local:
+        if self.closed_local:
+            # The in-flight message raced the local close: it vanishes, as
+            # with a TCP RST — but never invisibly.
+            self.network.metrics.counter("net.dropped_sends").inc()
+        else:
             self._inbox.put_nowait(message)
 
     def recv(self) -> Event:
@@ -191,6 +220,12 @@ class Network:
         self.crashed: List["OSProcess"] = []
         self.trace: Optional[Callable[[str], None]] = None
         self._ephemeral: Dict[str, int] = {}
+        #: Optional pluggable fault model (see :mod:`repro.faults`): consulted
+        #: by every send and connect once attached.  None = healthy network.
+        self.faults = None
+        #: Client-side endpoint of every connection ever established (each
+        #: knows its peer); pruned of fully-closed pairs on each sweep.
+        self._connections: List[Connection] = []
         #: Run-wide observability: the span tracer and metrics registry every
         #: program body reaches via ``repro.obs.tracer_of`` / ``metrics_of``.
         self.tracer = Tracer(env)
@@ -249,15 +284,26 @@ class Network:
             if host not in self.machines:
                 result.fail(NoSuchHost(host))
                 return
+            target = self.machines[host]
+            if not target.up:
+                result.fail(ConnectionRefused(f"{host} is down"))
+                return
+            if self.faults is not None and self.faults.partitioned(
+                proc.machine.name, host
+            ):
+                self.metrics.counter("net.partition_refused").inc()
+                result.fail(ConnectionRefused(f"{host} unreachable (partition)"))
+                return
             listener = self._ports.get((host, port))
             if listener is None or listener.closed:
                 result.fail(ConnectionRefused(f"{host}:{port}"))
                 return
             label = f"{proc.machine.name}:{proc.pid}->{host}:{port}"
-            client = Connection(self, label)
-            server = Connection(self, label + " (server)")
+            client = Connection(self, label, host=proc.machine.name)
+            server = Connection(self, label + " (server)", host=host)
             client.peer = server
             server.peer = client
+            self._connections.append(client)
             proc.adopt_connection(client)
             listener._backlog.put_nowait(server)
             if self.trace is not None:
@@ -266,6 +312,32 @@ class Network:
 
         timer.add_callback(_establish)
         return result
+
+    def sever(self, predicate: Callable[[Optional[str], Optional[str]], bool]) -> int:
+        """Close both ends of every live connection matching ``predicate``.
+
+        ``predicate(host_a, host_b)`` receives the endpoint machine names.
+        Used by the fault injector at partition onset: a cut LAN eventually
+        surfaces to both peers as a broken connection (compressed here into
+        an immediate EOF), which is what lets every recovery protocol in the
+        stack run instead of waiting on messages that can never arrive.
+        Returns the number of connections severed.
+        """
+        severed = 0
+        live: List[Connection] = []
+        for conn in self._connections:
+            peer = conn.peer
+            if conn.closed_local and (peer is None or peer.closed_local):
+                continue  # both ends gone: forget the pair
+            live.append(conn)
+            if peer is not None and predicate(conn.host, peer.host):
+                conn.close()
+                peer.close()
+                severed += 1
+        self._connections = live
+        if severed:
+            self.metrics.counter("net.severed_connections").inc(severed)
+        return severed
 
     def __repr__(self) -> str:
         return (

@@ -14,6 +14,10 @@ table3            Table 3 — dynamically adding resources to PVM and LAM
 fig7              Figure 7 — reallocation time vs number of machines
 utilization       §6.2 closing experiment — five-hour utilization run
 ================  =========================================================
+
+``chaos`` is not a paper artefact: it is the robustness capstone — a mixed
+workload surviving a seeded schedule of crashes, partitions and lost
+heartbeats (see :mod:`repro.experiments.chaos`).
 """
 
 from repro.experiments.results import ExperimentTable, Row, format_table
@@ -22,11 +26,13 @@ from repro.experiments.table2 import run_table2
 from repro.experiments.table3 import run_table3
 from repro.experiments.fig7 import run_fig7
 from repro.experiments.utilization import run_utilization
+from repro.experiments.chaos import run_chaos
 
 __all__ = [
     "ExperimentTable",
     "Row",
     "format_table",
+    "run_chaos",
     "run_fig7",
     "run_table1",
     "run_table2",

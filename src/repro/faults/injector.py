@@ -1,0 +1,119 @@
+"""Executes a :class:`~repro.faults.plan.FaultPlan` against a live cluster.
+
+The injector is a simulation process that walks the plan in firing order and
+performs each fault at its scheduled instant:
+
+* ``machine_crash`` — :meth:`Cluster.crash_machine` (kills resident
+  processes, refuses the network, optionally reboots later);
+* ``daemon_kill`` — SIGKILLs every ``rbdaemon`` on the victim host;
+* ``partition`` — installs a partition rule in the network fault model and
+  *severs* every established connection across the cut (both ends see EOF,
+  so recovery protocols run instead of hanging on messages that can never
+  arrive);
+* ``message_drop`` / ``latency_spike`` — installs the corresponding windowed
+  rule.
+
+Every injection opens and ends an observability span (``fault.<kind>``) and
+bumps ``faults.injected`` plus a per-kind counter, so a chaos run's trace
+shows exactly what was done to the cluster and when.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.faults.netfaults import NetworkFaults, install
+from repro.faults.plan import FaultPlan
+from repro.os.signals import SIGKILL
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.builder import Cluster
+    from repro.sim.events import Event
+
+
+class FaultInjector:
+    """Drives one fault plan against one cluster (see module docstring)."""
+
+    def __init__(self, cluster: "Cluster", plan: FaultPlan) -> None:
+        self.cluster = cluster
+        self.plan = plan
+        self.env = cluster.env
+        self.network = cluster.network
+        self.faults: NetworkFaults = install(self.network)
+        self.injected: List[object] = []
+        self._proc = None
+
+    def start(self) -> "FaultInjector":
+        """Spawn the injection process; returns self."""
+        if self._proc is None:
+            self._proc = self.env.process(self._run(), name="fault-injector")
+        return self
+
+    @property
+    def done(self) -> "Event":
+        """Event fired once every scheduled fault has been injected (the
+        injection process itself — a sim Process is yieldable)."""
+        assert self._proc is not None, "start() the injector first"
+        return self._proc
+
+    # -- the injection loop --------------------------------------------------
+
+    def _run(self):
+        tracer = self.network.tracer
+        metrics = self.network.metrics
+        for fault in self.plan.sorted():
+            if fault.at > self.env.now:
+                yield self.env.timeout(fault.at - self.env.now)
+            span = tracer.start(
+                f"fault.{fault.kind}",
+                actor="fault-injector",
+                **{k: _jsonable(v) for k, v in vars(fault).items()},
+            )
+            self._inject(fault)
+            metrics.counter("faults.injected").inc()
+            metrics.counter(f"faults.{fault.kind}").inc()
+            self.injected.append(fault)
+            span.end()
+
+    def _inject(self, fault) -> None:
+        kind = fault.kind
+        if kind == "machine_crash":
+            self.cluster.crash_machine(fault.host, reboot_after=fault.reboot_after)
+        elif kind == "daemon_kill":
+            self._kill_daemons(fault.host)
+        elif kind == "partition":
+            self.faults.add_partition(fault.hosts, fault.duration)
+            self.network.sever(self.faults.partitioned)
+        elif kind == "message_drop":
+            self.faults.add_drop_rule(
+                fault.duration,
+                probability=fault.probability,
+                only_types=fault.only_types,
+            )
+        elif kind == "latency_spike":
+            self.faults.add_latency_spike(fault.duration, fault.factor)
+        else:  # pragma: no cover - plan types are closed
+            raise ValueError(f"unknown fault kind {kind!r}")
+
+    def _kill_daemons(self, host: str) -> int:
+        machine = self.cluster.machines.get(host)
+        if machine is None or not machine.up:
+            return 0
+        killed = 0
+        for proc in list(machine.procs.values()):
+            if proc.is_alive and proc.argv and proc.argv[0] == "rbdaemon":
+                proc.signal(SIGKILL)
+                killed += 1
+        return killed
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjector {len(self.injected)}/{len(self.plan)} injected>"
+        )
+
+
+def _jsonable(value):
+    """Span attributes must survive JSONL export: tuples become lists."""
+    if isinstance(value, tuple):
+        return list(value)
+    return value

@@ -1,0 +1,202 @@
+"""Declarative, seeded fault schedules.
+
+A :class:`FaultPlan` is a plain list of fault records, each stamped with the
+simulated instant it fires.  Plans are data, not behaviour: the same plan can
+be printed, diffed, stored next to an experiment's results, and — because
+:meth:`FaultPlan.generate` draws every time and host from a named stream of
+the simulation's :class:`~repro.sim.rng.SimRandom` — the same seed always
+yields the same schedule, which is what makes chaos runs byte-reproducible.
+
+Fault taxonomy (see DESIGN.md §9 for the detection/recovery story):
+
+==================  ========================================================
+fault               effect
+==================  ========================================================
+MachineCrash        power loss on one host (+ optional delayed reboot)
+DaemonKill          SIGKILL the monitoring daemon on one host
+Partition           a group of hosts is cut off from the rest for a window;
+                    established connections across the cut are severed
+MessageDrop         a lossy window: sends (optionally only of given message
+                    types) are dropped with a probability
+LatencySpike        all message latencies multiplied for a window
+==================  ========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class MachineCrash:
+    """Power loss on ``host`` at ``at``; reboots after ``reboot_after``
+    seconds (None = stays down)."""
+
+    at: float
+    host: str
+    reboot_after: Optional[float] = None
+
+    kind = "machine_crash"
+
+
+@dataclass(frozen=True)
+class DaemonKill:
+    """SIGKILL every ``rbdaemon`` process on ``host`` at ``at``."""
+
+    at: float
+    host: str
+
+    kind = "daemon_kill"
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Cut ``hosts`` off from every other machine for ``duration`` seconds."""
+
+    at: float
+    duration: float
+    hosts: Tuple[str, ...]
+
+    kind = "partition"
+
+
+@dataclass(frozen=True)
+class MessageDrop:
+    """Drop sends with ``probability`` for ``duration`` seconds.
+
+    ``only_types`` restricts the rule to wire messages whose ``"type"`` key
+    is listed (e.g. ``("daemon_report",)`` to starve the broker's heartbeat
+    without breaking request/reply protocols); None matches every message.
+    """
+
+    at: float
+    duration: float
+    probability: float = 1.0
+    only_types: Optional[Tuple[str, ...]] = None
+
+    kind = "message_drop"
+
+
+@dataclass(frozen=True)
+class LatencySpike:
+    """Multiply network latency by ``factor`` for ``duration`` seconds."""
+
+    at: float
+    duration: float
+    factor: float = 10.0
+
+    kind = "latency_spike"
+
+
+Fault = Union[MachineCrash, DaemonKill, Partition, MessageDrop, LatencySpike]
+
+
+@dataclass
+class FaultPlan:
+    """An ordered schedule of faults to inject into one run."""
+
+    faults: List[Fault] = field(default_factory=list)
+
+    def add(self, fault: Fault) -> "FaultPlan":
+        """Append ``fault``; returns self for chaining."""
+        self.faults.append(fault)
+        return self
+
+    def sorted(self) -> List[Fault]:
+        """Faults in firing order (stable for equal times)."""
+        return sorted(self.faults, key=lambda f: f.at)
+
+    def count(self, kind: str) -> int:
+        """Number of scheduled faults of one kind."""
+        return sum(1 for f in self.faults if f.kind == kind)
+
+    def summary(self) -> str:
+        """One line per fault, in firing order."""
+        lines = []
+        for fault in self.sorted():
+            desc = ", ".join(
+                f"{key}={value!r}"
+                for key, value in vars(fault).items()
+                if key != "at"
+            )
+            lines.append(f"t={fault.at:8.3f}  {fault.kind}  {desc}")
+        return "\n".join(lines)
+
+    @classmethod
+    def generate(
+        cls,
+        rng,
+        hosts,
+        start: float = 10.0,
+        window: float = 60.0,
+        crashes: int = 3,
+        daemon_kills: int = 1,
+        partitions: int = 1,
+        drop_windows: int = 1,
+        latency_spikes: int = 1,
+        reboot_after: float = 8.0,
+        partition_duration: float = 12.0,
+        drop_duration: float = 10.0,
+        drop_probability: float = 0.7,
+        drop_types: Optional[Tuple[str, ...]] = ("daemon_report",),
+        spike_duration: float = 8.0,
+        spike_factor: float = 25.0,
+    ) -> "FaultPlan":
+        """Draw a random plan over ``hosts`` from ``rng`` (a numpy Generator,
+        typically ``env.rng.stream("faults.plan")`` so the schedule is a pure
+        function of the run seed).
+
+        Fault times are uniform over ``[start, start + window)``; crash and
+        kill victims are uniform over ``hosts``; each partition cuts off a
+        random third of ``hosts`` (at least one).
+        """
+        hosts = list(hosts)
+        if not hosts:
+            raise ValueError("generate needs at least one host")
+        plan = cls()
+
+        def when() -> float:
+            return float(rng.uniform(start, start + window))
+
+        def victim() -> str:
+            return hosts[int(rng.integers(0, len(hosts)))]
+
+        for _ in range(crashes):
+            plan.add(MachineCrash(at=when(), host=victim(), reboot_after=reboot_after))
+        for _ in range(daemon_kills):
+            plan.add(DaemonKill(at=when(), host=victim()))
+        for _ in range(partitions):
+            size = max(1, len(hosts) // 3)
+            picked = [hosts[i] for i in rng.permutation(len(hosts))[:size]]
+            plan.add(
+                Partition(
+                    at=when(),
+                    duration=partition_duration,
+                    hosts=tuple(sorted(picked)),
+                )
+            )
+        for _ in range(drop_windows):
+            plan.add(
+                MessageDrop(
+                    at=when(),
+                    duration=drop_duration,
+                    probability=drop_probability,
+                    only_types=drop_types,
+                )
+            )
+        for _ in range(latency_spikes):
+            plan.add(
+                LatencySpike(at=when(), duration=spike_duration, factor=spike_factor)
+            )
+        return plan
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __repr__(self) -> str:
+        kinds = {}
+        for fault in self.faults:
+            kinds[fault.kind] = kinds.get(fault.kind, 0) + 1
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+        return f"<FaultPlan {len(self.faults)} faults: {inner}>"

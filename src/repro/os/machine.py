@@ -8,6 +8,13 @@ keyboard/mouse (console) activity.
 Machines are *private* (owned by an individual, who has absolute priority) or
 *public* (laboratory machines available to everyone) — the distinction the
 paper's default allocation policy is built on (§2).
+
+A machine can also *fail*: :meth:`Machine.crash` models a power loss — every
+resident process dies instantly (which closes its sockets, so peers see EOF
+after one latency), and the machine refuses connections until
+:meth:`Machine.boot` brings it back up.  This is the involuntary-departure
+counterpart of the paper's voluntary owner reclaim, and what the broker's
+liveness detection exists to notice.
 """
 
 from __future__ import annotations
@@ -78,6 +85,9 @@ class Machine:
         self.procs: Dict[int, "OSProcess"] = {}
         self._pids = itertools.count(1)
         self.network: Optional["Network"] = None
+        #: False while the machine is crashed/powered off; the network
+        #: refuses connections to a down machine.
+        self.up: bool = True
         #: Users with a login session on this machine.
         self.logged_in: Set[str] = set()
         #: True while the machine's owner is at the console (keyboard/mouse
@@ -117,6 +127,35 @@ class Machine:
     def job_count(self, exclude_uids: Set[str] = frozenset()) -> int:
         """Number of live processes not belonging to ``exclude_uids``."""
         return sum(1 for p in self.procs.values() if p.uid not in exclude_uids)
+
+    # -- failure --------------------------------------------------------------
+
+    def crash(self) -> int:
+        """Power loss: kill every resident process, refuse the network.
+
+        Process death closes each victim's listeners and connections, so
+        remote peers observe EOF after one network latency — exactly how a
+        crashed host surfaces to the rest of a real LAN.  Idempotent while
+        down; returns the number of processes killed.
+        """
+        from repro.os.signals import SIGKILL
+
+        if not self.up:
+            return 0
+        self.up = False
+        self.console_active = False
+        self.logged_in.clear()
+        killed = 0
+        for proc in list(self.procs.values()):
+            if proc.is_alive:
+                proc.signal(SIGKILL)
+                killed += 1
+        return killed
+
+    def boot(self) -> None:
+        """Bring a crashed machine back up (empty: no processes survive a
+        crash; system daemons must be restarted by whoever owns them)."""
+        self.up = True
 
     # -- monitoring snapshot -------------------------------------------------
 

@@ -145,9 +145,12 @@ class OSProcess:
     # -- body runner ----------------------------------------------------------
 
     def _run(self, body):
-        if self._startup_delay > 0:
-            yield self.env.timeout(self._startup_delay)
         try:
+            # The startup delay is inside the try: a signal arriving while
+            # the process is still "exec-ing" (no handler installed yet)
+            # terminates it with the conventional code, as on real Unix.
+            if self._startup_delay > 0:
+                yield self.env.timeout(self._startup_delay)
             result = yield from body(self)
         except Interrupt as intr:
             # An uncaught signal: die with the conventional exit code.

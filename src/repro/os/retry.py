@@ -1,0 +1,56 @@
+"""Bounded retry-with-backoff for boot-time connects.
+
+A freshly spawned daemon or app racing its server's startup — or connecting
+across a transiently partitioned LAN — should not give up after one refused
+connect.  :func:`connect_with_backoff` is the shared policy: a capped
+exponential backoff over a bounded number of attempts, after which the last
+error propagates (callers keep their existing failure handling).
+
+This is deliberately only for *establishment*.  Established connections are
+never silently re-dialed: connection loss is a meaningful signal every
+recovery protocol in the stack (daemon keeper, subapp reclaim, broker
+liveness) is built around.
+"""
+
+from __future__ import annotations
+
+from repro.os.errors import ConnectionRefused, NoSuchHost
+
+
+def connect_with_backoff(
+    proc,
+    host: str,
+    port: int,
+    attempts: int = None,
+    base: float = None,
+    cap: float = None,
+    counter=None,
+):
+    """Connect ``proc`` to ``host:port``, retrying refused attempts.
+
+    Yield-from this inside a program body; it returns the connection or
+    raises the final attempt's :class:`ConnectionRefused`/:class:`NoSuchHost`.
+    Defaults come from the calibration (``connect_retry_*``); ``counter``,
+    if given, is incremented once per retry (not per attempt), so a clean
+    first connect contributes zero.
+    """
+    cal = proc.machine.network.calibration
+    if attempts is None:
+        attempts = cal.connect_retry_attempts
+    if base is None:
+        base = cal.connect_retry_base
+    if cap is None:
+        cap = cal.connect_retry_cap
+    delay = base
+    for attempt in range(attempts):
+        try:
+            conn = yield proc.connect(host, port)
+            return conn
+        except (ConnectionRefused, NoSuchHost):
+            if attempt == attempts - 1:
+                raise
+        if counter is not None:
+            counter.inc()
+        yield proc.sleep(delay)
+        delay = min(delay * 2.0, cap)
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -24,6 +24,16 @@ from repro.os.errors import ConnectionClosed, NoSuchProgram
 RSHD_PORT = ports.RSHD
 
 
+def _safe_send(conn, message) -> bool:
+    """Send unless the connection was severed under us (machine crash,
+    partition); a daemon must outlive any one client."""
+    try:
+        conn.send(message)
+        return True
+    except ConnectionClosed:
+        return False
+
+
 def rshd_main(proc):
     """Program body of the rsh daemon (runs forever)."""
     listener = proc.listen(RSHD_PORT)
@@ -44,7 +54,7 @@ def _serve(proc, conn):
         conn.close()
         return
     if not isinstance(request, dict) or request.get("type") != "exec":
-        conn.send({"type": "error", "message": f"bad request {request!r}"})
+        _safe_send(conn, {"type": "error", "message": f"bad request {request!r}"})
         conn.close()
         return
 
@@ -52,7 +62,7 @@ def _serve(proc, conn):
     argv = request.get("argv") or []
     block = bool(request.get("block", True))
     if not argv:
-        conn.send({"type": "error", "message": "empty command"})
+        _safe_send(conn, {"type": "error", "message": "empty command"})
         conn.close()
         return
 
@@ -67,16 +77,16 @@ def _serve(proc, conn):
             inherit_env=False,
         )
     except NoSuchProgram as exc:
-        conn.send({"type": "error", "message": str(exc)})
+        _safe_send(conn, {"type": "error", "message": str(exc)})
         conn.close()
         return
 
-    conn.send({"type": "started", "pid": child.pid, "host": proc.machine.name})
+    _safe_send(conn, {"type": "started", "pid": child.pid, "host": proc.machine.name})
     if block:
         outcome = yield proc.env.any_of([child.terminated, child.daemonized])
         if child.terminated in outcome:
             code = child.exit_code if child.exit_code is not None else 0
         else:
             code = 0  # command detached; report success to the client
-        conn.send({"type": "exit", "code": code})
+        _safe_send(conn, {"type": "exit", "code": code})
     conn.close()

@@ -157,6 +157,13 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
+        if not self.is_alive:
+            # Aborted (e.g. SIGKILL from a machine crash) after this wakeup
+            # was scheduled but before it was delivered — the initialize
+            # event of a process killed at birth takes exactly this path.
+            # The generator is closed and the completion event is already
+            # scheduled; advancing would double-schedule it.
+            return
         env = self.env
         env._active_process = self
         while True:

@@ -6,6 +6,10 @@
   duration comes from :class:`~repro.calibration.Calibration.loop_work`.
 * ``compute <cpu_seconds>`` — parameterized CPU burst for workload traces.
 * ``spin`` — runs forever in 1-second bursts; killed by revocation tests.
+* ``retrywork <cpu_seconds>`` — a fault-tolerant sequential job: runs
+  ``compute`` on a brokered machine via ``rsh anylinux`` and simply resubmits
+  on failure, the classic retry-until-success wrapper script.  Used by the
+  chaos experiment, where granted machines really do crash mid-burst.
 """
 
 from __future__ import annotations
@@ -42,9 +46,31 @@ def spin_main(proc):
         yield proc.compute(1.0, tag="spin")
 
 
+def retrywork_main(proc):
+    """``retrywork <cpu_seconds>``: brokered compute, retried until done.
+
+    Under the broker the inner ``rsh`` resolves to rsh', so every attempt
+    asks for a fresh machine; a crash of the granted machine surfaces as a
+    failed rsh, and the wrapper just tries again.
+    """
+    if len(proc.argv) < 2:
+        return 1
+    try:
+        work = float(proc.argv[1])
+    except ValueError:
+        return 1
+    while True:
+        rsh = proc.spawn(["rsh", "anylinux", "compute", f"{work:g}"])
+        code = yield proc.wait(rsh)
+        if code == 0:
+            return 0
+        yield proc.sleep(0.5)
+
+
 def install_workloads(directory) -> None:
     """Register the workload programs in a program directory."""
     directory.register("null", null_main)
     directory.register("loop", loop_main)
     directory.register("compute", compute_main)
     directory.register("spin", spin_main)
+    directory.register("retrywork", retrywork_main)

@@ -165,6 +165,35 @@ def test_send_after_close_raises(rig):
     assert outcome == {"raised": True}
 
 
+def test_send_into_remotely_closed_peer_is_counted(rig):
+    env, network, directory = rig
+    outcome = {}
+
+    @directory.register("server")
+    def server(proc):
+        listener = proc.listen(5000)
+        conn = yield listener.accept()
+        conn.close()
+        yield proc.sleep(5.0)
+
+    @directory.register("client")
+    def client(proc):
+        conn = yield proc.connect("a", 5000)
+        yield proc.sleep(1.0)  # let the server's close land
+        # The peer is gone: these sends silently vanish (TCP-RST analogue)
+        # but each one shows up in the counter.
+        conn.send("one")
+        conn.send("two")
+        yield proc.sleep(1.0)
+        outcome["sent"] = True
+
+    boot(network, "a", ["server"])
+    boot(network, "b", ["client"])
+    env.run()
+    assert outcome == {"sent": True}
+    assert network.metrics.counter("net.dropped_sends").value == 2
+
+
 def test_messages_ordered(rig):
     env, network, directory = rig
     got = []

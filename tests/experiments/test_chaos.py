@@ -1,0 +1,26 @@
+"""The chaos experiment: jobs complete despite crashes and partitions."""
+
+from repro.experiments import run_chaos
+
+
+def test_small_chaos_run_completes_every_job():
+    table = run_chaos(
+        seed=1, machines=3, sequential_jobs=1, horizon=240.0, crashes=2
+    )
+    assert table.meta["completed"] == table.meta["jobs"] == 2
+    assert table.meta["faults_injected"] == len(table.meta["plan"].splitlines())
+    rendered = str(table)
+    assert "machine crashes injected" in rendered
+    assert "jobs completed" in rendered
+
+
+def test_chaos_detects_and_recovers():
+    """At least one crash outlives the liveness deadline, so the broker must
+    have marked a machine dead; reboots mean it also saw rejoins."""
+    table = run_chaos(
+        seed=1, machines=3, sequential_jobs=1, horizon=240.0, crashes=2
+    )
+    rows = {row.label: row.values[0] for row in table.rows}
+    assert rows["machines declared dead"] >= 1
+    assert rows["machine rejoins"] >= 1
+    assert rows["jobs completed"] == table.meta["completed"]

@@ -1,0 +1,132 @@
+"""Machine crash/boot semantics and the fault injector."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.faults import (
+    DaemonKill,
+    FaultInjector,
+    FaultPlan,
+    MachineCrash,
+    Partition,
+)
+from repro.os.errors import ConnectionRefused
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(ClusterSpec.uniform(3, seed=5))
+
+
+def test_crash_kills_resident_processes(cluster):
+    cluster.env.run(until=1.0)
+    victim = cluster.machine("n01")
+    spin = cluster.run_command("n01", ["spin"])
+    cluster.env.run(until=2.0)
+    assert spin.is_alive
+    killed = victim.crash()
+    assert killed >= 2  # rshd + spin at least
+    assert not victim.up
+    assert not spin.is_alive
+    # Idempotent while down.
+    assert victim.crash() == 0
+
+
+def test_down_machine_refuses_connections(cluster):
+    outcome = {}
+    cluster.machine("n01").crash()
+
+    @cluster.system_bin.register("probe")
+    def probe(proc):
+        try:
+            yield proc.connect("n01", 514)
+        except ConnectionRefused as exc:
+            outcome["error"] = str(exc)
+
+    cluster.run_command("n02", ["probe"])
+    cluster.env.run(until=1.0)
+    assert "down" in outcome["error"]
+
+
+def test_crash_machine_reboots_with_fresh_rshd(cluster):
+    cluster.env.run(until=1.0)
+    old_rshd = cluster.rshds["n01"]
+    cluster.crash_machine("n01", reboot_after=3.0)
+    assert not cluster.machine("n01").up
+    cluster.env.run(until=5.0)
+    machine = cluster.machine("n01")
+    assert machine.up
+    assert cluster.rshds["n01"] is not old_rshd
+    assert cluster.rshds["n01"].is_alive
+
+    outcome = {}
+
+    @cluster.system_bin.register("probe")
+    def probe(proc):
+        code = yield from __import__(
+            "repro.rsh.client", fromlist=["remote_exec"]
+        ).remote_exec(proc, "n01", ["null"])
+        outcome["code"] = code
+
+    cluster.run_command("n02", ["probe"])
+    cluster.env.run(until=7.0)
+    assert outcome["code"] == 0
+
+
+def test_crash_machine_without_reboot_stays_down(cluster):
+    cluster.env.run(until=1.0)
+    cluster.crash_machine("n01", reboot_after=None)
+    cluster.env.run(until=30.0)
+    assert not cluster.machine("n01").up
+    cluster.boot_machine("n01")
+    assert cluster.machine("n01").up
+
+
+def test_injector_executes_plan_in_order_with_observability(cluster):
+    plan = FaultPlan()
+    plan.add(MachineCrash(at=2.0, host="n01", reboot_after=4.0))
+    plan.add(Partition(at=3.0, duration=2.0, hosts=("n02",)))
+    plan.add(DaemonKill(at=4.0, host="n02"))
+    injector = FaultInjector(cluster, plan).start()
+    cluster.env.run(until=10.0)
+
+    assert [f.kind for f in injector.injected] == [
+        "machine_crash",
+        "partition",
+        "daemon_kill",
+    ]
+    metrics = cluster.network.metrics
+    assert metrics.counter("faults.injected").value == 3
+    assert metrics.counter("faults.machine_crash").value == 1
+    spans = {s.name for s in cluster.network.tracer.spans}
+    assert {"fault.machine_crash", "fault.partition", "fault.daemon_kill"} <= spans
+    crash_span = cluster.network.tracer.spans_named("fault.machine_crash")[0]
+    assert crash_span.started_at == pytest.approx(2.0)
+    assert crash_span.attrs["host"] == "n01"
+    # The machine rebooted per the plan.
+    assert cluster.machine("n01").up
+
+
+def test_injector_daemon_kill_only_kills_rbdaemons(cluster):
+    svc = cluster.start_broker()
+    svc.wait_ready()
+    spin = cluster.run_command("n01", ["spin"])
+    daemons = [
+        p
+        for p in cluster.machine("n01").procs.values()
+        if p.argv and p.argv[0] == "rbdaemon"
+    ]
+    assert daemons
+    plan = FaultPlan().add(DaemonKill(at=cluster.now + 1.0, host="n01"))
+    FaultInjector(cluster, plan).start()
+    cluster.env.run(until=cluster.now + 2.0)
+    assert all(not d.is_alive for d in daemons)
+    assert spin.is_alive
+    cluster.assert_no_crashes()
+
+
+def test_injector_done_event_fires_after_last_fault(cluster):
+    plan = FaultPlan().add(MachineCrash(at=5.0, host="n01"))
+    injector = FaultInjector(cluster, plan).start()
+    cluster.env.run(until=injector.done)
+    assert cluster.now == pytest.approx(5.0)

@@ -1,0 +1,72 @@
+"""Fault plans: seeded generation, ordering, summaries."""
+
+from repro.faults import (
+    FaultPlan,
+    LatencySpike,
+    MachineCrash,
+    Partition,
+)
+from repro.sim.rng import SimRandom
+
+HOSTS = ["n01", "n02", "n03", "n04"]
+
+
+def test_generate_counts_match_parameters():
+    plan = FaultPlan.generate(
+        SimRandom(3).stream("faults.plan"),
+        HOSTS,
+        crashes=4,
+        daemon_kills=2,
+        partitions=2,
+        drop_windows=1,
+        latency_spikes=3,
+    )
+    assert plan.count("machine_crash") == 4
+    assert plan.count("daemon_kill") == 2
+    assert plan.count("partition") == 2
+    assert plan.count("message_drop") == 1
+    assert plan.count("latency_spike") == 3
+    assert len(plan) == 12
+
+
+def test_generate_is_a_pure_function_of_the_seed():
+    a = FaultPlan.generate(SimRandom(7).stream("faults.plan"), HOSTS)
+    b = FaultPlan.generate(SimRandom(7).stream("faults.plan"), HOSTS)
+    assert a.faults == b.faults
+    assert a.summary() == b.summary()
+
+
+def test_different_seeds_give_different_plans():
+    a = FaultPlan.generate(SimRandom(1).stream("faults.plan"), HOSTS)
+    b = FaultPlan.generate(SimRandom(2).stream("faults.plan"), HOSTS)
+    assert a.faults != b.faults
+
+
+def test_generated_faults_stay_in_window_and_on_given_hosts():
+    plan = FaultPlan.generate(
+        SimRandom(11).stream("faults.plan"), HOSTS, start=10.0, window=20.0
+    )
+    for fault in plan.faults:
+        assert 10.0 <= fault.at < 30.0
+        if hasattr(fault, "host"):
+            assert fault.host in HOSTS
+        if hasattr(fault, "hosts"):
+            assert set(fault.hosts) <= set(HOSTS)
+
+
+def test_sorted_orders_by_firing_time():
+    plan = FaultPlan()
+    plan.add(MachineCrash(at=5.0, host="b"))
+    plan.add(LatencySpike(at=1.0, duration=2.0))
+    plan.add(Partition(at=3.0, duration=2.0, hosts=("a",)))
+    assert [f.at for f in plan.sorted()] == [1.0, 3.0, 5.0]
+
+
+def test_summary_lists_every_fault_in_order():
+    plan = FaultPlan().add(MachineCrash(at=2.0, host="n01", reboot_after=4.0))
+    plan.add(Partition(at=1.0, duration=6.0, hosts=("n02",)))
+    lines = plan.summary().splitlines()
+    assert len(lines) == 2
+    assert "partition" in lines[0]
+    assert "machine_crash" in lines[1]
+    assert "n01" in lines[1]

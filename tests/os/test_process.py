@@ -230,6 +230,32 @@ def test_sigkill_is_immediate_and_uncatchable(rig):
     assert proc.status is ProcessStatus.KILLED
 
 
+def test_sigterm_during_startup_terminates_cleanly(rig):
+    """A signal arriving while the process is still "exec-ing" (inside its
+    startup delay, before the body installed any handler) terminates it with
+    the conventional exit code — it must not count as a crash."""
+    env, machine, directory = rig
+    ran = {}
+
+    @directory.register("t")
+    def t(proc):
+        ran["body"] = True
+        yield proc.sleep(1.0)
+
+    proc = start(machine, ["t"], startup_delay=1.0)
+
+    def killer():
+        yield env.timeout(0.5)
+        proc.signal(SIGTERM)
+
+    env.process(killer())
+    env.run()
+    assert ran == {}  # the body never started
+    assert proc.status is ProcessStatus.KILLED
+    assert proc.exit_code == -int(SIGTERM)
+    assert machine.network.crashed == []
+
+
 def test_signal_cross_uid_denied(rig):
     env, machine, directory = rig
 

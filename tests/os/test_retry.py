@@ -1,0 +1,95 @@
+"""connect_with_backoff: boot-time connects survive a slow-starting server."""
+
+import pytest
+
+from repro.cluster.network import Network
+from repro.os import ConnectionRefused, Machine, OSProcess
+from repro.os.programs import ProgramDirectory
+from repro.os.retry import connect_with_backoff
+from repro.sim import Environment
+
+
+@pytest.fixture
+def rig():
+    env = Environment()
+    network = Network(env)
+    directory = ProgramDirectory("system")
+    for name in ("a", "b"):
+        machine = Machine(env, name)
+        machine.path = [directory]
+        network.add_machine(machine)
+    return env, network, directory
+
+
+def boot(network, host, argv):
+    return OSProcess(
+        network.machines[host], argv, uid="user", environ={}, startup_delay=0.0
+    )
+
+
+def test_retries_until_server_listens(rig):
+    env, network, directory = rig
+    outcome = {}
+
+    @directory.register("lateserver")
+    def lateserver(proc):
+        yield proc.sleep(0.5)  # not listening yet on the client's first try
+        listener = proc.listen(7000)
+        yield listener.accept()
+        yield proc.sleep(1.0)
+
+    @directory.register("client")
+    def client(proc):
+        counter = network.metrics.counter("test.retries")
+        conn = yield from connect_with_backoff(proc, "a", 7000, counter=counter)
+        outcome["connected_at"] = env.now
+        outcome["retries"] = counter.value
+        conn.close()
+
+    boot(network, "a", ["lateserver"])
+    boot(network, "b", ["client"])
+    env.run()
+    assert outcome["connected_at"] < 2.0
+    assert outcome["retries"] >= 1
+
+
+def test_gives_up_after_bounded_attempts(rig):
+    env, network, directory = rig
+    outcome = {}
+
+    @directory.register("client")
+    def client(proc):
+        try:
+            yield from connect_with_backoff(
+                proc, "a", 7000, attempts=3, base=0.1, cap=10.0
+            )
+        except ConnectionRefused:
+            outcome["gave_up_at"] = env.now
+
+    boot(network, "b", ["client"])
+    env.run()
+    # Two sleeps between three attempts: 0.1 + 0.2, plus connect latencies.
+    assert outcome["gave_up_at"] == pytest.approx(0.3, abs=0.1)
+
+
+def test_clean_first_connect_counts_no_retries(rig):
+    env, network, directory = rig
+    outcome = {}
+
+    @directory.register("server")
+    def server(proc):
+        listener = proc.listen(7000)
+        yield listener.accept()
+        yield proc.sleep(1.0)
+
+    @directory.register("client")
+    def client(proc):
+        counter = network.metrics.counter("test.retries")
+        conn = yield from connect_with_backoff(proc, "a", 7000, counter=counter)
+        outcome["retries"] = counter.value
+        conn.close()
+
+    boot(network, "a", ["server"])
+    boot(network, "b", ["client"])
+    env.run()
+    assert outcome["retries"] == 0

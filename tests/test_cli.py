@@ -24,6 +24,16 @@ def test_utilization_quick(capsys):
     assert "total detected idleness" in out
 
 
+def test_chaos_command(capsys, tmp_path):
+    trace = tmp_path / "chaos.jsonl"
+    assert main(["chaos", "--seed", "1", "--verbose", "--trace", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "jobs completed" in out
+    assert "fault plan:" in out
+    assert "machine_crash" in out
+    assert trace.exists() and trace.stat().st_size > 0
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["no-such-command"])
