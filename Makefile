@@ -2,7 +2,7 @@
 
 export PYTHONPATH := src
 
-.PHONY: test lint check chaos
+.PHONY: test lint check chaos bench-smoke
 
 test:  ## tier-1 test suite
 	python -m pytest -q tests
@@ -20,3 +20,6 @@ check: lint test
 
 chaos:  ## robustness capstone: mixed workload under a seeded fault schedule
 	python -m repro chaos --seed 1 --verbose
+
+bench-smoke:  ## kernel perf gate vs the pinned BENCH_kernel.json baseline
+	python benchmarks/bench_smoke.py

@@ -5,51 +5,50 @@ reproduction usable: the event-driven simulator handles clusters well beyond
 the paper's 16 machines at interactive speeds, and its cost grows roughly
 linearly with cluster size (the broker's event-driven scheduling avoids the
 quadratic daemon-report x pending-request blow-up).
+
+The workload cell is shared with the sweep runner
+(:mod:`repro.experiments.sweep`); ``python -m repro sweep --bench`` pins the
+same numbers to ``BENCH_kernel.json``.
 """
 
-import time
-
-from repro.cluster import Cluster, ClusterSpec
-from tests.broker.conftest import install_greedy
+from repro.experiments.sweep import run_cell
 
 
 def _run_cluster_minutes(n_machines: int, sim_minutes: float) -> float:
-    cluster = Cluster(ClusterSpec.uniform(n_machines, seed=2))
-    svc = cluster.start_broker()
-    svc.wait_ready()
-    install_greedy(cluster)
-    svc.submit(
-        "n00", ["greedy", str(n_machines - 1)], rsl="+(adaptive)"
-    )
-    cluster.env.run(until=cluster.now + 5.0)
-    # A sequential arrival every 30 simulated seconds keeps preemption and
-    # re-expansion churning for the whole window.
-    def arrivals():
-        while True:
-            yield cluster.env.timeout(30.0)
-            svc.submit("n00", ["rsh", "anylinux", "compute", "12"], uid="s")
+    """Wall seconds for the churn workload (compatibility shim for docs)."""
+    return _run_cell_minutes(n_machines, sim_minutes)["perf"]["wall_seconds"]
 
-    cluster.env.process(arrivals())
-    start = time.perf_counter()
-    cluster.env.run(until=cluster.now + sim_minutes * 60.0)
-    wall = time.perf_counter() - start
-    cluster.assert_no_crashes()
-    return wall
+
+def _run_cell_minutes(n_machines: int, sim_minutes: float) -> dict:
+    return run_cell("churn", n_machines, seed=2, sim_minutes=sim_minutes)
 
 
 def bench_simulator_scalability(run_once):
     def experiment():
         return {
-            n: _run_cluster_minutes(n, sim_minutes=10.0)
-            for n in (8, 16, 32, 64)
+            n: _run_cell_minutes(n, sim_minutes=10.0)
+            for n in (8, 16, 32, 64, 128, 256)
         }
 
-    walls = run_once(experiment)
+    cells = run_once(experiment)
     print("\n10 simulated minutes of churning cluster:")
-    for n, wall in walls.items():
-        print(f"  {n:3d} machines -> {wall:6.2f}s wall "
-              f"({600.0 / wall:7.1f}x real time)")
-    # Interactive even at 4x the paper's testbed...
+    for n, cell in cells.items():
+        perf, heap = cell["perf"], cell["result"]["heap"]
+        wall = perf["wall_seconds"]
+        print(
+            f"  {n:3d} machines -> {wall:6.2f}s wall "
+            f"({600.0 / wall:7.1f}x real time) "
+            f"{perf['events_per_second']:8.0f} ev/s "
+            f"{perf['spans_per_second']:7.1f} spans/s "
+            f"heap high-water {heap['heap_high_water']:5d}"
+        )
+    walls = {n: cell["perf"]["wall_seconds"] for n, cell in cells.items()}
+    # Interactive even at 16x the paper's testbed...
     assert walls[64] < 60.0
+    assert walls[256] < 240.0
     # ...and no quadratic blow-up: 8x the machines < ~20x the cost.
     assert walls[64] < 20.0 * max(walls[8], 0.05)
+    assert walls[256] < 20.0 * max(walls[32], 0.05)
+    # The lazy-deletion heap stays bounded: the high-water mark tracks the
+    # live population (machines x a small constant), not total event churn.
+    assert cells[256]["result"]["heap"]["heap_high_water"] < 50 * 256

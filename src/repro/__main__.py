@@ -13,11 +13,16 @@ Commands
     Robustness capstone: a mixed workload under a seeded fault schedule
     (crashes, partitions, lost heartbeats); exits non-zero unless every job
     completes.
+``sweep [--workers N]``
+    Fan a deterministic (seed x cluster-size x workload) simulation grid
+    across worker processes; merged results are byte-identical for any
+    worker count (see :mod:`repro.experiments.sweep`).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 #: Shared help text for every subcommand's ``--trace`` option.
@@ -131,6 +136,43 @@ def _cmd_chaos(args) -> int:
     return 0 if table.meta["completed"] == table.meta["jobs"] else 1
 
 
+def _cmd_sweep(args) -> int:
+    from repro.experiments.sweep import (
+        bench_report,
+        canonical_json,
+        format_sweep,
+        merge_results,
+        run_sweep,
+    )
+
+    sizes = [int(tok) for tok in args.sizes.split(",") if tok]
+    seeds = [int(tok) for tok in args.seeds.split(",") if tok]
+    workloads = [tok for tok in args.workloads.split(",") if tok]
+    cells = run_sweep(
+        workloads=workloads,
+        sizes=sizes,
+        seeds=seeds,
+        sim_minutes=args.minutes,
+        workers=args.workers,
+    )
+    print(format_sweep(cells))
+    merged = merge_results(cells, sim_minutes=args.minutes)
+    print(f"\nmerged digest: {merged['digest']}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(canonical_json(merged))
+        print(f"merged results written to {args.out}")
+    if args.bench:
+        report = bench_report(
+            cells, sim_minutes=args.minutes, workload=workloads[0]
+        )
+        with open(args.bench, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"kernel benchmark written to {args.bench}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -170,6 +212,45 @@ def main(argv=None) -> int:
     )
     chaos.add_argument("--trace", metavar="PATH", help=_TRACE_HELP)
     chaos.set_defaults(fn=_cmd_chaos)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="fan a deterministic simulation grid across worker processes",
+    )
+    sweep.add_argument(
+        "--sizes",
+        default="8,16,32",
+        help="comma-separated cluster sizes (default 8,16,32)",
+    )
+    sweep.add_argument(
+        "--seeds", default="1", help="comma-separated seeds (default 1)"
+    )
+    sweep.add_argument(
+        "--workloads",
+        default="churn",
+        help="comma-separated workload names (churn, sequential)",
+    )
+    sweep.add_argument(
+        "--minutes",
+        type=float,
+        default=2.0,
+        help="simulated minutes per cell (default 2)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial; results are identical either way)",
+    )
+    sweep.add_argument(
+        "--out", metavar="PATH", help="write canonical merged results JSON"
+    )
+    sweep.add_argument(
+        "--bench",
+        metavar="PATH",
+        help="write the BENCH_kernel.json performance envelope",
+    )
+    sweep.set_defaults(fn=_cmd_sweep)
 
     args = parser.parse_args(argv)
     return args.fn(args)

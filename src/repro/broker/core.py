@@ -48,6 +48,7 @@ def make_broker_main(service):
 
     def rbroker_main(proc):
         ctl = _BrokerControl(proc, service)
+        service.control = ctl  # introspection handle for tools and tests
         listener = proc.listen(ports.BROKER)
         for host in service.managed_hosts:
             proc.thread(ctl.daemon_keeper(host), name=f"daemon-keeper-{host}")
@@ -75,6 +76,10 @@ class _BrokerControl:
         self.metrics = service.metrics
         self._reqids = {}  # (jobid, reqid) -> PendingRequest (for dedupe)
         self._reports_seen = set()
+        self._managed_set = frozenset(service.managed_hosts)
+        #: The armed liveness sweep timer (cancelled on re-arm, see
+        #: :meth:`liveness_sweeper`).
+        self._sweep_timer = None
         # Span bookkeeping lives here, NOT on the state dataclasses: putting
         # spans on PendingRequest would change its equality semantics, which
         # the pending-queue membership tests rely on.
@@ -113,17 +118,54 @@ class _BrokerControl:
         machines become ineligible and whatever they held is reclaimed
         through the ordinary revocation path, so every substrate adapts
         exactly as it does for an owner reclaim.
+
+        The per-machine heartbeat deadlines (``last_seen + deadline``) are
+        coalesced into a *single* sweep timer armed at the earliest one: the
+        broker wakes exactly when some machine could first be overdue rather
+        than polling every report interval, and scans only at those instants.
+        Deadlines only ever move later (a report refreshes ``last_seen``),
+        so a wake armed from stale knowledge fires early, finds nothing
+        overdue, and re-arms — never late.  A superseded timer is cancelled,
+        not abandoned (kernel lazy deletion reclaims its heap entry).
         """
         deadline = self.cal.liveness_deadline
+        interval = self.cal.daemon_report_interval
         while True:
-            yield self.proc.sleep(self.cal.daemon_report_interval)
+            # One pass both collects the already-overdue machines and finds
+            # the earliest future deadline to arm the next wake at.
             now = self.proc.env.now
+            due = None
+            overdue = []
             for record in list(self.state.machines.values()):
                 if record.dead or record.last_seen < 0.0:
                     continue  # already handled / never heard from at all
-                silence = now - record.last_seen
+                if now - record.last_seen > deadline:
+                    overdue.append(record)
+                else:
+                    candidate = record.last_seen + deadline
+                    if due is None or candidate < due:
+                        due = candidate
+            for record in overdue:
+                if record.dead or record.last_seen < 0.0:
+                    continue  # a report raced in while marking the others
+                silence = self.proc.env.now - record.last_seen
                 if silence > deadline:
                     yield from self._mark_machine_dead(record, silence)
+            if due is None:
+                # Nothing reporting yet: re-check once a report could exist.
+                wait = interval
+            else:
+                # The epsilon lands the wake strictly *past* the deadline so
+                # `silence > deadline` holds for a machine exactly due.
+                wait = max(due - self.proc.env.now, 0.0) + 1e-6
+            timer = self.proc.sleep(wait)
+            self._sweep_timer = timer
+            try:
+                yield timer
+            finally:
+                if self._sweep_timer is timer:
+                    self._sweep_timer = None
+                timer.cancel()  # no-op after firing; frees it on interrupt
 
     def _mark_machine_dead(self, record, silence):
         record.dead = True
@@ -216,11 +258,10 @@ class _BrokerControl:
                 down.succeed()
 
     def _note_ready(self, host) -> None:
+        if self.service.ready.triggered:
+            return
         self._reports_seen.add(host)
-        if (
-            not self.service.ready.triggered
-            and self._reports_seen >= set(self.service.managed_hosts)
-        ):
+        if self._reports_seen >= self._managed_set:
             self.service.ready.succeed()
 
     def _owner_priority(self, record) -> None:

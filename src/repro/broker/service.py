@@ -90,6 +90,8 @@ class BrokerService:
         self.tracer = cluster.network.tracer
         self.metrics = cluster.network.metrics
         self.ready = self.env.event()
+        #: The live ``_BrokerControl`` once the broker program boots.
+        self.control = None
         self._daemon_down: Dict[str, Any] = {}
 
         # The broker's program directory, shadowing the system's rsh.

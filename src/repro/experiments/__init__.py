@@ -21,6 +21,14 @@ heartbeats (see :mod:`repro.experiments.chaos`).
 """
 
 from repro.experiments.results import ExperimentTable, Row, format_table
+from repro.experiments.sweep import (
+    bench_report,
+    canonical_json,
+    format_sweep,
+    merge_results,
+    run_cell,
+    run_sweep,
+)
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 from repro.experiments.table3 import run_table3
@@ -31,9 +39,15 @@ from repro.experiments.chaos import run_chaos
 __all__ = [
     "ExperimentTable",
     "Row",
+    "bench_report",
+    "canonical_json",
+    "format_sweep",
     "format_table",
+    "merge_results",
+    "run_cell",
     "run_chaos",
     "run_fig7",
+    "run_sweep",
     "run_table1",
     "run_table2",
     "run_table3",

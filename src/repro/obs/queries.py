@@ -70,8 +70,8 @@ def grant_times(source: Any, jobid: int, since: float = 0.0) -> List[float]:
 
 def trace_root(tracer: Tracer, trace_id: int) -> Optional[Span]:
     """The root span of one trace, if present."""
-    for span in tracer.trace(trace_id):
-        if span.parent_id is None:
+    for span in tracer.roots():
+        if span.trace_id == trace_id:
             return span
     return None
 

@@ -77,7 +77,7 @@ class Span:
         "parent_id",
         "started_at",
         "ended_at",
-        "attrs",
+        "_attrs",
     )
 
     def __init__(
@@ -88,7 +88,7 @@ class Span:
         span_id: int,
         parent_id: Optional[int],
         started_at: float,
-        attrs: Dict[str, Any],
+        attrs: Optional[Dict[str, Any]],
     ) -> None:
         self.tracer = tracer
         self.name = name
@@ -97,7 +97,9 @@ class Span:
         self.parent_id = parent_id
         self.started_at = started_at
         self.ended_at: Optional[float] = None
-        self.attrs = attrs
+        # Allocated lazily: attribute-less spans (and there are many on the
+        # hot instrumentation paths) never pay for a dict.
+        self._attrs = attrs if attrs else None
 
     # -- state ---------------------------------------------------------------
 
@@ -117,11 +119,20 @@ class Span:
         """This span's wire-form context (for child spans elsewhere)."""
         return {"trace_id": self.trace_id, "span_id": self.span_id}
 
+    @property
+    def attrs(self) -> Dict[str, Any]:
+        """The span's attribute dict (created on first touch)."""
+        attrs = self._attrs
+        if attrs is None:
+            attrs = self._attrs = {}
+        return attrs
+
     # -- mutation ------------------------------------------------------------
 
     def set(self, **attrs: Any) -> "Span":
         """Merge attributes into the span; returns self for chaining."""
-        self.attrs.update(attrs)
+        if attrs:
+            self.attrs.update(attrs)
         return self
 
     def end(self, **attrs: Any) -> "Span":
@@ -163,6 +174,14 @@ class Tracer:
         self.env = env
         self.spans: List[Span] = []
         self._by_id: Dict[int, Span] = {}
+        # Query indexes, maintained at append time (mirroring the broker's
+        # events_of index): the recall surface — trace viewers, experiment
+        # reductions, rbtrace's tree walk — answers from these in O(matches)
+        # instead of scanning every span ever recorded.
+        self._by_name: Dict[str, List[Span]] = {}
+        self._by_trace: Dict[int, List[Span]] = {}
+        self._by_parent: Dict[int, List[Span]] = {}
+        self._roots: List[Span] = []
         self._span_ids = itertools.count(1)
         self._trace_ids = itertools.count(1)
 
@@ -186,10 +205,16 @@ class Tracer:
             span_id=next(self._span_ids),
             parent_id=parent_id,
             started_at=self.env.now,
-            attrs=dict(attrs),
+            attrs=attrs,
         )
         self.spans.append(span)
         self._by_id[span.span_id] = span
+        self._by_name.setdefault(name, []).append(span)
+        self._by_trace.setdefault(trace_id, []).append(span)
+        if parent_id is None:
+            self._roots.append(span)
+        else:
+            self._by_parent.setdefault(parent_id, []).append(span)
         return span
 
     # -- queries -------------------------------------------------------------
@@ -200,19 +225,19 @@ class Tracer:
 
     def spans_named(self, name: str) -> List[Span]:
         """All spans called ``name``, in start order."""
-        return [s for s in self.spans if s.name == name]
+        return list(self._by_name.get(name, ()))
 
     def trace(self, trace_id: int) -> List[Span]:
         """All spans of one trace tree, in start order."""
-        return [s for s in self.spans if s.trace_id == trace_id]
+        return list(self._by_trace.get(trace_id, ()))
 
     def roots(self) -> List[Span]:
-        """Spans with no parent (one per trace)."""
-        return [s for s in self.spans if s.parent_id is None]
+        """Spans with no parent (one per trace), in start order."""
+        return list(self._roots)
 
     def children_of(self, span: Span) -> List[Span]:
         """Direct children of ``span``, in start order."""
-        return [s for s in self.spans if s.parent_id == span.span_id]
+        return list(self._by_parent.get(span.span_id, ()))
 
     def __repr__(self) -> str:
         open_count = sum(1 for s in self.spans if not s.finished)

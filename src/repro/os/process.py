@@ -215,8 +215,15 @@ class OSProcess:
         dies first.
         """
         done = self.machine.cpu.execute(cpu_seconds, tag=tag or self.name)
-        self._computes.add(done)
-        done.add_callback(lambda _ev: self._computes.discard(done))
+        computes = self._computes
+        if len(computes) > 8:
+            # Amortized pruning instead of a discard callback per burst:
+            # cancelling an already-finished compute at death is a no-op,
+            # so finished entries only cost memory until the next prune.
+            self._computes = computes = {
+                ev for ev in computes if not ev._processed
+            }
+        computes.add(done)
         return done
 
     def spawn(

@@ -51,6 +51,12 @@ def connect_with_backoff(
                 raise
         if counter is not None:
             counter.inc()
-        yield proc.sleep(delay)
+        backoff = proc.sleep(delay)
+        try:
+            yield backoff
+        finally:
+            # A signal (or the process dying) mid-backoff must not leave the
+            # timer armed in the event heap; cancel is a no-op once fired.
+            backoff.cancel()
         delay = min(delay * 2.0, cap)
     raise AssertionError("unreachable")  # pragma: no cover

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, Iterable, List, Optional, Tuple
+from collections import deque
+from typing import Any, Deque, Generator, Iterable, List, Optional, Tuple
 
 from repro.sim.events import NORMAL, AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
@@ -31,12 +32,27 @@ class Environment:
         simulation must derive from this stream for runs to be reproducible.
     """
 
+    #: Below this heap size, compaction is never worth the heapify.
+    COMPACT_MIN = 64
+
     def __init__(self, initial_time: float = 0.0, seed: int = 0) -> None:
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
+        #: Triggered events to process *now*, ahead of the heap: completions
+        #: known to occur at the current instant skip the O(log n) heap
+        #: round-trip.  Their callbacks still run from the top-level loop
+        #: (never nested inside another event's callbacks).
+        self._immediate: Deque[Event] = deque()
         self._eid = 0
         self._active_process: Optional[Process] = None
         self.rng = SimRandom(seed)
+        #: Cancelled events still occupying heap entries (lazy deletion).
+        self._dead = 0
+        # Kernel counters, exposed via heap_stats() for benchmarks.
+        self._processed = 0
+        self._skipped = 0
+        self._compactions = 0
+        self._heap_high_water = 0
 
     # -- clock ---------------------------------------------------------------
 
@@ -59,19 +75,90 @@ class Environment:
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        queue = self._queue
+        heapq.heappush(queue, (self._now + delay, priority, self._eid, event))
+        if event._cancelled:
+            # Triggering an event cancelled while still pending: the fresh
+            # heap entry is born dead.
+            self._dead += 1
+        if len(queue) > self._heap_high_water:
+            self._heap_high_water = len(queue)
+
+    def _note_cancelled(self) -> None:
+        """A scheduled event was cancelled; compact when dead entries win."""
+        self._dead += 1
+        if self._dead * 2 > len(self._queue) and len(self._queue) >= self.COMPACT_MIN:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry from the heap in one O(n) pass.
+
+        Mutates the queue *in place*: the run loop holds a local alias to
+        the list across callback execution, and compaction can run from
+        inside a callback.
+        """
+        queue = self._queue
+        queue[:] = [e for e in queue if not e[3]._cancelled]
+        heapq.heapify(queue)
+        self._dead = 0
+        self._compactions += 1
+
+    def deliver_now(self, event: Event) -> None:
+        """Queue a triggered event for processing at the current instant.
+
+        The fast-path alternative to ``succeed()``-style scheduling for
+        completions that must run *now*: the event skips the heap and is
+        processed (FIFO among immediate events) before the next heap pop.
+        The caller must have set ``_ok``/``_value`` already.
+        """
+        self._immediate.append(event)
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next *live* scheduled event, or ``inf`` if none.
+
+        Cancelled entries at the head are purged on the way — ``run`` relies
+        on peek to decide whether the next event lies past its horizon, so a
+        dead head must never stand in for a live event beyond it.
+        """
+        if self._immediate:
+            return self._now
+        queue = self._queue
+        while queue and queue[0][3]._cancelled:
+            heapq.heappop(queue)
+            self._dead -= 1
+            self._skipped += 1
+        return queue[0][0] if queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event, advancing the clock to its time."""
-        try:
-            when, _prio, _eid, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+        """Process exactly one event, advancing the clock to its time.
+
+        Cancelled entries encountered on the way are discarded without
+        running callbacks (and without consuming the step).
+        """
+        imm = self._immediate
+        while imm:
+            event = imm.popleft()
+            if event._cancelled:
+                self._skipped += 1
+                continue
+            self._dispatch(event)
+            return
+        queue = self._queue
+        while True:
+            try:
+                when, _prio, _eid, event = heapq.heappop(queue)
+            except IndexError:
+                raise EmptySchedule() from None
+            if not event._cancelled:
+                break
+            self._dead -= 1
+            self._skipped += 1
         self._now = when
+        self._dispatch(event)
+
+    def _dispatch(self, event: Event) -> None:
+        """Run one popped event's callbacks (shared by step and run)."""
+        self._processed += 1
         callbacks, event.callbacks = event.callbacks, None
         event._processed = True
         for callback in callbacks:
@@ -80,6 +167,18 @@ class Environment:
             # An exception nobody consumed: abort the run loudly.
             exc = event._value
             raise exc
+
+    def heap_stats(self) -> dict:
+        """Kernel counters for benchmarks (see ``benchmarks/bench_scale``)."""
+        return {
+            "pushes": self._eid,
+            "processed": self._processed,
+            "skipped_cancelled": self._skipped,
+            "compactions": self._compactions,
+            "heap_high_water": self._heap_high_water,
+            "pending": len(self._queue),
+            "dead_pending": self._dead,
+        }
 
     def run(self, until: Any = None) -> Any:
         """Run until ``until`` (a time, an event, or queue exhaustion).
@@ -106,17 +205,44 @@ class Environment:
                         f"until={stop_at!r} is in the past (now={self._now!r})"
                     )
 
+        # The loop below is step() with peek() fused in: one heap access and
+        # no per-event function calls.  This is the single hottest loop in
+        # the whole system — any semantic change here must be mirrored in
+        # step()/peek(), which remain the public single-step API.
+        queue = self._queue  # safe alias: _compact() mutates in place
+        imm = self._immediate
+        pop = heapq.heappop
         try:
             while True:
-                if stop_at is not None and self.peek() > stop_at:
-                    self._now = stop_at
-                    return None
-                try:
-                    self.step()
-                except EmptySchedule:
-                    if stop_at is not None:
+                if imm:
+                    event = imm.popleft()
+                    if event._cancelled:
+                        self._skipped += 1
+                        continue
+                else:
+                    while queue and queue[0][3]._cancelled:
+                        pop(queue)
+                        self._dead -= 1
+                        self._skipped += 1
+                    if not queue:
+                        if stop_at is not None:
+                            self._now = stop_at
+                        return None
+                    entry = queue[0]
+                    if stop_at is not None and entry[0] > stop_at:
                         self._now = stop_at
-                    return None
+                        return None
+                    pop(queue)
+                    event = entry[3]
+                    self._now = entry[0]
+                self._processed += 1
+                callbacks, event.callbacks = event.callbacks, None
+                event._processed = True
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    # An exception nobody consumed: abort the run loudly.
+                    raise event._value
         except StopSimulation:
             assert stop_event is not None
             if stop_event.ok:

@@ -11,10 +11,21 @@ Events triggered for the same simulated time are processed in
 ``(priority, sequence)`` order.  ``URGENT`` is reserved for kernel-internal
 bookkeeping (process interrupts, store handoffs) so that user-visible ordering
 stays intuitive; ``NORMAL`` is the default.
+
+Cancellation
+------------
+:meth:`Event.cancel` marks a scheduled event dead *in place*: the heap entry
+stays where it is, and :meth:`Environment.step` discards it without running
+callbacks (lazy deletion — removing an arbitrary heap entry eagerly would be
+O(n)).  This is the mechanism behind every re-armed timer in the system: the
+processor-sharing wake-up, retry backoffs, the broker's liveness sweep.  A
+cancelled event never delivers a value, so only cancel events nobody is (or
+will be) waiting on.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -51,7 +62,15 @@ class Event:
     (late registration is almost always a bug in simulation code).
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused")
+    __slots__ = (
+        "env",
+        "callbacks",
+        "_value",
+        "_ok",
+        "_processed",
+        "_defused",
+        "_cancelled",
+    )
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -60,6 +79,7 @@ class Event:
         self._ok: Optional[bool] = None
         self._processed = False
         self._defused = False
+        self._cancelled = False
 
     # -- state ------------------------------------------------------------
 
@@ -72,6 +92,11 @@ class Event:
     def processed(self) -> bool:
         """True once callbacks have run."""
         return self._processed
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has marked this event dead."""
+        return self._cancelled
 
     @property
     def ok(self) -> bool:
@@ -93,7 +118,16 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, delay=0.0, priority=priority)
+        # Environment.schedule inlined (hot path: every store handoff and
+        # task completion lands here).  Mirror changes there.
+        env = self.env
+        env._eid += 1
+        queue = env._queue
+        heappush(queue, (env._now, priority, env._eid, self))
+        if self._cancelled:
+            env._dead += 1
+        if len(queue) > env._heap_high_water:
+            env._heap_high_water = len(queue)
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -106,6 +140,25 @@ class Event:
         self._value = exception
         self.env.schedule(self, delay=0.0, priority=priority)
         return self
+
+    def cancel(self) -> bool:
+        """Mark the event dead so it is discarded instead of processed.
+
+        Returns False (a no-op) once the event has already been processed.
+        The scheduled heap entry is *not* removed — the environment skips it
+        lazily when popped and compacts the heap when dead entries pile up —
+        so cancelling is O(1).  Callbacks of a cancelled event never run;
+        cancel only timers nobody waits on (the kernel does this itself for
+        timers orphaned by process death).
+        """
+        if self._processed:
+            return False
+        if not self._cancelled:
+            self._cancelled = True
+            if self._value is not PENDING:
+                # Already triggered => a heap entry exists for it.
+                self.env._note_cancelled()
+        return True
 
     def defuse(self) -> None:
         """Mark a failed event as handled so it does not crash the run.
@@ -125,9 +178,12 @@ class Event:
         self.callbacks.append(callback)
 
     def remove_callback(self, callback: Callable[["Event"], None]) -> None:
-        """Remove a previously-added callback (no-op if already processed)."""
-        if self.callbacks is not None and callback in self.callbacks:
-            self.callbacks.remove(callback)
+        """Remove a previously-added callback (no-op if absent/processed)."""
+        if self.callbacks is not None:
+            try:
+                self.callbacks.remove(callback)
+            except ValueError:
+                pass
 
     def __and__(self, other: "Event") -> "AllOf":
         return AllOf(self.env, [self, other])
@@ -154,11 +210,24 @@ class Timeout(Event):
     ) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Event.__init__ is inlined here: timeouts are the kernel's hottest
+        # allocation (every sleep, message latency and PS wake-up is one),
+        # and they are born triggered, so the generic pending setup would be
+        # overwritten immediately anyway.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay, priority=NORMAL)
+        self._ok = True
+        self._processed = False
+        self._defused = False
+        self._cancelled = False
+        self.delay = delay
+        # Environment.schedule inlined (a fresh timeout is never born dead).
+        env._eid += 1
+        queue = env._queue
+        heappush(queue, (env._now + delay, NORMAL, env._eid, self))
+        if len(queue) > env._heap_high_water:
+            env._heap_high_water = len(queue)
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay!r} at {id(self):#x}>"
@@ -184,6 +253,8 @@ class _Condition(Event):
             self.succeed(self._collect())
             return
         for event in self.events:
+            if self.triggered:
+                break  # satisfied by an earlier sub-event; don't subscribe
             if event.processed:
                 self._check(event)
             else:
@@ -204,6 +275,23 @@ class _Condition(Event):
             self.fail(event.value)
         elif self._satisfied():
             self.succeed(self._collect())
+        if self.triggered:
+            self._detach_pending(event)
+
+    def _detach_pending(self, cause: Event) -> None:
+        """Unsubscribe from sub-events that can no longer matter.
+
+        Once the condition has triggered, the still-unprocessed sub-events
+        would only invoke a dead ``_check``; detach from them, and cancel
+        timeout guards nobody else waits on — the ``any_of([op, timeout])``
+        race pattern otherwise leaks one dead timer per race into the heap.
+        """
+        for ev in self.events:
+            if ev is cause or ev.processed:
+                continue
+            ev.remove_callback(self._check)
+            if not ev.callbacks and isinstance(ev, Timeout):
+                ev.cancel()
 
     def _satisfied(self) -> bool:  # pragma: no cover - abstract
         raise NotImplementedError

@@ -19,7 +19,22 @@ from __future__ import annotations
 from types import GeneratorType
 from typing import TYPE_CHECKING, Any, Optional
 
-from repro.sim.events import NORMAL, PENDING, URGENT, Event
+from repro.sim.events import NORMAL, PENDING, URGENT, Event, Timeout
+
+
+def _detach_waiter(target: Event, callback: Any) -> None:
+    """Detach ``callback`` from ``target``; cancel a timer left orphaned.
+
+    When a process is interrupted or aborted mid-sleep, the timeout it was
+    waiting on stays scheduled with nobody listening.  Churning processes
+    (retry backoffs, heartbeat loops) would flood the heap with such dead
+    timers; cancelling them lets the kernel's lazy deletion reclaim the
+    entries.  Only plain timeouts are cancelled — any other event may have
+    meaning to other waiters.
+    """
+    target.remove_callback(callback)
+    if not target.callbacks and isinstance(target, Timeout):
+        target.cancel()
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.environment import Environment
@@ -82,7 +97,7 @@ class _Interruption(Event):
         # event no longer resumes it, then resume with the Interrupt.
         target = process._target
         if target is not None:
-            target.remove_callback(process._unsuspend)
+            _detach_waiter(target, process._unsuspend)
         process._target = None
         process._resume(self)
 
@@ -136,7 +151,7 @@ class Process(Event):
             raise RuntimeError("a process cannot abort itself")
         target = self._target
         if target is not None:
-            target.remove_callback(self._unsuspend)
+            _detach_waiter(target, self._unsuspend)
         self._target = None
         self.generator.close()
         self._ok = True
@@ -157,7 +172,7 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
-        if not self.is_alive:
+        if self._value is not PENDING:
             # Aborted (e.g. SIGKILL from a machine crash) after this wakeup
             # was scheduled but before it was delivered — the initialize
             # event of a process killed at birth takes exactly this path.
@@ -166,18 +181,21 @@ class Process(Event):
             return
         env = self.env
         env._active_process = self
+        generator = self.generator
         while True:
             try:
-                if event is None or event.ok:
-                    next_event = self.generator.send(
-                        None if event is None else event.value
-                    )
+                # Direct slot access (not the ok/value properties): this loop
+                # runs once per event in the simulation.
+                if event is None:
+                    next_event = generator.send(None)
+                elif event._ok:
+                    next_event = generator.send(event._value)
                 else:
                     # The event failed: propagate into the generator.  Mark
                     # the exception as consumed so the kernel does not also
                     # treat it as unhandled.
-                    event.defuse()
-                    next_event = self.generator.throw(event.value)
+                    event._defused = True
+                    next_event = generator.throw(event._value)
             except StopIteration as exc:
                 self._ok = True
                 self._value = exc.value
@@ -210,13 +228,14 @@ class Process(Event):
                 event._defused = True
                 continue
 
-            if next_event.processed:
+            if next_event._processed:
                 # Already done: loop immediately with its outcome.
                 event = next_event
                 continue
 
             self._target = next_event
-            next_event.add_callback(self._unsuspend)
+            # Unprocessed => callbacks is a list; skip add_callback's guard.
+            next_event.callbacks.append(self._unsuspend)
             break
         env._active_process = None
 

@@ -19,9 +19,9 @@ per tick.
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
-from repro.sim.events import Event
+from repro.sim.events import Event, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.environment import Environment
@@ -81,7 +81,14 @@ class ProcessorSharingQueue:
         self._tasks: Dict[int, PSTask] = {}
         self._tids = itertools.count(1)
         self._last_update = env.now
-        self._timer_token = 0
+        #: The armed wake-up timer and its absolute deadline, if any.  The
+        #: timer is *cancelled* (not abandoned) when membership changes make
+        #: it obsolete, so churn does not flood the event heap.
+        self._timer: Optional[Timeout] = None
+        self._timer_deadline = 0.0
+        #: Tasks ordered by remaining work; valid between membership changes
+        #: (equal PS rates preserve the order as work drains uniformly).
+        self._drain_order: Optional[List[PSTask]] = None
         # Utilization accounting: integral of (busy CPUs / total CPUs) dt.
         self._busy_integral = 0.0
         self._accounting_start = env.now
@@ -111,6 +118,7 @@ class ProcessorSharingQueue:
         self._advance()
         task = PSTask(next(self._tids), float(work), done, tag)
         self._tasks[task.tid] = task
+        self._drain_order = None
         done._pstask = task
         self._reschedule()
         return done
@@ -122,6 +130,7 @@ class ProcessorSharingQueue:
             return False
         self._advance()
         del self._tasks[task.tid]
+        self._drain_order = None
         self._reschedule()
         return True
 
@@ -143,46 +152,91 @@ class ProcessorSharingQueue:
 
     def _advance(self) -> None:
         """Progress all tasks from the last update instant to ``now``."""
-        now = self.env.now
+        now = self.env._now
         dt = now - self._last_update
         if dt <= 0:
             self._last_update = now
             return
-        n = len(self._tasks)
+        tasks = self._tasks
+        n = len(tasks)
         if n:
-            per_task = self.speed * min(1.0, self.cpus / n) * dt
-            finished = []
-            for task in self._tasks.values():
+            cpus = self.cpus
+            per_task = self.speed * min(1.0, cpus / n) * dt
+            finished = None
+            for task in tasks.values():
                 task.remaining -= per_task
                 if task.remaining <= 1e-12:
-                    finished.append(task)
-            for task in finished:
-                del self._tasks[task.tid]
-                task.remaining = 0.0
-                task.done.succeed()
-            self._busy_integral += dt * min(n, self.cpus) / self.cpus
+                    if finished is None:
+                        finished = [task]
+                    else:
+                        finished.append(task)
+            if finished is not None:
+                if len(finished) > 1:
+                    # Tasks whose horizons collapse into one wake-up (within
+                    # float dust of each other) still complete in remaining-
+                    # work order — the PS invariant policies rely on.  Equal
+                    # drain preserves the weak remaining order but rounding
+                    # can collapse it into ties; original work breaks them.
+                    finished.sort(key=lambda t: (t.remaining, t.work, t.tid))
+                immediate = self.env._immediate
+                for task in finished:
+                    del tasks[task.tid]
+                    task.remaining = 0.0
+                    # succeed() inlined onto the immediate queue: the
+                    # completion is known to occur *now*, so it skips the
+                    # heap round-trip (the hottest completion in the system
+                    # — one per CPU burst).
+                    done = task.done
+                    done._ok = True
+                    done._value = None
+                    immediate.append(done)
+                self._drain_order = None
+            self._busy_integral += dt if n >= cpus else dt * n / cpus
         self._last_update = now
 
     def _reschedule(self) -> None:
-        """Arm a wake-up for the next task completion."""
-        self._timer_token += 1
-        token = self._timer_token
-        if not self._tasks:
+        """Arm a wake-up for the next task completion.
+
+        An already-armed timer whose deadline is *no later* than the new
+        completion horizon is kept: firing early is harmless (``_advance``
+        completes nothing and we re-arm), and keeping it avoids a cancel +
+        re-arm per task arrival — arrivals slow everyone down, so the common
+        case pushes the horizon later.  A timer that would fire too *late*
+        is cancelled and replaced, never abandoned.
+        """
+        tasks = self._tasks
+        if not tasks:
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
             return
-        rate = self.rate()
-        horizon = min(task.remaining for task in self._tasks.values()) / rate
+        n = len(tasks)
+        rate = self.speed if n <= self.cpus else self.speed * self.cpus / n
+        if n == 1:
+            shortest = next(iter(tasks.values())).remaining
+        else:
+            shortest = min(task.remaining for task in tasks.values())
+        horizon = shortest / rate
         # Guard against float dust: at large clock values a sub-epsilon
         # horizon would schedule the wake-up at *exactly* the current time
         # (now + h == now), making _advance see dt == 0 and re-arm forever.
-        # Clamp to a representable forward tick; the distortion is <= 1 ns.
-        eps = max(1e-9, abs(self.env.now) * 1e-12)
-        horizon = max(horizon, eps)
-        timer = self.env.timeout(horizon)
-        timer.add_callback(lambda _ev, token=token: self._on_timer(token))
+        now = self.env._now
+        eps = max(1e-9, abs(now) * 1e-12)
+        if horizon < eps:
+            horizon = eps
+        deadline = now + horizon
+        if self._timer is not None:
+            if self._timer_deadline <= deadline:
+                return  # armed timer fires no later than needed: keep it
+            self._timer.cancel()
+        timer = Timeout(self.env, horizon)
+        self._timer = timer
+        self._timer_deadline = deadline
+        # Fresh timer: callbacks is a list; skip add_callback's guard.
+        timer.callbacks.append(self._on_timer)
 
-    def _on_timer(self, token: int) -> None:
-        if token != self._timer_token:
-            return  # membership changed since this timer was armed
+    def _on_timer(self, _event: Event) -> None:
+        self._timer = None
         self._advance()
         self._reschedule()
 
@@ -190,20 +244,26 @@ class ProcessorSharingQueue:
         """Simulated seconds until all current tasks finish (no arrivals).
 
         PS with equal rates completes tasks in remaining-work order; this is
-        used by policies to predict machine availability.
+        used by policies to predict machine availability.  The remaining-work
+        ordering is cached between membership changes (uniform drain keeps it
+        sorted), so polling policies pay O(tasks), not O(tasks log tasks).
         """
         self._advance()
-        remains = sorted(task.remaining for task in self._tasks.values())
-        if not remains:
+        order = self._drain_order
+        if order is None:
+            order = self._drain_order = sorted(
+                self._tasks.values(), key=lambda task: task.remaining
+            )
+        if not order:
             return 0.0
         t = 0.0
         prev = 0.0
-        n = len(remains)
-        for idx, rem in enumerate(remains):
+        n = len(order)
+        for idx, task in enumerate(order):
             active = n - idx
             rate = self.speed * min(1.0, self.cpus / active)
-            t += (rem - prev) / rate
-            prev = rem
+            t += (task.remaining - prev) / rate
+            prev = task.remaining
         return t
 
     def __repr__(self) -> str:

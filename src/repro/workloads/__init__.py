@@ -2,6 +2,9 @@
 
 from repro.workloads.programs import (
     compute_main,
+    gracespin_main,
+    greedy_main,
+    install_churn,
     install_workloads,
     loop_main,
     null_main,
@@ -12,6 +15,9 @@ from repro.workloads.arrivals import SequentialJobTrace, periodic_sequential_job
 __all__ = [
     "SequentialJobTrace",
     "compute_main",
+    "gracespin_main",
+    "greedy_main",
+    "install_churn",
     "install_workloads",
     "loop_main",
     "null_main",

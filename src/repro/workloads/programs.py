@@ -67,6 +67,55 @@ def retrywork_main(proc):
         yield proc.sleep(0.5)
 
 
+def gracespin_main(proc):
+    """Adaptive worker: endless 1-second bursts, graceful SIGTERM shutdown.
+
+    On interruption (revocation) it takes the calibrated adaptive-shutdown
+    time before exiting — the dominant term of the paper's ~1 s reallocation.
+    """
+    from repro.sim.process import Interrupt
+
+    cal = proc.machine.network.calibration
+    while True:
+        try:
+            yield proc.compute(1.0, tag="gracespin")
+        except Interrupt:
+            yield proc.sleep(cal.adaptive_shutdown)
+            return 0
+
+
+def greedy_main(proc):
+    """``greedy <k>``: adaptive master holding ``k`` remote workers.
+
+    Tries to keep ``k`` ``gracespin`` workers alive via ``rsh anylinux``,
+    re-acquiring replacements when they die — the minimal stand-in for an
+    adaptive runtime like Calypso.  Never exits on its own.
+    """
+    want = int(proc.argv[1]) if len(proc.argv) > 1 else 1
+
+    def runner(slot):
+        while True:
+            child = proc.spawn(["rsh", "anylinux", "gracespin"])
+            yield proc.wait(child)
+
+    for slot in range(want):
+        proc.thread(runner(slot), name=f"greedy-slot{slot}")
+    while True:
+        yield proc.sleep(3600.0)
+
+
+def install_churn(directory) -> None:
+    """Register the greedy/gracespin churn pair (idempotent).
+
+    This is the workload behind the scale benchmarks and the sweep runner:
+    one greedy master that expands into every idle machine, plus whatever
+    sequential arrivals the harness injects to force preemption churn.
+    """
+    if "gracespin" not in directory:
+        directory.register("gracespin", gracespin_main)
+        directory.register("greedy", greedy_main)
+
+
 def install_workloads(directory) -> None:
     """Register the workload programs in a program directory."""
     directory.register("null", null_main)

@@ -32,35 +32,8 @@ def mixed_cluster():
 
 
 def install_greedy(cluster):
-    """Register ``greedy <k>``: an adaptive master that tries to hold ``k``
-    remote ``gracespin`` workers, re-acquiring replacements when they die
-    (the minimal stand-in for an adaptive runtime like Calypso).  Workers
-    shut down gracefully on SIGTERM, taking the calibrated adaptive-shutdown
-    time — the dominant term of the paper's ~1 s reallocation."""
-    from repro.sim.process import Interrupt
+    """Register the greedy/gracespin churn pair (now lives in
+    :mod:`repro.workloads.programs`; kept as a shim for the broker tests)."""
+    from repro.workloads import install_churn
 
-    if "gracespin" not in cluster.system_bin:
-
-        @cluster.system_bin.register("gracespin")
-        def gracespin(proc):
-            cal = proc.machine.network.calibration
-            while True:
-                try:
-                    yield proc.compute(1.0, tag="gracespin")
-                except Interrupt:
-                    yield proc.sleep(cal.adaptive_shutdown)
-                    return 0
-
-        @cluster.system_bin.register("greedy")
-        def greedy(proc):
-            want = int(proc.argv[1]) if len(proc.argv) > 1 else 1
-
-            def runner(slot):
-                while True:
-                    child = proc.spawn(["rsh", "anylinux", "gracespin"])
-                    yield proc.wait(child)
-
-            for slot in range(want):
-                proc.thread(runner(slot), name=f"greedy-slot{slot}")
-            while True:
-                yield proc.sleep(3600.0)
+    install_churn(cluster.system_bin)

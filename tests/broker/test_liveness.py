@@ -162,3 +162,35 @@ class _FakeProc:
 
     def sleep(self, seconds):
         return self.env.timeout(seconds)
+
+
+def test_broker_death_cancels_the_armed_sweep_timer(cluster4):
+    """The coalesced liveness sweep timer is cancelled — never fired into a
+    dead continuation — when the broker goes down mid-wait."""
+    svc = cluster4.broker
+    cluster4.env.run(until=cluster4.now + 5.0)  # daemons reporting; sweep armed
+    timer = svc.control._sweep_timer
+    assert timer is not None and not timer.cancelled
+    svc.broker_proc.signal(SIGKILL)
+    assert timer.cancelled  # the sweeper's finally ran on the way out
+    cluster4.env.run(until=cluster4.now + 120.0)  # well past the deadline
+    assert not timer.processed  # lazy deletion discarded it: no callbacks ran
+
+
+def test_sweeper_holds_at_most_one_live_timer(cluster4):
+    """Re-arming never accumulates wake-ups: every superseded sweep timer is
+    either fired (and re-armed) or cancelled by the time a new one is armed."""
+    svc = cluster4.broker
+    seen = []
+    deadline = cluster4.now + 60.0
+    while cluster4.now < deadline:
+        cluster4.env.step()
+        timer = svc.control._sweep_timer
+        if timer is not None and (not seen or seen[-1] is not timer):
+            seen.append(timer)
+    assert len(seen) > 1  # the sweeper really did re-arm over this window
+    current = svc.control._sweep_timer
+    for timer in seen:
+        if timer is current:
+            continue
+        assert timer.processed or timer.cancelled

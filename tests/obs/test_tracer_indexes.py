@@ -1,0 +1,65 @@
+"""Tracer query indexes must answer exactly like a full-list scan."""
+
+from repro.sim.environment import Environment
+from repro.obs.spans import Tracer
+
+
+def _build(tracer):
+    """A small forest: two traces, nested children, repeated names."""
+    env = tracer.env
+    a = tracer.start("job.submit", host="n00")
+    b = tracer.start("app.run", parent=a)
+    c = tracer.start("app.rsh_request", parent=b)
+    d = tracer.start("app.rsh_request", parent=b)
+    e = tracer.start("job.submit", host="n01")
+    f = tracer.start("app.run", parent=e.context)
+    for span in (c, d, f):
+        span.end()
+    return [a, b, c, d, e, f]
+
+
+def test_indexes_match_naive_scans():
+    env = Environment()
+    tracer = Tracer(env)
+    spans = _build(tracer)
+
+    names = {span.name for span in spans}
+    for name in names | {"missing"}:
+        assert tracer.spans_named(name) == [
+            s for s in tracer.spans if s.name == name
+        ]
+    for trace_id in {s.trace_id for s in spans} | {999}:
+        assert tracer.trace(trace_id) == [
+            s for s in tracer.spans if s.trace_id == trace_id
+        ]
+    assert tracer.roots() == [s for s in tracer.spans if s.parent_id is None]
+    for span in spans:
+        assert tracer.children_of(span) == [
+            s for s in tracer.spans if s.parent_id == span.span_id
+        ]
+
+
+def test_index_queries_return_copies():
+    """Mutating a query result must not corrupt the index."""
+    env = Environment()
+    tracer = Tracer(env)
+    _build(tracer)
+    got = tracer.spans_named("app.run")
+    got.clear()
+    assert len(tracer.spans_named("app.run")) == 2
+    roots = tracer.roots()
+    roots.pop()
+    assert len(tracer.roots()) == 2
+
+
+def test_lazy_attr_dict_only_allocated_on_touch():
+    env = Environment()
+    tracer = Tracer(env)
+    bare = tracer.start("bare")
+    assert bare._attrs is None  # no dict until someone asks
+    assert bare.attrs == {}
+    assert bare._attrs == {}
+    rich = tracer.start("rich", host="n03")
+    assert rich._attrs == {"host": "n03"}
+    rich.set(jobid=7)
+    assert rich.attrs == {"host": "n03", "jobid": 7}

@@ -93,3 +93,27 @@ def test_clean_first_connect_counts_no_retries(rig):
     boot(network, "b", ["client"])
     env.run()
     assert outcome["retries"] == 0
+
+
+def test_kill_mid_backoff_cancels_the_armed_timer(rig):
+    """A process dying mid-backoff must not leave its timer live in the
+    heap: the sleep is cancelled on the way out, so the simulation ends at
+    the kill, not after the (long) backoff expires."""
+    env, network, directory = rig
+
+    @directory.register("client")
+    def client(proc):
+        yield from connect_with_backoff(
+            proc, "a", 7000, attempts=5, base=100.0, cap=100.0
+        )
+
+    from repro.os.signals import SIGKILL
+
+    proc = boot(network, "b", ["client"])
+    env.run(until=1.0)  # first connect refused; now deep in a 100s backoff
+    assert proc.is_alive
+    proc.signal(SIGKILL)
+    env.run()
+    assert env.now < 100.0  # the cancelled backoff never held the sim open
+    stats = env.heap_stats()
+    assert stats["pending"] - stats["dead_pending"] == 0

@@ -1,0 +1,157 @@
+"""Event cancellation and lazy heap deletion (the PR-3 kernel overhaul)."""
+
+import pytest
+
+from repro.sim.environment import Environment
+from repro.sim.events import Timeout
+from repro.sim.pshare import ProcessorSharingQueue
+
+
+def test_cancelled_timer_never_fires_callbacks():
+    env = Environment()
+    fired = []
+    timer = env.timeout(5.0)
+    timer.add_callback(lambda ev: fired.append(ev))
+    assert timer.cancel()
+    env.run(until=20.0)
+    assert fired == []
+    assert timer.cancelled
+    assert not timer.processed
+
+
+def test_cancel_after_processing_is_a_noop():
+    env = Environment()
+    fired = []
+    timer = env.timeout(1.0)
+    timer.add_callback(lambda ev: fired.append(ev))
+    env.run(until=2.0)
+    assert fired == [timer]
+    assert timer.cancel() is False
+    assert not timer.cancelled
+
+
+def test_cancel_is_idempotent_and_counts_one_dead_entry():
+    env = Environment()
+    timer = env.timeout(1.0)
+    assert timer.cancel()
+    assert timer.cancel()  # second cancel: still True, no double-count
+    assert env.heap_stats()["dead_pending"] == 1
+
+
+def test_cancelled_head_does_not_mask_later_events():
+    """peek()/run(until=t) must never report a dead head as the next event."""
+    env = Environment()
+    dead = env.timeout(1.0)
+    fired = []
+    live = env.timeout(10.0)
+    live.add_callback(lambda ev: fired.append(env.now))
+    dead.cancel()
+    # Horizon between the dead head and the live event: nothing may fire.
+    env.run(until=5.0)
+    assert fired == []
+    env.run(until=15.0)
+    assert fired == [10.0]
+
+
+def test_step_skips_cancelled_entries_without_consuming_the_step():
+    env = Environment()
+    dead = env.timeout(1.0)
+    live = env.timeout(2.0)
+    seen = []
+    live.add_callback(lambda ev: seen.append("live"))
+    dead.cancel()
+    env.step()  # must process `live`, discarding the dead entry on the way
+    assert seen == ["live"]
+    assert env.heap_stats()["skipped_cancelled"] == 1
+
+
+def test_compaction_bounds_heap_under_sustained_cancel_churn():
+    """Dead entries never exceed ~half the heap once past the floor."""
+    env = Environment()
+    anchor = env.timeout(1e9)  # keeps the queue non-empty
+    for _ in range(50):
+        batch = [env.timeout(100.0 + i) for i in range(100)]
+        for timer in batch:
+            timer.cancel()
+        stats = env.heap_stats()
+        assert stats["dead_pending"] <= max(
+            stats["pending"] // 2 + 1, env.COMPACT_MIN
+        )
+    stats = env.heap_stats()
+    assert stats["compactions"] > 0
+    # The heap never grew anywhere near the 5000 cancelled timers pushed.
+    assert stats["heap_high_water"] < 300
+    assert not anchor.processed
+
+
+def test_heap_bounded_under_sustained_ps_rearm_churn():
+    """Arrivals re-arm the PS wake-up; stale timers must be reclaimed."""
+    env = Environment()
+    cpu = ProcessorSharingQueue(env, cpus=1)
+    events = []
+    # Work shrinks like 1/k^2, so even though each arrival halves the rate
+    # the completion horizon still moves *earlier* every time, forcing a
+    # cancel + re-arm of the wake-up timer on every arrival.
+    for i in range(500):
+        events.append(cpu.execute(5000.0 / (i + 1) ** 2))
+    stats = env.heap_stats()
+    # One live wake-up timer plus bounded dead entries — not 500 timers.
+    assert stats["pending"] - stats["dead_pending"] <= 2
+    assert stats["dead_pending"] <= max(stats["pending"] // 2 + 1, 64)
+    env.run()
+    assert all(ev.processed for ev in events)
+
+
+def test_ps_membership_change_cancels_stale_timer():
+    env = Environment()
+    cpu = ProcessorSharingQueue(env, cpus=1)
+    long = cpu.execute(100.0)
+    assert cpu._timer is not None
+    first_timer = cpu._timer
+    # A shorter task halves the rate but still completes much earlier,
+    # pulling the horizon in: the stale timer must be cancelled, not left
+    # to fire into a dead callback.
+    short = cpu.execute(1.0)
+    assert cpu._timer is not first_timer
+    assert first_timer.cancelled
+    env.run(until=short)
+    assert not long.processed
+    env.run()
+    assert long.processed
+
+
+def test_ps_keep_if_earlier_timer_survives_arrivals():
+    """Arrivals that push the horizon later keep the armed (earlier) timer:
+    it fires early, completes nothing, and is re-armed — never leaked."""
+    env = Environment()
+    cpu = ProcessorSharingQueue(env, cpus=1)
+    first = cpu.execute(10.0)
+    timer = cpu._timer
+    second = cpu.execute(10.0)  # same work: horizon moves later
+    assert cpu._timer is timer  # kept, not cancelled
+    assert not timer.cancelled
+    env.run()
+    assert first.processed and second.processed
+    assert env.now == pytest.approx(20.0)
+
+
+def test_condition_race_guard_timer_is_reclaimed():
+    """any_of([op, timeout]) must not leak the losing guard timer."""
+    env = Environment()
+    for _ in range(100):
+        op = env.event()
+        guard = env.timeout(1000.0)
+        race = env.any_of([op, guard])
+        op.succeed("done")
+        env.run(until=race)
+        assert guard.cancelled
+    stats = env.heap_stats()
+    assert stats["pending"] - stats["dead_pending"] == 0
+
+
+def test_timeout_value_and_repr_preserved():
+    env = Environment()
+    timer = Timeout(env, 3.0, value="payload")
+    got = env.run(until=timer)
+    assert got == "payload"
+    assert "3.0" in repr(Timeout(env, 3.0))

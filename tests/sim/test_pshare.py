@@ -194,3 +194,37 @@ def test_invalid_construction(env):
         ProcessorSharingQueue(env, cpus=0)
     with pytest.raises(ValueError):
         ProcessorSharingQueue(env, cpus=1, speed=0.0)
+
+
+def test_drain_estimate_cache_stays_correct_across_changes(env):
+    """The cached remaining-work ordering must be invisible to callers:
+    repeated polls, arrivals, partial drains, and completions all yield the
+    same estimate a cache-free recomputation would."""
+    cpu = ProcessorSharingQueue(env, cpus=1)
+
+    def fresh_estimate():
+        order = sorted(t.remaining for t in cpu._tasks.values())
+        t = prev = 0.0
+        for idx, remaining in enumerate(order):
+            active = len(order) - idx
+            rate = cpu.speed * min(1.0, cpu.cpus / active)
+            t += (remaining - prev) / rate
+            prev = remaining
+        return t
+
+    cpu.execute(6.0)
+    first = cpu.drain_estimate()
+    assert cpu.drain_estimate() == first  # cached poll, same answer
+    assert first == pytest.approx(fresh_estimate())
+
+    cpu.execute(2.0)  # arrival invalidates the cached ordering
+    assert cpu.drain_estimate() == pytest.approx(fresh_estimate())
+
+    env.run(until=1.0)  # uniform drain keeps the cached order valid
+    assert cpu.drain_estimate() == pytest.approx(fresh_estimate())
+    assert cpu.drain_estimate() == pytest.approx(3.0 + 4.0)
+
+    env.run(until=4.5)  # the short task completed: membership changed
+    assert cpu.drain_estimate() == pytest.approx(fresh_estimate())
+    env.run()
+    assert cpu.drain_estimate() == 0.0
