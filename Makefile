@@ -2,7 +2,7 @@
 
 export PYTHONPATH := src
 
-.PHONY: test lint check chaos bench-smoke
+.PHONY: test lint check chaos chaos-smoke bench-smoke
 
 test:  ## tier-1 test suite
 	python -m pytest -q tests
@@ -20,6 +20,9 @@ check: lint test
 
 chaos:  ## robustness capstone: mixed workload under a seeded fault schedule
 	python -m repro chaos --seed 1 --verbose
+
+chaos-smoke:  ## broker-crash recovery gate: completion + determinism digest
+	python benchmarks/chaos_smoke.py
 
 bench-smoke:  ## kernel perf gate vs the pinned BENCH_kernel.json baseline
 	python benchmarks/bench_smoke.py

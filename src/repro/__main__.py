@@ -126,7 +126,11 @@ def _cmd_chaos(args) -> int:
     from repro.experiments import run_chaos
 
     collector = _collector(args)
-    table = run_chaos(seed=args.seed, trace=collector)
+    table = run_chaos(
+        seed=args.seed,
+        broker_crashes=1 if args.broker_crash else 0,
+        trace=collector,
+    )
     print(table)
     if args.verbose:
         print("\nfault plan:")
@@ -206,6 +210,13 @@ def main(argv=None) -> int:
     )
     chaos.add_argument(
         "--seed", type=int, default=1, help="fault-schedule seed (default 1)"
+    )
+    chaos.add_argument(
+        "--broker-crash",
+        action="store_true",
+        dest="broker_crash",
+        help="also SIGKILL and restart the broker mid-run "
+        "(exercises leases, re-registration and session resumption)",
     )
     chaos.add_argument(
         "--verbose", action="store_true", help="also print the fault plan"

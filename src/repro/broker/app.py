@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Set
+from typing import Any, Dict, List, Optional, Set
 
 from repro.broker import protocol
 from repro.broker.modules import (
@@ -89,13 +89,25 @@ class _SubappRecord:
 @dataclass
 class _AppState:
     jobid: int = -1
+    #: Broker incarnation that acked our submit; sessions resume by
+    #: (jobid, epoch) after a broker crash.
+    epoch: int = 1
     module: Optional[str] = None
     firm: bool = True
     broker: Any = None
+    broker_host: str = ""
+    #: Registration fields, kept verbatim so a resume can replay them to a
+    #: fresh broker incarnation that never saw the original submit.
+    rsl_text: str = ""
+    command: List[str] = field(default_factory=list)
+    adaptive: bool = False
     inbox: Store = None  # type: ignore[assignment]
     waiters: Dict[int, Any] = field(default_factory=dict)
     tokens: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     subapps: Dict[str, _SubappRecord] = field(default_factory=dict)
+    #: In-flight machine requests by reqid (symbolic name + firmness),
+    #: resubmitted verbatim when the session resumes on a new broker.
+    outstanding: Dict[int, Dict[str, Any]] = field(default_factory=dict)
     pending_add: Set[str] = field(default_factory=set)
     revoking: Set[str] = field(default_factory=set)
     broker_lost: bool = False
@@ -180,11 +192,16 @@ def app_main(proc):
 
     st = _AppState(
         jobid=int(ack["jobid"]),
+        epoch=int(ack.get("epoch", 1)),
         module=rsl.module,
         # Firmness of this job's machine requests: explicit demand (module
         # consoles, rigid jobs) preempts; pure adaptive expansion does not.
         firm=(not rsl.adaptive) or (rsl.module is not None),
         broker=broker,
+        broker_host=broker_host,
+        rsl_text=rsl_text,
+        command=list(command),
+        adaptive=rsl.adaptive,
         inbox=Store(proc.env),
         reqids=itertools.count(1),
         tokenids=itertools.count(1),
@@ -263,7 +280,10 @@ def app_main(proc):
                 child.kill_tree(SIGTERM, sender=proc)
         elif kind == "broker_lost":
             st.broker_lost = True
-            # Keep the job running unmanaged; nothing more to do here.
+            # Try to resume the session on a (re)started broker; if that
+            # fails the job simply keeps running unmanaged — the paper's
+            # stance is that the job outlives its manager.
+            yield from _resume_broker_session(proc, st)
 
     # -- shutdown -------------------------------------------------------------
     code = child.exit_code
@@ -278,10 +298,102 @@ def _presize(proc, st, extra_machines):
     yield proc.sleep(3.0)
     for _ in range(extra_machines):
         reqid = next(st.reqids)
+        st.outstanding[reqid] = {"symbolic": "anyhost", "firm": True}
         if not _send_broker(
             st, protocol.machine_request(st.jobid, "anyhost", reqid, firm=True)
         ):
+            st.outstanding.pop(reqid, None)
             return
+
+
+def _resume_broker_session(proc, st):
+    """Redial the broker and reattach this job's session by (jobid, epoch).
+
+    Runs inline in the app's control loop after the reader reports EOF.  On
+    success the broker knows the job again (holdings re-adopted, unanswered
+    machine requests resubmitted) and a fresh reader thread takes over; on
+    failure every blocked machine-wait is denied and the job stays unmanaged.
+    """
+    from repro.obs import metrics_of
+
+    cal = proc.machine.network.calibration
+    metrics = metrics_of(proc)
+    span = st.tracer.start(
+        "app.resume",
+        parent=st.span,
+        actor=st.span.attrs["actor"],
+        jobid=st.jobid,
+        epoch=st.epoch,
+    )
+    st.broker.close()
+    try:
+        conn = yield from connect_with_backoff(
+            proc,
+            st.broker_host,
+            ports.BROKER,
+            attempts=cal.broker_resume_attempts,
+            counter=metrics.counter("app.resume_connect_retries"),
+        )
+    except (ConnectionRefused, NoSuchHost):
+        metrics.counter("app.resume_failures").inc()
+        span.end(outcome="unreachable")
+        _fail_waiters(st)
+        return
+    # Everything the new incarnation needs: what we hold (live subapps plus
+    # grants still in the module-grow pipeline) and what we asked for but
+    # never saw answered.
+    holdings = sorted(set(st.subapps) | st.pending_add)
+    pending = [
+        {"reqid": reqid, "symbolic": info["symbolic"], "firm": info["firm"]}
+        for reqid, info in sorted(st.outstanding.items())
+    ]
+    sent = _safe_send(
+        conn,
+        protocol.attach_trace(
+            protocol.resume(
+                st.jobid,
+                st.epoch,
+                user=proc.uid,
+                host=proc.machine.name,
+                rsl=st.rsl_text,
+                argv=st.command,
+                adaptive=st.adaptive,
+                holdings=holdings,
+                pending=pending,
+            ),
+            span.context,
+        ),
+    )
+    ack = None
+    if sent:
+        try:
+            ack = yield conn.recv()
+        except ConnectionClosed:
+            ack = None
+    if not (ack and ack.get("type") == "resume_ack" and ack.get("ok")):
+        conn.close()
+        metrics.counter("app.resume_failures").inc()
+        span.end(outcome="refused" if ack else "lost")
+        _fail_waiters(st)
+        return
+    st.broker = conn
+    st.epoch = int(ack.get("epoch", st.epoch))
+    st.broker_lost = False
+    proc.thread(_broker_reader(proc, st), name="broker-reader")
+    metrics.counter("app.sessions_resumed").inc()
+    span.end(outcome="resumed", epoch=st.epoch)
+
+
+def _fail_waiters(st):
+    """Deny every in-flight machine wait: the job is now unmanaged.
+
+    Blocked ``rsh'`` chains get the ordinary denial path instead of hanging
+    on a waiter no broker will ever answer."""
+    for reqid in sorted(st.waiters):
+        waiter = st.waiters.pop(reqid)
+        if not waiter.triggered:
+            waiter.succeed(None)
+    st.outstanding.clear()
 
 
 def _broker_reader(proc, st):
@@ -293,6 +405,9 @@ def _broker_reader(proc, st):
             st.inbox.put_nowait({"type": "broker_lost"})
             return
         kind = msg.get("type")
+        if kind in ("machine_grant", "machine_denied"):
+            # Answered: the request is no longer outstanding for resume.
+            st.outstanding.pop(msg["reqid"], None)
         if kind == "machine_grant":
             waiter = st.waiters.pop(msg["reqid"], None)
             if waiter is not None:
@@ -364,7 +479,10 @@ def _handle_rsh_request(proc, st, conn, msg):
             st.pending_add.discard(host)
             proc.unlink_file(expect_marker_path(host))
             token = _make_token(proc, st, argv, host)
-            _safe_send(conn, protocol.rsh_exec(host, wrap=True, token=token))
+            _safe_send(
+                conn,
+                protocol.rsh_exec(host, wrap=True, token=token, jobid=st.jobid),
+            )
             span.end(path="expected")
         else:
             # A host the user named explicitly: let it proceed untouched.
@@ -376,6 +494,7 @@ def _handle_rsh_request(proc, st, conn, msg):
     reqid = next(st.reqids)
     waiter = proc.env.event()
     st.waiters[reqid] = waiter
+    st.outstanding[reqid] = {"symbolic": host, "firm": st.firm}
     wait_span = st.tracer.start(
         "app.machine_wait", parent=span, actor=span.attrs["actor"], reqid=reqid
     )
@@ -387,6 +506,7 @@ def _handle_rsh_request(proc, st, conn, msg):
         ),
     ):
         st.waiters.pop(reqid, None)
+        st.outstanding.pop(reqid, None)
         wait_span.end(outcome="broker_lost")
         _safe_send(conn, protocol.rsh_fail("broker unreachable"))
         span.end(path="broker_lost")
@@ -421,7 +541,9 @@ def _handle_rsh_request(proc, st, conn, msg):
         return
     wait_span.end(outcome="granted", host=target)
     token = _make_token(proc, st, argv, target)
-    _safe_send(conn, protocol.rsh_exec(target, wrap=True, token=token))
+    _safe_send(
+        conn, protocol.rsh_exec(target, wrap=True, token=token, jobid=st.jobid)
+    )
     span.end(path="redirected", target=target)
 
 
@@ -432,8 +554,35 @@ def _begin_module_add(proc, st, target, ctx=None):
     st.module_queue.put_nowait(("grow", target, ctx))
 
 
+def _module_fallback(proc, st, verb, host):
+    """Recover from a module script that cannot do its job.
+
+    A grow that never happened denies the grant — the machine goes straight
+    back to the broker instead of leaking; a shrink falls back to the blunt
+    instrument (subapp SIGTERM/SIGKILL), which always works."""
+    if verb == "grow":
+        st.pending_add.discard(host)
+        proc.unlink_file(expect_marker_path(host))
+        _send_broker(st, protocol.released(st.jobid, host))
+    else:
+        record = st.subapps.get(host)
+        if record is not None:
+            _safe_send(record.conn, protocol.subapp_revoke())
+
+
 def _module_runner(proc, st):
-    """Run the job's module scripts strictly one at a time."""
+    """Run the job's module scripts strictly one at a time.
+
+    Each run is bounded: a script that neither exits nor makes progress
+    within ``module_script_deadline`` (a wedged master daemon, a console
+    hanging on a dead host) is SIGKILLed and retried up to
+    ``module_script_retries`` times, after which :func:`_module_fallback`
+    denies the grow or force-shrinks — a stuck user script must not wedge
+    the whole two-phase protocol."""
+    from repro.obs import metrics_of
+
+    cal = proc.machine.network.calibration
+    timeouts = metrics_of(proc).counter("app.module_script_timeouts")
     while True:
         verb, host, ctx = yield st.module_queue.get()
         program = (
@@ -445,24 +594,34 @@ def _module_runner(proc, st):
             actor=st.span.attrs["actor"],
             host=host,
         )
-        try:
-            # The script's own children (console commands, rsh chains)
-            # parent under the module span via the environ breadcrumb.
-            script = proc.spawn([program, host], environ=span.environ())
-        except NoSuchProgram:
-            span.end(error="no such program")
-            if verb == "grow":
-                # Misconfigured module: give the machine back, don't leak it.
-                st.pending_add.discard(host)
-                proc.unlink_file(expect_marker_path(host))
-                _send_broker(st, protocol.released(st.jobid, host))
-            else:
-                # Fall back to the blunt instrument.
-                record = st.subapps.get(host)
-                if record is not None:
-                    _safe_send(record.conn, protocol.subapp_revoke())
+        missing = False
+        wedged = False
+        code = None
+        for _attempt in range(cal.module_script_retries + 1):
+            try:
+                # The script's own children (console commands, rsh chains)
+                # parent under the module span via the environ breadcrumb.
+                script = proc.spawn([program, host], environ=span.environ())
+            except NoSuchProgram:
+                missing = True
+                break
+            deadline = proc.sleep(cal.module_script_deadline)
+            try:
+                yield proc.env.any_of([script.terminated, deadline])
+            finally:
+                deadline.cancel()
+            if script.terminated.triggered:
+                wedged = False
+                code = script.exit_code
+                break
+            wedged = True
+            timeouts.inc()
+            if script.is_alive:
+                script.kill_tree(SIGKILL, sender=proc)
+        if missing or wedged:
+            span.end(error="no such program" if missing else "script wedged")
+            _module_fallback(proc, st, verb, host)
             continue
-        code = yield proc.wait(script)
         span.end(code=code)
         if verb == "grow" and host in st.pending_add:
             # The grow script finished without the job ever rsh-ing to the

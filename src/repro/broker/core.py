@@ -18,6 +18,14 @@ The broker process body is produced by :func:`make_broker_main`, a closure
 over the :class:`~repro.broker.service.BrokerService` so experiments can
 inject policies and inspect state without any side-channel globals inside
 program code.
+
+Crash recovery (DESIGN.md §11): every grant is a **lease** renewed by daemon
+heartbeats and swept by :meth:`_BrokerControl.lease_sweeper`; a restarted
+broker incarnation (``service.epoch > 1``) reconstructs state from daemon
+re-registration inventories and app session resumption (``resume``
+messages), and an app connection EOF orphans the session for a grace period
+instead of finishing the job outright, so an app that merely lost its link
+can reattach.
 """
 
 from __future__ import annotations
@@ -49,10 +57,23 @@ def make_broker_main(service):
     def rbroker_main(proc):
         ctl = _BrokerControl(proc, service)
         service.control = ctl  # introspection handle for tools and tests
+        if service.epoch > 1:
+            # A restarted incarnation: trace the recovery window — it ends
+            # when every managed daemon has re-reported (service.ready).
+            recover = service.tracer.start(
+                "broker.recover",
+                actor="rbroker",
+                host=proc.machine.name,
+                epoch=service.epoch,
+            )
+            service.ready.add_callback(
+                lambda ev: recover.end() if not recover.finished else None
+            )
         listener = proc.listen(ports.BROKER)
         for host in service.managed_hosts:
             proc.thread(ctl.daemon_keeper(host), name=f"daemon-keeper-{host}")
         proc.thread(ctl.liveness_sweeper(), name="liveness-sweeper")
+        proc.thread(ctl.lease_sweeper(), name="lease-sweeper")
         while True:
             try:
                 conn = yield listener.accept()
@@ -80,6 +101,16 @@ class _BrokerControl:
         #: The armed liveness sweep timer (cancelled on re-arm, see
         #: :meth:`liveness_sweeper`).
         self._sweep_timer = None
+        #: The armed lease sweep timer (same coalescing discipline).
+        self._lease_timer = None
+        #: Until this instant a restarted incarnation trusts daemon lease
+        #: inventories enough to *adopt* allocations from them; -1.0 on a
+        #: first-epoch broker (nothing to recover, adoption disabled).
+        self._recovery_until = (
+            proc.env.now + self.cal.broker_recovery_window
+            if service.epoch > 1
+            else -1.0
+        )
         # Span bookkeeping lives here, NOT on the state dataclasses: putting
         # spans on PendingRequest would change its equality semantics, which
         # the pending-queue membership tests rely on.
@@ -196,6 +227,114 @@ class _BrokerControl:
         span.end()
         yield from self._schedule()
 
+    # -- lease expiry ---------------------------------------------------------
+
+    def lease_sweeper(self):
+        """Expire grants whose leases stopped being renewed.
+
+        The liveness sweeper catches machines that go silent; this sweeper
+        catches the dual failure — the machine is fine but the *grant
+        holder* is gone (its app never EOF'd, e.g. the whole session state
+        died with a previous broker incarnation and nobody resumed it).
+        Daemon heartbeats renew the lease of any allocation whose jobid has
+        a live subapp on the machine; an allocation past its
+        ``lease_expires_at`` is reclaimed so the machine becomes grantable
+        again.
+
+        Same coalesced-timer discipline as :meth:`liveness_sweeper`: a
+        single cancellable timer armed at the earliest expiry, re-armed
+        after every pass, idling one TTL when no lease is outstanding (a new
+        grant always expires at least one TTL out, so an idle wake is never
+        late).
+        """
+        ttl = self.cal.lease_ttl
+        while True:
+            now = self.proc.env.now
+            due = None
+            expired = []
+            for record in list(self.state.machines.values()):
+                allocation = record.allocation
+                if allocation is None or record.dead:
+                    continue  # the liveness path owns dead machines
+                if self._lease_overdue(record, now):
+                    expired.append(record)
+                elif allocation.lease_expires_at != float("inf"):
+                    if due is None or allocation.lease_expires_at < due:
+                        due = allocation.lease_expires_at
+            for record in expired:
+                if not self._lease_overdue(record, self.proc.env.now):
+                    continue  # renewed or resolved while expiring the others
+                yield from self._expire_lease(record)
+            wait = (
+                ttl
+                if due is None
+                else max(due - self.proc.env.now, 0.0) + 1e-6
+            )
+            timer = self.proc.sleep(wait)
+            self._lease_timer = timer
+            try:
+                yield timer
+            finally:
+                if self._lease_timer is timer:
+                    self._lease_timer = None
+                timer.cancel()
+
+    def _lease_overdue(self, record, now) -> bool:
+        """Whether the machine's lease has run out with nobody to renew it.
+
+        An ACTIVE allocation past its expiry is always overdue.  A
+        RECLAIMING one is overdue only when its victim has no live session:
+        the revoke went (or would go) into the void, so nobody will ever
+        send the release — without this the machine would stay RECLAIMING
+        forever, invisible to both sweepers."""
+        allocation = record.allocation
+        if allocation is None or allocation.lease_expires_at > now:
+            return False
+        if allocation.state is AllocationState.ACTIVE:
+            return True
+        if allocation.state is AllocationState.RECLAIMING:
+            victim = self.state.jobs.get(allocation.jobid)
+            return victim is None or victim.done or victim.conn is None
+        return False
+
+    def _expire_lease(self, record):
+        allocation = record.allocation
+        span = self.tracer.start(
+            "lease.expire",
+            parent=self._job_spans.get(allocation.jobid),
+            actor="rbroker",
+            host=record.host,
+            jobid=allocation.jobid,
+            state=allocation.state.value,
+        )
+        self.metrics.counter("leases.expired").inc()
+        self.service.log(
+            event="lease_expired", host=record.host, jobid=allocation.jobid
+        )
+        victim = self.state.jobs.get(allocation.jobid)
+        if (
+            allocation.state is AllocationState.ACTIVE
+            and victim is not None
+            and not victim.done
+            and victim.conn is not None
+        ):
+            # The holder is still attached: reclaim through the ordinary
+            # revocation path so its substrate adapts gracefully.
+            self._start_reclaim(record.host, claimed_by=None)
+        else:
+            # Holder unknown or unreachable: nobody can release, free it.
+            released = self.state.release(record.host)
+            reclaim = self._reclaim_spans.pop(record.host, None)
+            if reclaim is not None:
+                reclaim.end(outcome="lease_expired")
+            claim = released.claimed_by if released else None
+            if claim is not None:
+                # Un-reserve the claiming request so the scheduler pass
+                # below can satisfy it (with this very machine, usually).
+                claim.reserved_host = None
+        span.end()
+        yield from self._schedule()
+
     # -- connection dispatch -------------------------------------------------
 
     def serve(self, conn):
@@ -209,6 +348,8 @@ class _BrokerControl:
             yield from self._serve_daemon(conn, first)
         elif kind == "submit":
             yield from self._serve_app(conn, first)
+        elif kind == "resume":
+            yield from self._serve_resume(conn, first)
         elif kind == "status":
             _safe_send(conn, protocol.status_reply(self.state.summary()))
             conn.close()
@@ -229,6 +370,14 @@ class _BrokerControl:
     def _serve_daemon(self, conn, hello):
         host = hello["host"]
         record = self.state.add_machine(host)
+        if hello.get("resumed"):
+            self.metrics.counter("broker.daemon_reregistrations").inc()
+            self.service.log(
+                event="daemon_reregistered",
+                host=host,
+                leases=list(hello.get("leases", ())),
+            )
+        self._adopt_from_inventory(record, hello.get("leases", ()))
         try:
             while True:
                 msg = yield conn.recv()
@@ -241,6 +390,7 @@ class _BrokerControl:
                 if was_dead:
                     self.metrics.counter("broker.machine_rejoins").inc()
                     self.service.log(event="machine_rejoin", host=host)
+                self._ingest_leases(record, msg.get("leases", ()))
                 self._note_ready(host)
                 self._owner_priority(record)
                 # Scheduling is event-driven: most reports change nothing a
@@ -256,6 +406,54 @@ class _BrokerControl:
             down = self.service._daemon_down.get(host)
             if down is not None and not down.triggered:
                 down.succeed()
+
+    def _ingest_leases(self, record, leases) -> None:
+        """Fold one report's lease list into the machine's allocation.
+
+        A listed jobid matching the current allocation renews its lease
+        (RECLAIMING included: a graceful shutdown in progress still has a
+        live subapp and must not be swept mid-handover); with no allocation
+        at all, the list can seed an adoption — but only inside a restarted
+        incarnation's recovery window (see :meth:`_adopt_from_inventory`)."""
+        allocation = record.allocation
+        if allocation is not None and allocation.jobid in leases:
+            allocation.lease_expires_at = (
+                self.proc.env.now + self.cal.lease_ttl
+            )
+        elif allocation is None:
+            self._adopt_from_inventory(record, leases)
+
+    def _adopt_from_inventory(self, record, leases) -> None:
+        """Adopt a pre-crash allocation a daemon inventory testifies to.
+
+        Only a restarted incarnation inside its recovery window adopts:
+        outside it, an unknown lease in a report is stale noise (e.g. a
+        subapp the app is about to tear down), and a wrong adoption would
+        merely block the host until the lease expired.  The lowest listed
+        jobid wins when several are named — a deterministic pick so two
+        same-seed runs reconstruct byte-identical state regardless of
+        daemon re-registration order."""
+        leases = sorted(int(j) for j in leases)
+        if not leases or self.proc.env.now >= self._recovery_until:
+            return
+        now = self.proc.env.now
+        fresh = record.allocation is None
+        allocation = self.state.adopt_allocation(
+            record.host,
+            leases[0],
+            now=now,
+            lease_expires_at=now + self.cal.lease_ttl,
+        )
+        if allocation is None:
+            self.service.log(
+                event="lease_conflict", host=record.host, leases=leases
+            )
+            return
+        if fresh:
+            self.metrics.counter("leases.adopted").inc()
+            self.service.log(
+                event="lease_adopted", host=record.host, jobid=leases[0]
+            )
 
     def _note_ready(self, host) -> None:
         if self.service.ready.triggered:
@@ -305,7 +503,17 @@ class _BrokerControl:
             rsl=submit_msg["rsl"],
             argv=list(submit_msg["argv"]),
         )
-        _safe_send(conn, protocol.submit_ack(job.jobid))
+        _safe_send(conn, protocol.submit_ack(job.jobid, epoch=self.service.epoch))
+        yield from self._session_loop(job, conn)
+
+    def _session_loop(self, job, conn):
+        """Serve one app connection until the job finishes or the link dies.
+
+        On EOF with the job unfinished the session is *orphaned*, not
+        killed: the app may merely have lost its link (or be resuming after
+        a broker restart found its old connection half-open), so the job
+        gets ``session_resume_grace`` seconds to reattach before its
+        holdings are freed."""
         try:
             while True:
                 msg = yield conn.recv()
@@ -313,10 +521,151 @@ class _BrokerControl:
                 if job.done:
                     break
         except ConnectionClosed:
-            pass
-        if not job.done:
-            yield from self._finish_job(job, code=None)
+            conn.close()
+            if job.conn is conn and not job.done:
+                job.conn = None
+                yield from self._orphan_session(job)
+            return
         conn.close()
+
+    def _orphan_session(self, job):
+        """Give a disconnected app a grace period to resume before the job
+        is declared gone (then: requests dropped, holdings freed)."""
+        self.metrics.counter("broker.sessions_orphaned").inc()
+        self.service.log(event="session_orphaned", jobid=job.jobid)
+        timer = self.proc.sleep(self.cal.session_resume_grace)
+        try:
+            yield timer
+        finally:
+            timer.cancel()
+        if job.conn is None and not job.done:
+            yield from self._finish_job(job, code=None)
+
+    def _serve_resume(self, conn, msg):
+        """Reattach an app session lost to a broker (or link) failure.
+
+        The job keeps its original jobid.  Reconciliation order matters for
+        the no-double-grant guarantee: first drop ACTIVE allocations the app
+        no longer claims (their grant message died with the old link), then
+        adopt everything it does claim, then requeue its unanswered
+        requests — deduped against requests already queued — and only then
+        run the scheduler."""
+        jobid = int(msg["jobid"])
+        span = self.tracer.start(
+            "broker.resume",
+            parent=protocol.trace_of(msg),
+            actor="rbroker",
+            jobid=jobid,
+            epoch=self.service.epoch,
+        )
+        job = self.state.jobs.get(jobid)
+        if job is None:
+            job = self.state.adopt_job(
+                jobid=jobid,
+                user=msg["user"],
+                home_host=msg["host"],
+                rsl_text=msg["rsl"],
+                argv=msg["argv"],
+                adaptive_hint=bool(msg.get("adaptive")),
+            )
+            self._job_spans[jobid] = self.tracer.start(
+                "broker.job",
+                parent=protocol.trace_of(msg),
+                actor="rbroker",
+                host=self.proc.machine.name,
+                jobid=jobid,
+                user=job.user,
+                resumed=True,
+            )
+        if job.done:
+            _safe_send(
+                conn, protocol.resume_ack(jobid, self.service.epoch, ok=False)
+            )
+            span.end(outcome="rejected")
+            conn.close()
+            return
+        old = job.conn
+        job.conn = conn
+        if old is not None and old is not conn:
+            # The previous session thread sees EOF, notices it is no longer
+            # job.conn, and exits without orphaning.
+            old.close()
+        now = self.proc.env.now
+        claimed = set(str(h) for h in msg.get("holdings", ()))
+        for allocation in sorted(
+            self.state.allocations_of(jobid), key=lambda a: a.host
+        ):
+            if (
+                allocation.host not in claimed
+                and allocation.state is AllocationState.ACTIVE
+            ):
+                # Granted by a previous incarnation (or into a severed
+                # link) and never consumed by the app: take it back.
+                self.state.release(allocation.host)
+                self.service.log(
+                    event="stale_allocation_dropped",
+                    host=allocation.host,
+                    jobid=jobid,
+                )
+        for host in sorted(claimed):
+            adopted = self.state.adopt_allocation(
+                host, jobid, now=now, lease_expires_at=now + self.cal.lease_ttl
+            )
+            if adopted is None:
+                self.service.log(
+                    event="lease_conflict", host=host, leases=[jobid]
+                )
+        for allocation in self.state.allocations_of(jobid):
+            if allocation.state is AllocationState.RECLAIMING:
+                # The revoke sent to the old session died with it: repeat it
+                # so the reclamation can complete.
+                _safe_send(conn, protocol.revoke(allocation.host))
+        for entry in msg.get("pending", ()):
+            reqid = int(entry["reqid"])
+            if (jobid, reqid) in self._reqids:
+                continue  # still queued from this very incarnation
+            request = PendingRequest(
+                reqid=reqid,
+                jobid=jobid,
+                symbolic=entry["symbolic"],
+                firm=bool(entry["firm"]),
+                arrived_at=now,
+            )
+            self.state.pending.append(request)
+            self._reqids[(jobid, reqid)] = request
+            self._request_spans[(jobid, reqid)] = self.tracer.start(
+                "broker.request",
+                parent=self._job_spans.get(jobid),
+                actor="rbroker",
+                jobid=jobid,
+                reqid=reqid,
+                symbolic=request.symbolic,
+                firm=request.firm,
+                resubmitted=True,
+            )
+            self.metrics.gauge("broker.pending_requests").inc()
+            self.service.log(
+                event="machine_request",
+                jobid=jobid,
+                reqid=reqid,
+                symbolic=request.symbolic,
+                firm=request.firm,
+                resubmitted=True,
+            )
+        self.metrics.counter("sessions.resumed").inc()
+        self.service.log(
+            event="session_resumed",
+            jobid=jobid,
+            epoch=self.service.epoch,
+            holdings=sorted(claimed),
+            pending=len(msg.get("pending", ())),
+        )
+        _safe_send(
+            conn, protocol.resume_ack(jobid, self.service.epoch, ok=True)
+        )
+        span.end(outcome="resumed")
+        yield from self._schedule()
+        yield from self._session_loop(job, conn)
 
     def _app_message(self, job, msg):
         kind = msg.get("type")
@@ -415,6 +764,10 @@ class _BrokerControl:
                 if job is None or job.done:
                     self.state.pending.remove(request)
                     continue
+                if job.conn is None:
+                    # Orphaned session: hold its requests (it may resume and
+                    # want them) but never grant into the void.
+                    continue
                 decision = self.policy.decide(self.state, request)
                 if decision.kind.value == "grant":
                     self._grant(request, decision.host)
@@ -430,7 +783,11 @@ class _BrokerControl:
         self.state.pending.remove(request)
         self._reqids.pop((request.jobid, request.reqid), None)
         self.state.allocate(
-            host, request.jobid, firm=request.firm, now=self.proc.env.now
+            host,
+            request.jobid,
+            firm=request.firm,
+            now=self.proc.env.now,
+            lease_expires_at=self.proc.env.now + self.cal.lease_ttl,
         )
         waited = self.proc.env.now - request.arrived_at
         span = self._request_spans.pop((request.jobid, request.reqid), None)
@@ -516,6 +873,7 @@ class _BrokerControl:
                 if (
                     claimer is not None
                     and not claimer.done
+                    and claimer.conn is not None
                     # The machine may have died between the revoke and the
                     # release (its daemon connection dropped): only hand it
                     # over if it is still known-good, otherwise leave the

@@ -7,14 +7,62 @@ of running jobs, and the keyboard- and the mouse-status" (paper §3) — over a
 persistent connection.  It takes no actions itself: all job control flows
 through the application layer, which is what lets the whole resource
 management layer run unprivileged.
+
+Two additions beyond the paper support broker crash recovery:
+
+* every hello/report carries the machine's **lease inventory** — the jobids
+  with a live subapp on the host, read straight from the process table (the
+  subapp's argv names its job) — which renews the grants' leases and lets a
+  restarted broker re-adopt allocations it lost with its state;
+* the daemon watches its broker connection for EOF (a send into a dead peer
+  is silently dropped on this LAN, so only ``recv`` surfaces loss) and, when
+  the connection dies, **re-registers**: it redials forever with capped
+  backoff and replays a full-inventory hello.  It never exits on broker
+  loss — exiting would deadlock the keeper, which respawns daemons only when
+  their connection (not their process) drops.
 """
 
 from __future__ import annotations
 
 from repro.cluster import ports
 from repro.os.errors import ConnectionClosed, ConnectionRefused, NoSuchHost
-from repro.os.retry import connect_with_backoff
+from repro.os.retry import connect_forever, connect_with_backoff
 from repro.broker import protocol
+
+
+def leased_jobids(proc):
+    """The machine's lease inventory: sorted jobids with a live subapp here.
+
+    Wrapped execs put the jobid in the subapp's argv (``subapp app_host
+    app_port token jobid``) precisely so this scan needs nothing but the
+    process table — the daemon keeps no state of its own to lose.
+    """
+    jobids = set()
+    for p in proc.machine.procs.values():
+        if not (p.is_alive and p.argv and p.argv[0] == "subapp"):
+            continue
+        if len(p.argv) < 5:
+            continue  # pre-lease wire format: no jobid to report
+        try:
+            jobids.add(int(p.argv[4]))
+        except ValueError:
+            continue
+    return sorted(jobids)
+
+
+def _another_daemon_running(proc) -> bool:
+    """True if a different live rbdaemon already watches this machine.
+
+    After a broker restart the keeper rsh-spawns a fresh daemon while the
+    old one is busy re-registering; whichever boots second bows out so the
+    broker never sees two sessions for one host.
+    """
+    for p in proc.machine.procs.values():
+        if p is proc:
+            continue
+        if p.is_alive and p.argv and p.argv[0] == "rbdaemon":
+            return True
+    return False
 
 
 def rbdaemon_main(proc):
@@ -31,6 +79,9 @@ def rbdaemon_main(proc):
         host=proc.machine.name,
     )
     yield proc.sleep(cal.daemon_startup)
+    if _another_daemon_running(proc):
+        boot.end(outcome="duplicate")
+        return 0
     try:
         # The daemon may boot while the broker is still starting (or while
         # the LAN is partitioned); retry with backoff before giving up.
@@ -43,15 +94,46 @@ def rbdaemon_main(proc):
     except (ConnectionRefused, NoSuchHost):
         boot.end(error="broker unreachable")
         return 1
-    conn.send(protocol.daemon_hello(proc.machine.name))
+    conn.send(protocol.daemon_hello(proc.machine.name, leases=leased_jobids(proc)))
     boot.end()
     # Detach so the broker's rsh invocation returns while we keep running.
     proc.daemonize()
     reports = metrics_of(proc).counter("rbdaemon.reports")
-    try:
-        while True:
-            conn.send(protocol.daemon_report(proc.machine.snapshot()))
-            reports.inc()
-            yield proc.sleep(cal.daemon_report_interval)
-    except ConnectionClosed:
-        return 1
+    reregistrations = metrics_of(proc).counter("rbdaemon.reregistrations")
+    while True:
+        try:
+            # The broker never speaks on this connection; the pending recv
+            # exists to surface EOF — the only signal of broker death a
+            # send-mostly peer gets on a drop-silently LAN.
+            recv_ev = conn.recv()
+            while True:
+                conn.send(
+                    protocol.daemon_report(
+                        proc.machine.snapshot(), leases=leased_jobids(proc)
+                    )
+                )
+                reports.inc()
+                timer = proc.sleep(cal.daemon_report_interval)
+                try:
+                    yield proc.env.any_of([timer, recv_ev])
+                finally:
+                    timer.cancel()
+                if recv_ev.processed:
+                    recv_ev = conn.recv()  # drain unexpected chatter
+        except ConnectionClosed:
+            conn.close()
+        # Broker (or the path to it) is gone: re-register.  Redial forever —
+        # the keeper of a live broker respawns daemons on *connection* loss,
+        # so a daemon that exited here would never be replaced.
+        conn = yield from connect_forever(
+            proc,
+            broker_host,
+            ports.BROKER,
+            counter=metrics_of(proc).counter("rbdaemon.connect_retries"),
+        )
+        reregistrations.inc()
+        conn.send(
+            protocol.daemon_hello(
+                proc.machine.name, leases=leased_jobids(proc), resumed=True
+            )
+        )

@@ -9,10 +9,15 @@ Message flow summary (paper Figures 5 and 6):
 =====================  =======================  ==============================
 message                direction                 purpose
 =====================  =======================  ==============================
-daemon_hello            daemon -> broker         announce a machine
+daemon_hello            daemon -> broker         announce a machine (+ lease
+                                                 inventory on re-registration)
 daemon_report           daemon -> broker         periodic monitoring snapshot
+                                                 (+ lease renewals)
 submit                  app -> broker            register a job (RSL, user)
-submit_ack              broker -> app            jobid assigned
+submit_ack              broker -> app            jobid assigned (+ broker epoch)
+resume                  app -> broker            reattach a session by
+                                                 (jobid, epoch) after broker loss
+resume_ack              broker -> app            session resumed (or rejected)
 machine_request         app -> broker            "job wants one more machine"
 machine_grant           broker -> app            a machine is ready for the job
 machine_denied          broker -> app            request cannot be satisfied
@@ -64,14 +69,39 @@ def trace_of(message: Message) -> Optional[Dict[str, int]]:
 # -- resource-management layer ----------------------------------------------
 
 
-def daemon_hello(host: str) -> Message:
-    """Daemon -> broker: announce the machine this daemon watches."""
-    return {"type": "daemon_hello", "host": host}
+def daemon_hello(
+    host: str,
+    leases: Optional[List[int]] = None,
+    resumed: bool = False,
+) -> Message:
+    """Daemon -> broker: announce the machine this daemon watches.
+
+    ``leases`` is the machine's lease inventory — the sorted jobids with a
+    live subapp on the host — so a freshly restarted broker can re-adopt
+    allocations it lost with its state.  ``resumed`` marks re-registration
+    after a lost broker connection (vs. first boot).
+    """
+    return {
+        "type": "daemon_hello",
+        "host": host,
+        "leases": sorted(leases or ()),
+        "resumed": bool(resumed),
+    }
 
 
-def daemon_report(snapshot: Message) -> Message:
-    """Daemon -> broker: one periodic monitoring snapshot."""
-    return {"type": "daemon_report", "snapshot": snapshot}
+def daemon_report(
+    snapshot: Message, leases: Optional[List[int]] = None
+) -> Message:
+    """Daemon -> broker: one periodic monitoring snapshot.
+
+    ``leases`` piggybacks lease renewal on the heartbeat: every jobid listed
+    still has a live subapp on the machine, so its grant's TTL is refreshed.
+    """
+    return {
+        "type": "daemon_report",
+        "snapshot": snapshot,
+        "leases": sorted(leases or ()),
+    }
 
 
 def submit(
@@ -88,9 +118,48 @@ def submit(
     }
 
 
-def submit_ack(jobid: int) -> Message:
-    """Broker -> app: the jobid assigned to a submission."""
-    return {"type": "submit_ack", "jobid": jobid}
+def submit_ack(jobid: int, epoch: int = 1) -> Message:
+    """Broker -> app: the jobid assigned to a submission, plus the broker
+    incarnation (``epoch``) that assigned it — the pair the app later resumes
+    its session by if this broker dies."""
+    return {"type": "submit_ack", "jobid": jobid, "epoch": epoch}
+
+
+def resume(
+    jobid: int,
+    epoch: int,
+    user: str,
+    host: str,
+    rsl: str,
+    argv: List[str],
+    adaptive: bool,
+    holdings: List[str],
+    pending: List[Message],
+) -> Message:
+    """App -> broker: reattach a session lost to a broker (or link) failure.
+
+    Carries everything a fresh broker incarnation needs to reconstruct the
+    job: the registration fields (as in :func:`submit`), the hosts the app
+    still claims to hold (``holdings``), and the machine requests it sent but
+    never saw answered (``pending``: dicts of reqid/symbolic/firm)."""
+    return {
+        "type": "resume",
+        "jobid": jobid,
+        "epoch": epoch,
+        "user": user,
+        "host": host,
+        "rsl": rsl,
+        "argv": list(argv),
+        "adaptive": adaptive,
+        "holdings": list(holdings),
+        "pending": [dict(entry) for entry in pending],
+    }
+
+
+def resume_ack(jobid: int, epoch: int, ok: bool = True) -> Message:
+    """Broker -> app: the session was resumed under ``epoch`` (or rejected —
+    e.g. the broker already saw the job finish)."""
+    return {"type": "resume_ack", "jobid": jobid, "epoch": epoch, "ok": ok}
 
 
 def machine_request(
@@ -177,9 +246,24 @@ def rsh_request(host: str, argv: List[str], user: str) -> Message:
     return {"type": "rsh_request", "host": host, "argv": list(argv), "user": user}
 
 
-def rsh_exec(target: str, wrap: bool, token: Optional[str] = None) -> Message:
-    """App -> rsh': proceed to ``target`` (wrapped in a subapp if ``wrap``)."""
-    return {"type": "rsh_exec", "target": target, "wrap": wrap, "token": token}
+def rsh_exec(
+    target: str,
+    wrap: bool,
+    token: Optional[str] = None,
+    jobid: Optional[int] = None,
+) -> Message:
+    """App -> rsh': proceed to ``target`` (wrapped in a subapp if ``wrap``).
+
+    ``jobid`` rides along on wrapped execs so the subapp's argv names the
+    job it belongs to — which is what lets the machine's monitoring daemon
+    inventory leases by scanning the process table."""
+    return {
+        "type": "rsh_exec",
+        "target": target,
+        "wrap": wrap,
+        "token": token,
+        "jobid": jobid,
+    }
 
 
 def rsh_fail(reason: str) -> Message:

@@ -21,12 +21,25 @@ from repro.broker.tools import rbctl_main, rbstat_main, rbtop_main, rbtrace_main
 from repro.broker.state import BrokerState, JobRecord
 from repro.os.process import OSProcess
 from repro.os.programs import ProgramDirectory
+from repro.os.signals import SIGKILL
 from repro.policy.default import DefaultPolicy
 
 #: The unprivileged account the resource-management layer runs as.  Nothing
 #: grants it special rights: the simulated OS denies it signals to other
 #: users' processes exactly as real Unix would.
 BROKER_UID = "rbroker"
+
+
+class BrokerUnavailable(RuntimeError):
+    """The broker process is down (or mid-restart): the requested control
+    operation cannot be delivered.  Raised instead of silently dropping the
+    message; call :meth:`BrokerService.restart_broker` to recover."""
+
+
+class BrokerLost(RuntimeError):
+    """A :meth:`JobHandle.wait` deadline expired with the broker dead and
+    the job still running: the job is now unmanaged and may never terminate
+    on its own (adaptive masters run until told to stop)."""
 
 
 @dataclass
@@ -49,10 +62,39 @@ class JobHandle:
     def exit_code(self) -> Optional[int]:
         return self.proc.exit_code
 
-    def wait(self) -> Optional[int]:
-        """Run the simulation until this job's app exits."""
-        self.service.cluster.env.run(until=self.proc.terminated)
-        return self.proc.exit_code
+    @property
+    def status(self) -> str:
+        """``"done"``, ``"broker_lost"`` (broker dead, job still running —
+        the job is unmanaged) or ``"running"``."""
+        if self.proc.terminated.triggered:
+            return "done"
+        if not self.service.broker_alive:
+            return "broker_lost"
+        return "running"
+
+    def wait(self, deadline: Optional[float] = None) -> Optional[int]:
+        """Run the simulation until this job's app exits.
+
+        With ``deadline`` (simulated seconds from now), stop waiting then:
+        if the broker died while the job still runs, raise
+        :class:`BrokerLost` instead of blocking forever on a job nobody
+        manages any more; if the job is merely slow, return None.
+        """
+        env = self.service.cluster.env
+        if deadline is None:
+            env.run(until=self.proc.terminated)
+            return self.proc.exit_code
+        limit = env.now + deadline
+        while not self.proc.terminated.triggered and env.now < limit:
+            env.run(until=min(env.now + 1.0, limit))
+        if self.proc.terminated.triggered:
+            return self.proc.exit_code
+        if not self.service.broker_alive:
+            raise BrokerLost(
+                f"broker died with job {self.argv!r} still running "
+                f"(waited {deadline}s); restart_broker() to re-manage it"
+            )
+        return None
 
     def job_record(self) -> Optional[JobRecord]:
         """The broker's record for this job (matched on user/host/argv)."""
@@ -93,6 +135,9 @@ class BrokerService:
         #: The live ``_BrokerControl`` once the broker program boots.
         self.control = None
         self._daemon_down: Dict[str, Any] = {}
+        #: Broker incarnation number; bumped by :meth:`restart_broker`.
+        #: Apps resume their sessions by (jobid, epoch).
+        self.epoch = 1
 
         # The broker's program directory, shadowing the system's rsh.
         self.rb_bin = ProgramDirectory("rb")
@@ -144,6 +189,64 @@ class BrokerService:
         if not self.ready.processed:
             self.env.run(until=self.ready)
 
+    @property
+    def broker_alive(self) -> bool:
+        """Whether the current broker incarnation's process is alive."""
+        return self.broker_proc.is_alive
+
+    def crash_broker(self) -> None:
+        """Kill the broker process where it stands (SIGKILL, no cleanup).
+
+        Daemons and apps notice only through connection EOF; jobs keep
+        running unmanaged until :meth:`restart_broker` brings a new
+        incarnation up.  A no-op if the broker is already down.
+        """
+        if not self.broker_proc.is_alive:
+            return
+        self.metrics.counter("broker.crashes").inc()
+        self.log(event="broker_crash", epoch=self.epoch)
+        self.broker_proc.signal(SIGKILL)
+
+    def restart_broker(self) -> OSProcess:
+        """Boot a fresh broker incarnation with empty state.
+
+        The new incarnation (``epoch + 1``) starts from a blank
+        :class:`BrokerState` — only the managed-host list survives — and
+        reconstructs everything else from daemon re-registration
+        inventories and app session resumptions (core.py's recovery
+        window).  Its jobid counter starts past every id the dead
+        incarnation could have issued, so resumed jobs keep their ids
+        without colliding with fresh submissions.
+        """
+        if self.broker_proc.is_alive:
+            self.broker_proc.signal(SIGKILL)
+        self.epoch += 1
+        next_jobid = max(self.state.jobs, default=0) + 1
+        self.state = BrokerState(first_jobid=next_jobid)
+        for host in self.managed_hosts:
+            self.state.add_machine(host)
+        self.ready = self.env.event()
+        self.control = None
+        self._daemon_down = {}
+        self.metrics.counter("broker.restarts").inc()
+        self.log(event="broker_restart", epoch=self.epoch)
+        broker_machine = self.cluster.machines[self.broker_host]
+        self.broker_proc = OSProcess(
+            broker_machine,
+            ["rbroker"],
+            uid=BROKER_UID,
+            environ={"HOME": f"/home/{BROKER_UID}"},
+        )
+        return self.broker_proc
+
+    def _require_broker(self, action: str) -> None:
+        """Fail fast (not a silent dropped send) when the broker is down."""
+        if not self.broker_proc.is_alive:
+            raise BrokerUnavailable(
+                f"cannot {action}: the broker process is down "
+                f"(epoch {self.epoch}); call restart_broker() first"
+            )
+
     def submit(
         self,
         host: str,
@@ -181,7 +284,11 @@ class BrokerService:
         )
 
     def halt_job(self, jobid: int, host: Optional[str] = None) -> OSProcess:
-        """Ask the broker to stop ``jobid`` (via ``rbctl halt``)."""
+        """Ask the broker to stop ``jobid`` (via ``rbctl halt``).
+
+        Raises :class:`BrokerUnavailable` when the broker is down — the
+        halt could never be delivered."""
+        self._require_broker(f"halt job {jobid}")
         return self.cluster.run_command(
             host or self.broker_host,
             ["rbctl", "halt", str(jobid)],
@@ -190,7 +297,12 @@ class BrokerService:
         )
 
     def run_rbstat(self, host: Optional[str] = None, uid: str = "user") -> OSProcess:
-        """Run the ``rbstat`` status tool as ``uid`` on ``host``."""
+        """Run the ``rbstat`` status tool as ``uid`` on ``host``.
+
+        Raises :class:`BrokerUnavailable` when the broker is down (the tool
+        itself, run by hand, still fails fast and writes a clear error to
+        ``~/.rbstat``)."""
+        self._require_broker("query broker status")
         return self.cluster.run_command(
             host or self.broker_host,
             ["rbstat"],

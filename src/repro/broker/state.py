@@ -9,7 +9,6 @@ unit-testable against hand-built states.
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
@@ -32,6 +31,12 @@ class Allocation:
     firm: bool
     state: AllocationState = AllocationState.ACTIVE
     granted_at: float = 0.0
+    #: Every grant is a lease: the daemon on ``host`` renews it on each
+    #: heartbeat while a subapp of ``jobid`` lives there; past this instant
+    #: the lease sweeper reclaims the machine even if the holder's app
+    #: connection never signalled loss.  ``inf`` = unleased (hand-built
+    #: states, tests).
+    lease_expires_at: float = float("inf")
     #: When RECLAIMING: the pending request that will receive this machine.
     claimed_by: Optional["PendingRequest"] = None
 
@@ -124,11 +129,15 @@ class PendingRequest:
 class BrokerState:
     """All broker tables plus derived queries used by policies."""
 
-    def __init__(self) -> None:
+    def __init__(self, first_jobid: int = 1) -> None:
         self.machines: Dict[str, MachineRecord] = {}
         self.jobs: Dict[int, JobRecord] = {}
         self.pending: List[PendingRequest] = []
-        self._jobids = itertools.count(1)
+        #: Next jobid to assign.  A restarted broker seeds this past every
+        #: id its predecessor could have issued, so resumed sessions (which
+        #: keep their original jobid, see :meth:`adopt_job`) never collide
+        #: with fresh submissions.
+        self._next_jobid = first_jobid
 
     # -- machines ---------------------------------------------------------
 
@@ -153,14 +162,38 @@ class BrokerState:
         """Create a JobRecord for a submission, parsing its RSL."""
         rsl = parse_rsl(rsl_text or "")
         job = JobRecord(
-            jobid=next(self._jobids),
+            jobid=self._next_jobid,
             user=user,
             home_host=home_host,
             rsl=rsl,
             argv=list(argv),
             adaptive=rsl.adaptive or adaptive_hint,
         )
+        self._next_jobid += 1
         self.jobs[job.jobid] = job
+        return job
+
+    def adopt_job(
+        self, jobid: int, user: str, home_host: str, rsl_text: str,
+        argv: List[str], adaptive_hint: bool = False,
+    ) -> JobRecord:
+        """Re-create the record of a job that predates this broker state.
+
+        Used when an app resumes a session registered with a previous broker
+        incarnation: the job keeps its original ``jobid`` (its subapps carry
+        it in their argv, and daemon lease inventories key on it), and the
+        jobid counter is bumped past it defensively."""
+        rsl = parse_rsl(rsl_text or "")
+        job = JobRecord(
+            jobid=jobid,
+            user=user,
+            home_host=home_host,
+            rsl=rsl,
+            argv=list(argv),
+            adaptive=rsl.adaptive or adaptive_hint,
+        )
+        self._next_jobid = max(self._next_jobid, jobid + 1)
+        self.jobs[jobid] = job
         return job
 
     def job(self, jobid: int) -> JobRecord:
@@ -182,7 +215,12 @@ class BrokerState:
         return len(self.allocations_of(jobid))
 
     def allocate(
-        self, host: str, jobid: int, firm: bool, now: float
+        self,
+        host: str,
+        jobid: int,
+        firm: bool,
+        now: float,
+        lease_expires_at: float = float("inf"),
     ) -> Allocation:
         """Bind ``host`` to ``jobid`` (the machine must be free)."""
         record = self.machines[host]
@@ -191,7 +229,44 @@ class BrokerState:
                 f"{host} already allocated to job {record.allocation.jobid}"
             )
         allocation = Allocation(
-            host=host, jobid=jobid, firm=firm, granted_at=now
+            host=host,
+            jobid=jobid,
+            firm=firm,
+            granted_at=now,
+            lease_expires_at=lease_expires_at,
+        )
+        record.allocation = allocation
+        return allocation
+
+    def adopt_allocation(
+        self, host: str, jobid: int, now: float, lease_expires_at: float
+    ) -> Optional[Allocation]:
+        """Re-adopt a pre-crash grant reported by a daemon inventory or a
+        resuming app, idempotently and order-independently.
+
+        First claim wins and creates the allocation; a same-``jobid`` repeat
+        (the other reporter arriving later, in either order) only refreshes
+        the lease; a *different* jobid claiming an occupied host is rejected
+        (returns None — the caller logs the conflict, and the loser's claim
+        self-heals through lease expiry).  Unknown hosts are rejected too:
+        only managed machines can be adopted."""
+        record = self.machines.get(host)
+        if record is None:
+            return None
+        existing = record.allocation
+        if existing is not None:
+            if existing.jobid != jobid:
+                return None
+            existing.lease_expires_at = max(
+                existing.lease_expires_at, lease_expires_at
+            )
+            return existing
+        allocation = Allocation(
+            host=host,
+            jobid=jobid,
+            firm=False,
+            granted_at=now,
+            lease_expires_at=lease_expires_at,
         )
         record.allocation = allocation
         return allocation

@@ -36,18 +36,24 @@ def _broker_host(proc):
 
 
 def rbstat_main(proc):
-    """``rbstat``: fetch and persist the broker's status summary."""
+    """``rbstat``: fetch and persist the broker's status summary.
+
+    A down broker fails fast: the report file still gets written, with a
+    clear one-line error in place of the summary, so a user staring at a
+    stale ``~/.rbstat`` can tell "broker dead" from "nothing changed"."""
     host = _broker_host(proc)
     if host is None:
         return 1
     try:
         conn = yield proc.connect(host, ports.BROKER)
     except (ConnectionRefused, NoSuchHost):
+        proc.write_file(RBSTAT_FILE, "error: broker unreachable\n")
         return 1
     conn.send(protocol.status_request())
     try:
         reply = yield conn.recv()
     except ConnectionClosed:
+        proc.write_file(RBSTAT_FILE, "error: broker unreachable\n")
         return 1
     conn.close()
     if reply.get("type") != "status_reply":

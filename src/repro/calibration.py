@@ -131,6 +131,42 @@ class Calibration:
     #: ResourceBroker is able to asynchronously initiate the second phase").
     module_request_timeout: float = 2.5
 
+    #: Lease TTL on every grant.  Daemons piggyback renewal on their report
+    #: (one report lists the jobids with live subapps on the machine), so a
+    #: healthy holder renews ~``lease_ttl / daemon_report_interval`` times
+    #: per TTL; a grant whose holder silently vanished stops renewing and the
+    #: machine becomes reclaimable within one TTL even if the holder's app
+    #: connection never EOFs.  Must comfortably exceed the grant-to-subapp
+    #: window (rsh chain + module grow, a few seconds worst case).
+    lease_ttl: float = 12.0
+
+    #: Grace the broker gives an orphaned app session (connection EOF while
+    #: the job is unfinished) to reconnect and resume before the job is
+    #: declared gone and its holdings freed.  Long enough for an app to
+    #: notice the EOF and re-dial a live broker; short enough that a truly
+    #: dead app's machines come back quickly.
+    session_resume_grace: float = 6.0
+
+    #: Connect attempts an app makes when resuming its broker session after
+    #: an EOF (capped backoff, ``connect_retry_base``/``cap``); sized to ride
+    #: out a broker crash-plus-restart window (~10 s of refused connects).
+    broker_resume_attempts: int = 10
+
+    #: After a broker restart, how long the fresh incarnation trusts daemon
+    #: inventories enough to adopt allocations from them.  Outside this
+    #: window a report listing an unknown lease is stale noise, not state to
+    #: reconstruct (transient mistakes self-heal via lease expiry anyway).
+    broker_recovery_window: float = 10.0
+
+    #: Deadline on one external-module script invocation (``pvm_grow`` etc).
+    #: A wedged user script must never stall the app's module runner — and
+    #: through it the broker's two-phase grow — forever.
+    module_script_deadline: float = 8.0
+
+    #: Retries after a wedged module script before falling back to deny
+    #: (grow: give the machine back; shrink: blunt subapp revoke).
+    module_script_retries: int = 1
+
 
 #: The default calibration used across experiments, matching the paper's
 #: testbed as described above.

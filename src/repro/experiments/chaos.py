@@ -3,8 +3,9 @@
 Not a paper artefact: the paper only ever exercises *voluntary* departure
 (owner reclaim).  This experiment is the robustness capstone for the same
 claim under involuntary failure — machines crash and reboot, daemons are
-killed, the LAN partitions and drops heartbeats — and every job still runs
-to completion:
+killed, the LAN partitions and drops heartbeats, and (with
+``broker_crashes``) the broker itself dies and restarts mid-run — and every
+job still runs to completion:
 
 * an adaptive Calypso job (eager rescheduling re-executes steps lost with a
   crashed worker);
@@ -30,21 +31,26 @@ def run_chaos(
     horizon: float = 600.0,
     crashes: int = 3,
     partitions: int = 1,
+    broker_crashes: int = 0,
     trace=None,
 ) -> ExperimentTable:
     """Run the chaos experiment; see the module docstring.
 
     ``horizon`` bounds the run: a job still unfinished then counts as not
-    completed (``meta["completed"]`` vs ``meta["jobs"]``).
+    completed (``meta["completed"]`` vs ``meta["jobs"]``).  With
+    ``broker_crashes`` > 0 the schedule SIGKILLs the broker that many times
+    (each followed by a restart), exercising lease re-adoption, daemon
+    re-registration and app session resumption.
     """
     cluster = Cluster(ClusterSpec.uniform(machines + 1, seed=seed))
     svc = cluster.start_broker()
     svc.wait_ready()
     worker_hosts = [f"n{i:02d}" for i in range(1, machines + 1)]
 
-    # Faults hit only worker machines: n00 is the submission host and runs
-    # the broker — the paper's designated manager machine, assumed stable
-    # (manager fail-over is a different mechanism than machine recovery).
+    # Machine-level faults hit only worker machines: n00 is the submission
+    # host and runs the broker.  The broker *process* is fair game, though —
+    # broker_crashes kills and restarts it without taking n00 down, which is
+    # exactly the failure the lease/resume machinery exists for.
     plan = FaultPlan.generate(
         cluster.env.rng.stream("faults.plan"),
         worker_hosts,
@@ -52,6 +58,7 @@ def run_chaos(
         window=45.0,
         crashes=crashes,
         partitions=partitions,
+        broker_crashes=broker_crashes,
     )
     injector = FaultInjector(cluster, plan).start()
 
@@ -73,6 +80,13 @@ def run_chaos(
         if all(h.terminated.triggered for h in handles):
             break
         cluster.env.run(until=min(cluster.now + 1.0, deadline))
+    finished_at = cluster.now
+    # Settle drain: give the lease sweeper time to expire anything a dead
+    # app or lost message stranded, so "machines allocated at end" really
+    # measures leaked allocations, not in-flight cleanup.
+    settle = 2.0 * cluster.network.calibration.lease_ttl
+    if cluster.now < deadline:
+        cluster.env.run(until=min(cluster.now + settle, deadline))
     cluster.assert_no_crashes()
 
     if trace is not None:
@@ -93,6 +107,17 @@ def run_chaos(
     table.add("daemon kills injected", plan.count("daemon_kill"))
     table.add("lossy windows injected", plan.count("message_drop"))
     table.add("latency spikes injected", plan.count("latency_spike"))
+    table.add("broker crashes injected", plan.count("broker_crash"))
+    table.add("broker restarts", counters.counter("broker.restarts").value)
+    table.add(
+        "daemon re-registrations",
+        counters.counter("broker.daemon_reregistrations").value,
+    )
+    table.add(
+        "sessions resumed", counters.counter("sessions.resumed").value
+    )
+    table.add("leases adopted", counters.counter("leases.adopted").value)
+    table.add("leases expired", counters.counter("leases.expired").value)
     table.add(
         "machines declared dead",
         counters.counter("broker.machines_marked_dead").value,
@@ -109,9 +134,16 @@ def run_chaos(
     )
     table.add("revocations", len(svc.events_of("revoke")))
     table.add("grants", len(svc.events_of("grant")))
-    table.add("finished at (s)", round(cluster.now, 3))
+    stuck = sum(
+        1
+        for record in svc.state.machines.values()
+        if record.allocation is not None
+    )
+    table.add("machines allocated at end", stuck)
+    table.add("finished at (s)", round(finished_at, 3))
     table.meta["jobs"] = len(handles)
     table.meta["completed"] = completed
+    table.meta["stuck_allocations"] = stuck
     table.meta["plan"] = plan.summary()
     table.meta["faults_injected"] = len(injector.injected)
     table.notes.append(

@@ -18,6 +18,8 @@ function of its seed: same seed, same faults, byte-identical trace.
 from repro.faults.injector import FaultInjector
 from repro.faults.netfaults import NetworkFaults, install
 from repro.faults.plan import (
+    BrokerCrash,
+    BrokerRestart,
     DaemonKill,
     Fault,
     FaultPlan,
@@ -28,6 +30,8 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "BrokerCrash",
+    "BrokerRestart",
     "DaemonKill",
     "Fault",
     "FaultInjector",

@@ -11,7 +11,10 @@ performs each fault at its scheduled instant:
   so recovery protocols run instead of hanging on messages that can never
   arrive);
 * ``message_drop`` / ``latency_spike`` — installs the corresponding windowed
-  rule.
+  rule;
+* ``broker_crash`` / ``broker_restart`` — SIGKILLs the broker process /
+  boots a fresh incarnation via the cluster's :class:`BrokerService`
+  (no-ops on a cluster that never started a broker).
 
 Every injection opens and ends an observability span (``fault.<kind>``) and
 bumps ``faults.injected`` plus a per-kind counter, so a chaos run's trace
@@ -92,6 +95,12 @@ class FaultInjector:
             )
         elif kind == "latency_spike":
             self.faults.add_latency_spike(fault.duration, fault.factor)
+        elif kind == "broker_crash":
+            if self.cluster.broker is not None:
+                self.cluster.broker.crash_broker()
+        elif kind == "broker_restart":
+            if self.cluster.broker is not None:
+                self.cluster.broker.restart_broker()
         else:  # pragma: no cover - plan types are closed
             raise ValueError(f"unknown fault kind {kind!r}")
 

@@ -19,6 +19,9 @@ Partition           a group of hosts is cut off from the rest for a window;
 MessageDrop         a lossy window: sends (optionally only of given message
                     types) are dropped with a probability
 LatencySpike        all message latencies multiplied for a window
+BrokerCrash         SIGKILL the broker process (jobs run on, unmanaged)
+BrokerRestart       boot a fresh broker incarnation (epoch + 1); daemons
+                    re-register and apps resume their sessions
 ==================  ========================================================
 """
 
@@ -89,7 +92,40 @@ class LatencySpike:
     kind = "latency_spike"
 
 
-Fault = Union[MachineCrash, DaemonKill, Partition, MessageDrop, LatencySpike]
+@dataclass(frozen=True)
+class BrokerCrash:
+    """SIGKILL the broker process at ``at``.
+
+    Not host-targeted: there is one broker per cluster, and the service
+    harness knows where it lives.  Jobs keep running unmanaged until a
+    :class:`BrokerRestart` brings a new incarnation up."""
+
+    at: float
+
+    kind = "broker_crash"
+
+
+@dataclass(frozen=True)
+class BrokerRestart:
+    """Boot a fresh broker incarnation at ``at`` (epoch + 1, blank state).
+
+    Recovery is driven by the peers: daemons re-register with their lease
+    inventories and apps resume their sessions by (jobid, epoch)."""
+
+    at: float
+
+    kind = "broker_restart"
+
+
+Fault = Union[
+    MachineCrash,
+    DaemonKill,
+    Partition,
+    MessageDrop,
+    LatencySpike,
+    BrokerCrash,
+    BrokerRestart,
+]
 
 
 @dataclass
@@ -142,6 +178,8 @@ class FaultPlan:
         drop_types: Optional[Tuple[str, ...]] = ("daemon_report",),
         spike_duration: float = 8.0,
         spike_factor: float = 25.0,
+        broker_crashes: int = 0,
+        broker_restart_after: float = 4.0,
     ) -> "FaultPlan":
         """Draw a random plan over ``hosts`` from ``rng`` (a numpy Generator,
         typically ``env.rng.stream("faults.plan")`` so the schedule is a pure
@@ -149,7 +187,10 @@ class FaultPlan:
 
         Fault times are uniform over ``[start, start + window)``; crash and
         kill victims are uniform over ``hosts``; each partition cuts off a
-        random third of ``hosts`` (at least one).
+        random third of ``hosts`` (at least one).  Each broker crash is
+        paired with a restart ``broker_restart_after`` seconds later (the
+        broker-draw block comes last so plans with ``broker_crashes=0``
+        reproduce pre-broker-fault schedules byte-for-byte).
         """
         hosts = list(hosts)
         if not hosts:
@@ -189,6 +230,12 @@ class FaultPlan:
             plan.add(
                 LatencySpike(at=when(), duration=spike_duration, factor=spike_factor)
             )
+        # Broker faults draw last: adding them must not reshuffle the draws
+        # (and so the schedule) of every other fault kind under a fixed seed.
+        for _ in range(broker_crashes):
+            crash_at = when()
+            plan.add(BrokerCrash(at=crash_at))
+            plan.add(BrokerRestart(at=crash_at + broker_restart_after))
         return plan
 
     def __len__(self) -> int:

@@ -60,3 +60,43 @@ def connect_with_backoff(
             backoff.cancel()
         delay = min(delay * 2.0, cap)
     raise AssertionError("unreachable")  # pragma: no cover
+
+
+def connect_forever(
+    proc,
+    host: str,
+    port: int,
+    base: float = None,
+    cap: float = None,
+    counter=None,
+):
+    """Connect ``proc`` to ``host:port``, retrying refused attempts forever.
+
+    The unbounded sibling of :func:`connect_with_backoff`, for callers whose
+    only correct move is to keep trying: a monitoring daemon re-registering
+    with a broker that may be down arbitrarily long must never give up
+    (exiting would deadlock the broker's keeper, which respawns daemons only
+    when their *connection* drops).  Backoff is capped, so the retry cadence
+    settles at ``cap`` seconds; the process dying (machine crash, kill)
+    tears the loop down the ordinary way.
+    """
+    cal = proc.machine.network.calibration
+    if base is None:
+        base = cal.connect_retry_base
+    if cap is None:
+        cap = cal.connect_retry_cap
+    delay = base
+    while True:
+        try:
+            conn = yield proc.connect(host, port)
+            return conn
+        except (ConnectionRefused, NoSuchHost):
+            pass
+        if counter is not None:
+            counter.inc()
+        backoff = proc.sleep(delay)
+        try:
+            yield backoff
+        finally:
+            backoff.cancel()
+        delay = min(delay * 2.0, cap)

@@ -1,6 +1,8 @@
 """Fault plans: seeded generation, ordering, summaries."""
 
 from repro.faults import (
+    BrokerCrash,
+    BrokerRestart,
     FaultPlan,
     LatencySpike,
     MachineCrash,
@@ -52,6 +54,38 @@ def test_generated_faults_stay_in_window_and_on_given_hosts():
             assert fault.host in HOSTS
         if hasattr(fault, "hosts"):
             assert set(fault.hosts) <= set(HOSTS)
+
+
+def test_broker_crashes_come_paired_with_restarts():
+    plan = FaultPlan.generate(
+        SimRandom(3).stream("faults.plan"),
+        HOSTS,
+        broker_crashes=2,
+        broker_restart_after=4.0,
+    )
+    assert plan.count("broker_crash") == 2
+    assert plan.count("broker_restart") == 2
+    crashes = sorted(
+        f.at for f in plan.faults if isinstance(f, BrokerCrash)
+    )
+    restarts = sorted(
+        f.at for f in plan.faults if isinstance(f, BrokerRestart)
+    )
+    assert restarts == [at + 4.0 for at in crashes]
+
+
+def test_broker_faults_do_not_reshuffle_the_rest_of_the_plan():
+    """Turning broker crashes on must not perturb the machine-level fault
+    schedule drawn from the same seed (the broker draws come last)."""
+    without = FaultPlan.generate(SimRandom(7).stream("faults.plan"), HOSTS)
+    with_broker = FaultPlan.generate(
+        SimRandom(7).stream("faults.plan"), HOSTS, broker_crashes=2
+    )
+    machine_level = [
+        f for f in with_broker.faults
+        if not isinstance(f, (BrokerCrash, BrokerRestart))
+    ]
+    assert machine_level == list(without.faults)
 
 
 def test_sorted_orders_by_firing_time():
