@@ -2,7 +2,7 @@
 
 export PYTHONPATH := src
 
-.PHONY: test lint check chaos chaos-smoke bench-smoke
+.PHONY: test lint check chaos chaos-smoke bench-smoke bench-broker
 
 test:  ## tier-1 test suite
 	python -m pytest -q tests
@@ -26,3 +26,6 @@ chaos-smoke:  ## broker-crash recovery gate: completion + determinism digest
 
 bench-smoke:  ## kernel perf gate vs the pinned BENCH_kernel.json baseline
 	python benchmarks/bench_smoke.py
+
+bench-broker:  ## broker control-plane gate vs the pinned BENCH_broker.json
+	python benchmarks/bench_broker.py

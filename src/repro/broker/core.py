@@ -26,6 +26,17 @@ re-registration inventories and app session resumption (``resume``
 messages), and an app connection EOF orphans the session for a grace period
 instead of finishing the job outright, so an app that merely lost its link
 can reattach.
+
+Control-plane scaling (DESIGN.md §12): with ``BrokerState.use_indexes`` on
+(the default), :meth:`_BrokerControl._schedule` is **dirty-driven** — it
+evaluates only the pending requests whose candidate set may have changed
+since their last evaluation, pulled from the state's dirty set in service
+order; the sweepers iterate the state's expiry indexes instead of copying
+the whole machine table; denial feasibility verdicts are memoized against
+the machine-capability version; and delta heartbeats are folded in without
+touching the record.  ``use_indexes = False`` preserves the original
+evaluate-everything scheduler as the reference that
+``tests/broker/test_sched_equivalence.py`` compares against.
 """
 
 from __future__ import annotations
@@ -98,6 +109,11 @@ class _BrokerControl:
         self._reqids = {}  # (jobid, reqid) -> PendingRequest (for dedupe)
         self._reports_seen = set()
         self._managed_set = frozenset(service.managed_hosts)
+        #: (symbolic, rsl source, home host) -> (satisfiable?, capability
+        #: version).  A verdict is valid while the capability universe it
+        #: was computed against is unchanged; a stale entry is recomputed in
+        #: place, so the memo never grows past the distinct request shapes.
+        self._deny_memo = {}
         #: The armed liveness sweep timer (cancelled on re-arm, see
         #: :meth:`liveness_sweeper`).
         self._sweep_timer = None
@@ -167,7 +183,9 @@ class _BrokerControl:
             now = self.proc.env.now
             due = None
             overdue = []
-            for record in list(self.state.machines.values()):
+            tracked = self.state.tracked_records()
+            self.metrics.counter("broker.sweep_scans").inc(len(tracked))
+            for record in tracked:
                 if record.dead or record.last_seen < 0.0:
                     continue  # already handled / never heard from at all
                 if now - record.last_seen > deadline:
@@ -252,7 +270,9 @@ class _BrokerControl:
             now = self.proc.env.now
             due = None
             expired = []
-            for record in list(self.state.machines.values()):
+            leased = self.state.leased_records()
+            self.metrics.counter("broker.sweep_scans").inc(len(leased))
+            for record in leased:
                 allocation = record.allocation
                 if allocation is None or record.dead:
                     continue  # the liveness path owns dead machines
@@ -386,11 +406,30 @@ class _BrokerControl:
                 was_reported = record.reported
                 was_active = record.console_active
                 was_dead = record.dead
-                record.update(msg["snapshot"])
+                if msg.get("delta"):
+                    # Delta beacon: nothing monitorable changed since the
+                    # machine's last full report, so the retained record
+                    # fields are exact — only the liveness clocks move and
+                    # the stored lease inventory renews.  A record with no
+                    # retained snapshot at all (its full report was lost in
+                    # transit) cannot be reconstructed from a beacon; it
+                    # waits for the next full report, which the daemon's
+                    # full-every-N cadence bounds.
+                    if record.last_seen < 0.0:
+                        continue
+                    record.touch(msg["time"])
+                    if record.dead:
+                        record.dead = False
+                    leases = record.leases
+                else:
+                    record.update(msg["snapshot"])
+                    record.leases = tuple(msg.get("leases", ()))
+                    leases = record.leases
                 if was_dead:
                     self.metrics.counter("broker.machine_rejoins").inc()
                     self.service.log(event="machine_rejoin", host=host)
-                self._ingest_leases(record, msg.get("leases", ()))
+                if leases or record.allocation is not None:
+                    self._ingest_leases(record, leases)
                 self._note_ready(host)
                 self._owner_priority(record)
                 # Scheduling is event-driven: most reports change nothing a
@@ -664,6 +703,10 @@ class _BrokerControl:
             conn, protocol.resume_ack(jobid, self.service.epoch, ok=True)
         )
         span.end(outcome="resumed")
+        # Requests that waited out the orphan period were skipped (not
+        # evaluated) by every pass in between: now that grants are
+        # deliverable again they must be re-examined.
+        self.state.mark_job_requests_dirty(jobid)
         yield from self._schedule()
         yield from self._session_loop(job, conn)
 
@@ -715,20 +758,10 @@ class _BrokerControl:
         """
         if request not in self.state.pending:
             return  # already granted or being reclaimed for
-        if not all(
-            self.state.machines[h].reported
-            for h in self.service.managed_hosts
-            if h in self.state.machines
-        ):
+        if not self.state.all_reported(self.service.managed_hosts):
             return  # incomplete knowledge: keep waiting
-        from repro.rsl import symbolic_matches
-
-        for record in self.state.machines.values():
-            if not record.reported or record.host == job.home_host:
-                continue
-            view = record.snapshot_view()
-            if symbolic_matches(request.symbolic, view) and job.rsl.matches_machine(view):
-                return  # satisfiable in principle; stay queued
+        if self._satisfiable(job, request.symbolic):
+            return  # satisfiable in principle; stay queued
         self.state.pending.remove(request)
         self._reqids.pop((job.jobid, request.reqid), None)
         span = self._request_spans.pop((job.jobid, request.reqid), None)
@@ -748,14 +781,73 @@ class _BrokerControl:
                 protocol.machine_denied(request.reqid, "no machine can match"),
             )
 
+    def _satisfiable(self, job, symbolic) -> bool:
+        """Whether any reported machine could ever satisfy (symbolic, RSL).
+
+        Memoized per request shape against the state's capability version:
+        the verdict can only change when the reported set or a reported
+        machine's matching view changes, and every such change bumps the
+        version."""
+        if not self.state.use_indexes:
+            return self.state.satisfiable_somewhere(symbolic, job)
+        key = (symbolic, job.rsl.source, job.home_host)
+        version = self.state.capability_version
+        hit = self._deny_memo.get(key)
+        if hit is not None and hit[1] == version:
+            return hit[0]
+        verdict = self.state.satisfiable_somewhere(symbolic, job)
+        self._deny_memo[key] = (verdict, version)
+        return verdict
+
     # -- allocation engine -----------------------------------------------------
 
     def _schedule(self):
-        """Run the policy over the pending queue until no progress."""
-        progress = True
-        while progress:
-            progress = False
-            for request in self.state.pending_sorted():
+        """Run the policy over the pending queue until no progress.
+
+        Indexed mode evaluates only the dirty requests — those whose
+        candidate set may have changed since they last waited (the state's
+        invariant: a clean request's decision is always "wait").  Each
+        batch is a frozen service-order snapshot, evaluated against the
+        evolving state exactly like one of the reference scheduler's
+        passes; any grant or preemption re-dirties the whole queue, which
+        reproduces the reference loop's evaluate-until-no-progress fixed
+        point decision for decision."""
+        decisions = self.metrics.counter("broker.policy_decisions")
+        if not self.state.use_indexes:
+            # Reference scheduler: evaluate every pending request, repeat
+            # until a full pass makes no progress.
+            progress = True
+            while progress:
+                progress = False
+                self.metrics.counter("broker.sched_passes").inc()
+                for request in self.state.pending_sorted():
+                    if request not in self.state.pending:
+                        continue  # satisfied earlier in this very pass
+                    if request.reserved_host is not None:
+                        continue  # a machine is being reclaimed for this one
+                    job = self.state.jobs.get(request.jobid)
+                    if job is None or job.done:
+                        self.state.pending.remove(request)
+                        continue
+                    if job.conn is None:
+                        # Orphaned session: hold its requests (it may resume
+                        # and want them) but never grant into the void.
+                        continue
+                    decision = self.policy.decide(self.state, request)
+                    decisions.inc()
+                    if decision.kind.value == "grant":
+                        self._grant(request, decision.host)
+                        progress = True
+                    elif decision.kind.value == "preempt":
+                        self._start_reclaim(decision.host, claimed_by=request)
+                        progress = True
+            return
+        while True:
+            batch = self.state.take_dirty_pending()
+            if not batch:
+                break
+            self.metrics.counter("broker.sched_passes").inc()
+            for request in batch:
                 if request not in self.state.pending:
                     continue  # satisfied earlier in this very pass
                 if request.reserved_host is not None:
@@ -765,16 +857,19 @@ class _BrokerControl:
                     self.state.pending.remove(request)
                     continue
                 if job.conn is None:
-                    # Orphaned session: hold its requests (it may resume and
-                    # want them) but never grant into the void.
-                    continue
+                    continue  # orphaned session: hold, never grant
                 decision = self.policy.decide(self.state, request)
+                decisions.inc()
                 if decision.kind.value == "grant":
+                    # The allocation change marks everything dirty, so the
+                    # next batch replays the queue like a reference re-pass.
                     self._grant(request, decision.host)
-                    progress = True
                 elif decision.kind.value == "preempt":
                     self._start_reclaim(decision.host, claimed_by=request)
-                    progress = True
+                    # No allocation flipped (the victim still holds until it
+                    # releases); re-dirty explicitly to mirror the reference
+                    # scheduler's progress-driven re-pass.
+                    self.state.mark_all_pending_dirty()
         return
         yield  # pragma: no cover - generator form for uniform call sites
 

@@ -8,6 +8,17 @@ persistent connection.  It takes no actions itself: all job control flows
 through the application layer, which is what lets the whole resource
 management layer run unprivileged.
 
+The reporting is **delta-based** (DESIGN.md §12): a full snapshot + lease
+inventory goes out on hello, on any change of the machine's cheap *change
+probe* (cpu load, process-table version, console state, login count), and at
+least every ``daemon_full_report_every`` cycles; the reports in between are
+compact :func:`~repro.broker.protocol.daemon_beacon` messages that renew
+liveness and leases without shipping a snapshot.  The probe covers every
+field the broker's :meth:`MachineRecord.update` consumes — a lease change
+always changes the process table, so a beacon never hides one — and the
+message cadence is unchanged, so heartbeat timing (and with it every grant
+timeline) is byte-identical to always-full reporting.
+
 Two additions beyond the paper support broker crash recovery:
 
 * every hello/report carries the machine's **lease inventory** — the jobids
@@ -23,6 +34,8 @@ Two additions beyond the paper support broker crash recovery:
 """
 
 from __future__ import annotations
+
+import json
 
 from repro.cluster import ports
 from repro.os.errors import ConnectionClosed, ConnectionRefused, NoSuchHost
@@ -65,6 +78,23 @@ def _another_daemon_running(proc) -> bool:
     return False
 
 
+def _change_probe(proc):
+    """The machine facts whose change forces a full report.
+
+    Everything :meth:`MachineRecord.update` consumes is covered: cpu load
+    and process/login counts directly, console state directly, and the
+    lease inventory transitively (a subapp starting or exiting bumps the
+    process-table version).  Platform/kind/owner are static per machine.
+    """
+    machine = proc.machine
+    return (
+        machine.cpu.load,
+        machine.proc_table_version,
+        machine.console_active,
+        len(machine.logged_in),
+    )
+
+
 def rbdaemon_main(proc):
     """Program body: ``argv = ["rbdaemon", broker_host]``."""
     from repro.obs import metrics_of, tracer_of
@@ -98,8 +128,18 @@ def rbdaemon_main(proc):
     boot.end()
     # Detach so the broker's rsh invocation returns while we keep running.
     proc.daemonize()
-    reports = metrics_of(proc).counter("rbdaemon.reports")
-    reregistrations = metrics_of(proc).counter("rbdaemon.reregistrations")
+    metrics = metrics_of(proc)
+    reports = metrics.counter("rbdaemon.reports")
+    full_reports = metrics.counter("rbdaemon.full_reports")
+    beacons = metrics.counter("rbdaemon.beacons")
+    report_bytes = metrics.counter("rbdaemon.report_bytes")
+    reregistrations = metrics.counter("rbdaemon.reregistrations")
+    full_every = max(1, cal.daemon_full_report_every)
+    # Beacons differ only in their timestamp; size one once and reuse it.
+    beacon_bytes = len(json.dumps(protocol.daemon_beacon(0.0)))
+    # None forces the first report after (re)connecting to be a full one.
+    last_probe = None
+    cycles_since_full = 0
     while True:
         try:
             # The broker never speaks on this connection; the pending recv
@@ -107,11 +147,21 @@ def rbdaemon_main(proc):
             # send-mostly peer gets on a drop-silently LAN.
             recv_ev = conn.recv()
             while True:
-                conn.send(
-                    protocol.daemon_report(
+                probe = _change_probe(proc)
+                if probe == last_probe and cycles_since_full < full_every:
+                    conn.send(protocol.daemon_beacon(proc.env.now))
+                    beacons.inc()
+                    report_bytes.inc(beacon_bytes)
+                    cycles_since_full += 1
+                else:
+                    message = protocol.daemon_report(
                         proc.machine.snapshot(), leases=leased_jobids(proc)
                     )
-                )
+                    conn.send(message)
+                    full_reports.inc()
+                    report_bytes.inc(len(json.dumps(message)))
+                    last_probe = probe
+                    cycles_since_full = 1
                 reports.inc()
                 timer = proc.sleep(cal.daemon_report_interval)
                 try:
@@ -122,6 +172,8 @@ def rbdaemon_main(proc):
                     recv_ev = conn.recv()  # drain unexpected chatter
         except ConnectionClosed:
             conn.close()
+            last_probe = None  # the next incarnation starts with a full report
+            cycles_since_full = 0
         # Broker (or the path to it) is gone: re-register.  Redial forever —
         # the keeper of a live broker respawns daemons on *connection* loss,
         # so a daemon that exited here would never be replaced.

@@ -12,7 +12,10 @@ message                direction                 purpose
 daemon_hello            daemon -> broker         announce a machine (+ lease
                                                  inventory on re-registration)
 daemon_report           daemon -> broker         periodic monitoring snapshot
-                                                 (+ lease renewals)
+                                                 (+ lease renewals); sent as a
+                                                 compact delta *beacon* when
+                                                 the machine's change probe
+                                                 saw nothing move
 submit                  app -> broker            register a job (RSL, user)
 submit_ack              broker -> app            jobid assigned (+ broker epoch)
 resume                  app -> broker            reattach a session by
@@ -102,6 +105,20 @@ def daemon_report(
         "snapshot": snapshot,
         "leases": sorted(leases or ()),
     }
+
+
+def daemon_beacon(time: float) -> Message:
+    """Daemon -> broker: a delta heartbeat — "nothing monitorable changed
+    since my last full report".
+
+    Sent instead of :func:`daemon_report` when the machine's change probe
+    (cpu load, process-table version, console state, login count) is
+    unchanged: it renews liveness and the leases from the last full report
+    without shipping (or re-ingesting) a snapshot.  Deliberately the same
+    ``"type"`` as a full report so fault-injection drop rules, and anything
+    else filtering on message type, treat both report flavours alike.
+    """
+    return {"type": "daemon_report", "delta": True, "time": time}
 
 
 def submit(

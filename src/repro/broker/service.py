@@ -10,6 +10,7 @@ an event log.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -117,6 +118,7 @@ class BrokerService:
         policy=None,
         managed_hosts: Optional[Sequence[str]] = None,
         broker_host: Optional[str] = None,
+        scheduler_mode: Optional[str] = None,
     ) -> None:
         self.cluster = cluster
         self.env = cluster.env
@@ -125,7 +127,21 @@ class BrokerService:
             managed_hosts if managed_hosts is not None else cluster.machines
         )
         self.broker_host = broker_host or self.managed_hosts[0]
+        #: ``"indexed"`` (default) schedules dirty-driven over the state's
+        #: incremental indexes; ``"fullscan"`` keeps the original
+        #: evaluate-everything scheduler as a reference (DESIGN.md §12).
+        #: The ``RB_SCHED_MODE`` environment variable overrides the default
+        #: so whole experiment runs can be flipped without code changes.
+        if scheduler_mode is None:
+            scheduler_mode = os.environ.get("RB_SCHED_MODE", "indexed")
+        if scheduler_mode not in ("indexed", "fullscan"):
+            raise ValueError(
+                f"scheduler_mode must be 'indexed' or 'fullscan', "
+                f"not {scheduler_mode!r}"
+            )
+        self.scheduler_mode = scheduler_mode
         self.state = BrokerState()
+        self.state.use_indexes = scheduler_mode == "indexed"
         self.events: List[Dict[str, Any]] = []
         self._events_by_kind: Dict[str, List[Dict[str, Any]]] = {}
         #: Run-wide observability, shared with everything on this network.
@@ -223,6 +239,7 @@ class BrokerService:
         self.epoch += 1
         next_jobid = max(self.state.jobs, default=0) + 1
         self.state = BrokerState(first_jobid=next_jobid)
+        self.state.use_indexes = self.scheduler_mode == "indexed"
         for host in self.managed_hosts:
             self.state.add_machine(host)
         self.ready = self.env.event()

@@ -4,13 +4,38 @@
 live in :mod:`repro.policy` (the paper's mechanism/policy separation, design
 goal 5), and all I/O lives in :mod:`repro.broker.core`.  This makes policies
 unit-testable against hand-built states.
+
+Control-plane scaling (DESIGN.md §12)
+-------------------------------------
+The state maintains **incremental indexes** so that broker decision cost is
+independent of cluster size:
+
+* ``_allocations_by_jobid`` makes :meth:`holding_count` /
+  :meth:`allocations_of` O(1) instead of a scan over every machine (the seed
+  scanned from *inside sort keys*, i.e. O(n²) per scheduling pass);
+* per-platform partitions of the reported / usable / idle machine sets make
+  eligibility queries O(candidates) instead of O(machines);
+* the pending queue keeps a cached service order (firm FIFO, then
+  poorest-first elastic) that is only re-sorted when membership or a holding
+  count actually changes;
+* a per-request **dirty** discipline tells the scheduler which pending
+  requests may have a changed candidate set (see
+  :meth:`take_dirty_pending`).
+
+Indexes are maintained through a ``__setattr__`` hook on
+:class:`MachineRecord`, so code (and tests) that mutate record fields
+directly — ``record.console_active = True`` — keep working unchanged.  The
+seed's full-scan query implementations are preserved behind
+``use_indexes = False`` as the reference the equivalence tests compare
+against (``tests/broker/test_sched_equivalence.py``).
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.rsl import RSLRequest, parse_rsl, symbolic_matches
 
@@ -41,6 +66,19 @@ class Allocation:
     claimed_by: Optional["PendingRequest"] = None
 
 
+#: MachineRecord fields that feed the RSL / symbolic matching view (and so
+#: invalidate the cached ``snapshot_view`` dict when they change).
+_VIEW_FIELDS = frozenset(
+    {"host", "platform", "kind", "owner", "console_active", "cpu_load"}
+)
+
+#: MachineRecord fields whose changes the owning BrokerState must observe to
+#: keep its indexes fresh.
+_TRACKED_FIELDS = _VIEW_FIELDS | {"last_report", "last_seen", "dead", "allocation"}
+
+_UNSET = object()
+
+
 @dataclass
 class MachineRecord:
     """What the broker knows about one machine (from daemon reports)."""
@@ -61,6 +99,34 @@ class MachineRecord:
     #: deadline; cleared by the next daemon report (a rejoin).
     dead: bool = False
     allocation: Optional[Allocation] = None
+    #: Lease inventory (jobids) from the machine's last *full* daemon report.
+    #: Delta heartbeats (beacons) renew against this list — a lease change on
+    #: the machine always changes its process table, which forces the daemon
+    #: to send a full report, so the stored list is never stale.
+    leases: Tuple[int, ...] = field(default=(), compare=False)
+    #: Cached :meth:`snapshot_view` dict; invalidated whenever a view field
+    #: changes (so eligibility checks stop rebuilding it per candidate).
+    _view: Optional[Dict[str, Any]] = field(
+        default=None, repr=False, compare=False
+    )
+    #: Owning :class:`BrokerState`, for index maintenance.  ``None`` for
+    #: free-standing records (hand-built tests).
+    _state: Optional["BrokerState"] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name in _TRACKED_FIELDS:
+            old = getattr(self, name, _UNSET)
+            object.__setattr__(self, name, value)
+            if old is not _UNSET and old != value:
+                if name in _VIEW_FIELDS:
+                    object.__setattr__(self, "_view", None)
+                state = getattr(self, "_state", None)
+                if state is not None:
+                    state._machine_field_changed(self, name, old, value)
+        else:
+            object.__setattr__(self, name, value)
 
     @property
     def reported(self) -> bool:
@@ -72,27 +138,62 @@ class MachineRecord:
         return self.allocation is not None
 
     def snapshot_view(self) -> Dict[str, Any]:
-        """Dict view used for RSL / symbolic-name matching."""
-        return {
-            "host": self.host,
-            "platform": self.platform,
-            "kind": self.kind,
-            "owner": self.owner,
-            "console_active": self.console_active,
-            "cpu_load": self.cpu_load,
-        }
+        """Dict view used for RSL / symbolic-name matching (cached)."""
+        view = self._view
+        if view is None:
+            view = {
+                "host": self.host,
+                "platform": self.platform,
+                "kind": self.kind,
+                "owner": self.owner,
+                "console_active": self.console_active,
+                "cpu_load": self.cpu_load,
+            }
+            object.__setattr__(self, "_view", view)
+        return view
 
     def update(self, snapshot: Dict[str, Any]) -> None:
-        """Fold one daemon report into this record."""
-        self.platform = snapshot.get("platform", self.platform)
-        self.kind = snapshot.get("kind", self.kind)
-        self.owner = snapshot.get("owner", self.owner)
-        self.console_active = bool(snapshot.get("console_active", False))
-        self.cpu_load = int(snapshot.get("cpu_load", 0))
+        """Fold one full daemon report into this record.
+
+        Values are compared before assignment, so a report that changes
+        nothing monitorable costs a handful of comparisons and never runs
+        the index hook, invalidates the cached view, or bumps the
+        capability version."""
+        platform = snapshot.get("platform", self.platform)
+        if platform != self.platform:
+            self.platform = platform
+        kind = snapshot.get("kind", self.kind)
+        if kind != self.kind:
+            self.kind = kind
+        owner = snapshot.get("owner", self.owner)
+        if owner != self.owner:
+            self.owner = owner
+        console_active = bool(snapshot.get("console_active", False))
+        if console_active != self.console_active:
+            self.console_active = console_active
+        cpu_load = int(snapshot.get("cpu_load", 0))
+        if cpu_load != self.cpu_load:
+            self.cpu_load = cpu_load
         self.n_processes = int(snapshot.get("n_processes", 0))
-        self.last_report = float(snapshot.get("time", 0.0))
-        self.last_seen = self.last_report
-        self.dead = False
+        self.touch(float(snapshot.get("time", 0.0)))
+        if self.dead:
+            self.dead = False
+
+    def touch(self, now: float) -> None:
+        """Advance the liveness clocks (every report flavour does this).
+
+        The common case — an already-reported record — bypasses the
+        ``__setattr__`` hook: a clock move without a sign flip affects no
+        index.  A record whose report was reset (connection loss, marked
+        dead) takes the hooked path so the reported-set indexes refresh."""
+        if self.last_report >= 0.0:
+            object.__setattr__(self, "last_report", now)
+        else:
+            self.last_report = now
+        if self.last_seen >= 0.0:
+            object.__setattr__(self, "last_seen", now)
+        else:
+            self.last_seen = now
 
 
 @dataclass
@@ -124,6 +225,36 @@ class PendingRequest:
     arrived_at: float
     #: Set once a machine has been picked and is being reclaimed for us.
     reserved_host: Optional[str] = None
+    #: True while the request's candidate set may have changed since its
+    #: last policy evaluation; new requests start dirty.  ``compare=False``
+    #: keeps the seed's equality semantics (queue membership tests).
+    dirty: bool = field(default=True, compare=False)
+    #: Maintained by :class:`_PendingQueue`; True while queued.
+    queued: bool = field(default=False, compare=False)
+
+
+class _PendingQueue(list):
+    """The pending-request list, instrumented for index maintenance.
+
+    Still a plain ``list`` to every caller (core and tests append/remove/
+    iterate directly); the overrides keep the owning state's cached service
+    order and dirty bookkeeping coherent."""
+
+    def __init__(self, state: "BrokerState") -> None:
+        super().__init__()
+        self._state = state
+
+    def append(self, request: PendingRequest) -> None:  # type: ignore[override]
+        super().append(request)
+        request.queued = True
+        request.dirty = True
+        self._state._order_cache = None
+        self._state._dirty_list.append(request)
+
+    def remove(self, request: PendingRequest) -> None:  # type: ignore[override]
+        super().remove(request)
+        request.queued = False
+        self._state._order_cache = None
 
 
 class BrokerState:
@@ -132,12 +263,295 @@ class BrokerState:
     def __init__(self, first_jobid: int = 1) -> None:
         self.machines: Dict[str, MachineRecord] = {}
         self.jobs: Dict[int, JobRecord] = {}
-        self.pending: List[PendingRequest] = []
+        self.pending: List[PendingRequest] = _PendingQueue(self)
         #: Next jobid to assign.  A restarted broker seeds this past every
         #: id its predecessor could have issued, so resumed sessions (which
         #: keep their original jobid, see :meth:`adopt_job`) never collide
         #: with fresh submissions.
         self._next_jobid = first_jobid
+        #: False switches every derived query back to the seed's full-scan
+        #: implementation — the reference the equivalence tests compare the
+        #: indexed scheduler against.
+        self.use_indexes: bool = True
+        #: Machine records examined by eligibility/deny queries (coarse
+        #: telemetry; the bench derives "policy scans per grant" from it).
+        self.machines_scanned: int = 0
+
+        # -- incremental indexes (maintained through the record hook) -------
+        #: host -> insertion rank, for seed-identical iteration order.
+        self._machine_rank: Dict[str, int] = {}
+        #: platform -> {host: record} over *reported* machines (deny checks).
+        self._reported_by_platform: Dict[str, Dict[str, MachineRecord]] = {}
+        #: platform -> {host: record} over reported, console-free machines.
+        self._usable_by_platform: Dict[str, Dict[str, MachineRecord]] = {}
+        #: platform -> {host: record} over usable machines with no allocation.
+        self._idle_by_platform: Dict[str, Dict[str, MachineRecord]] = {}
+        #: platform -> heap of (kind != public, cpu_load, host) mirroring
+        #: ``_idle_by_platform`` with lazy deletion: entries are pushed when a
+        #: machine enters the idle set (or its key fields change while idle)
+        #: and validated against the live record on peek, so
+        #: :meth:`best_idle` finds the policy's grant choice in O(log n)
+        #: instead of sorting the whole idle partition per decision.
+        self._idle_heap: Dict[str, List[Tuple[bool, int, str]]] = {}
+        #: jobid -> {host: allocation}.
+        self._allocations_by_jobid: Dict[int, Dict[str, Allocation]] = {}
+        #: Machines currently holding any allocation (lease sweeper's scan set).
+        self._leased: Dict[str, MachineRecord] = {}
+        #: Machines heard from at least once and not declared dead (liveness
+        #: sweeper's scan set).
+        self._tracked: Dict[str, MachineRecord] = {}
+        #: (symbolic, platform) -> bool; a pure function, never invalidated.
+        self._symbolic_hits: Dict[Tuple[str, str], bool] = {}
+        #: Known machines that have never reported (or lost their report),
+        #: so "has every managed machine reported?" is O(1).
+        self._unreported_count: int = 0
+        #: Bumped whenever the matching-relevant capability universe changes
+        #: (membership of the reported set, or any reported machine's view
+        #: field).  Version-stamps the unsatisfiability memo in core.
+        self.capability_version: int = 0
+
+        # -- pending-order / dirty bookkeeping ------------------------------
+        self._order_cache: Optional[List[PendingRequest]] = None
+        self._all_pending_dirty: bool = True
+        self._dirty_list: List[PendingRequest] = []
+
+    # -- index maintenance -------------------------------------------------
+
+    def _machine_field_changed(
+        self, record: MachineRecord, name: str, old: Any, new: Any
+    ) -> None:
+        """Observe one record-field change and refresh affected indexes.
+
+        Dirty discipline: the scheduler's correctness invariant is that a
+        *clean* pending request's decision is always "wait", so any change
+        that could turn a wait into a grant or preemption must mark the
+        requests it could affect.  RSL clauses match arbitrary view fields
+        (``(cpu_load<2)`` is legal), so every view-field change on a machine
+        that is usable *after* the change marks its platform's requests;
+        changes that only shrink the candidate universe (console occupied,
+        report lost) mark nothing — removing options never makes a waiting
+        request actionable."""
+        if name == "last_seen":
+            if (old >= 0.0) != (new >= 0.0):
+                self._refresh_tracked(record)
+            return
+        if name == "dead":
+            self._refresh_tracked(record)
+            return
+        if name == "allocation":
+            self._allocation_changed(record, old, new)
+            return
+        if name == "last_report":
+            if (old >= 0.0) != (new >= 0.0):
+                self._refresh_eligibility(record, record.platform)
+                self.capability_version += 1
+                if new >= 0.0:
+                    self._unreported_count -= 1
+                    self.mark_pending_dirty_for_platform(record.platform)
+                else:
+                    self._unreported_count += 1
+            return
+        if name == "platform":
+            self._refresh_eligibility(record, old_platform=old)
+            self.capability_version += 1
+            if record.reported and not record.console_active:
+                self.mark_pending_dirty_for_platform(record.platform)
+            return
+        if name == "console_active":
+            self._refresh_eligibility(record, record.platform)
+            self.capability_version += 1
+            if not new and record.reported:
+                # Machine became grantable again: requests it could satisfy
+                # must be re-evaluated.
+                self.mark_pending_dirty_for_platform(record.platform)
+            return
+        # kind / owner / cpu_load: the matching view changed in place.
+        self.capability_version += 1
+        if name != "owner":
+            # kind and cpu_load are idle-heap key fields: refresh the entry
+            # of a machine currently in the idle partition.
+            bucket = self._idle_by_platform.get(record.platform)
+            if bucket is not None and record.host in bucket:
+                self._push_idle(record)
+        if record.reported and not record.console_active:
+            self.mark_pending_dirty_for_platform(record.platform)
+
+    def _refresh_eligibility(
+        self, record: MachineRecord, old_platform: str
+    ) -> None:
+        """Recompute the record's reported/usable/idle bucket membership."""
+        host = record.host
+        for buckets in (
+            self._reported_by_platform,
+            self._usable_by_platform,
+            self._idle_by_platform,
+        ):
+            bucket = buckets.get(old_platform)
+            if bucket is not None:
+                bucket.pop(host, None)
+            if old_platform != record.platform:
+                bucket = buckets.get(record.platform)
+                if bucket is not None:
+                    bucket.pop(host, None)
+        if not record.reported:
+            return
+        platform = record.platform
+        self._reported_by_platform.setdefault(platform, {})[host] = record
+        if record.console_active:
+            return
+        self._usable_by_platform.setdefault(platform, {})[host] = record
+        if record.allocation is None:
+            self._idle_by_platform.setdefault(platform, {})[host] = record
+            self._push_idle(record)
+
+    def _allocation_changed(
+        self,
+        record: MachineRecord,
+        old: Optional[Allocation],
+        new: Optional[Allocation],
+    ) -> None:
+        host = record.host
+        if old is not None:
+            held = self._allocations_by_jobid.get(old.jobid)
+            if held is not None:
+                held.pop(host, None)
+                if not held:
+                    del self._allocations_by_jobid[old.jobid]
+        if new is not None:
+            self._allocations_by_jobid.setdefault(new.jobid, {})[host] = new
+            self._leased[host] = record
+            bucket = self._idle_by_platform.get(record.platform)
+            if bucket is not None:
+                bucket.pop(host, None)
+        else:
+            self._leased.pop(host, None)
+            if (
+                record.reported
+                and not record.console_active
+            ):
+                self._idle_by_platform.setdefault(record.platform, {})[
+                    host
+                ] = record
+                self._push_idle(record)
+        # Holding counts changed, so both the elastic service order and every
+        # pending decision (idle sets, victim richness, requester thresholds)
+        # may have: re-sort lazily and re-evaluate everything.  Allocation
+        # flips happen at churn rate, not heartbeat rate, so the conservative
+        # mark-all costs one flag write.
+        self._order_cache = None
+        self._all_pending_dirty = True
+
+    def _refresh_tracked(self, record: MachineRecord) -> None:
+        if record.last_seen >= 0.0 and not record.dead:
+            self._tracked[record.host] = record
+        else:
+            self._tracked.pop(record.host, None)
+
+    def _push_idle(self, record: MachineRecord) -> None:
+        """Mirror an idle-set entry (or key change) into the idle heap."""
+        heapq.heappush(
+            self._idle_heap.setdefault(record.platform, []),
+            (record.kind != "public", record.cpu_load, record.host),
+        )
+
+    def _peek_idle(
+        self, platform: str, bucket: Dict[str, MachineRecord]
+    ) -> Optional[Tuple[bool, int, str]]:
+        """The heap's smallest *live* entry for ``platform``, dropping stale
+        ones (machine left the idle set, or its key fields moved on — the
+        refreshed entry is elsewhere in the heap).  Duplicate live entries
+        are harmless: validation is against the current record."""
+        heap = self._idle_heap.get(platform)
+        while heap:
+            entry = heap[0]
+            record = bucket.get(entry[2])
+            if (
+                record is None
+                or (record.kind != "public") != entry[0]
+                or record.cpu_load != entry[1]
+            ):
+                heapq.heappop(heap)
+                self.machines_scanned += 1
+                continue
+            return entry
+        return None
+
+    def _symbolic_platform_match(self, symbolic: str, platform: str) -> bool:
+        """Memoized ``symbolic_matches`` on the platform alone (it reads
+        nothing else from the snapshot, so the memo is exact and permanent)."""
+        key = (symbolic, platform)
+        hit = self._symbolic_hits.get(key)
+        if hit is None:
+            hit = symbolic_matches(symbolic, {"platform": platform})
+            self._symbolic_hits[key] = hit
+        return hit
+
+    # -- sweeper scan sets ---------------------------------------------------
+
+    def tracked_records(self) -> List[MachineRecord]:
+        """Machines the liveness sweeper must examine: heard from at least
+        once and not already declared dead."""
+        if not self.use_indexes:
+            return [
+                m
+                for m in self.machines.values()
+                if m.last_seen >= 0.0 and not m.dead
+            ]
+        return list(self._tracked.values())
+
+    def leased_records(self) -> List[MachineRecord]:
+        """Machines the lease sweeper must examine: holding any allocation."""
+        if not self.use_indexes:
+            return [m for m in self.machines.values() if m.allocation is not None]
+        return list(self._leased.values())
+
+    # -- dirty-driven scheduling --------------------------------------------
+
+    def mark_all_pending_dirty(self) -> None:
+        """Every pending request must be re-evaluated on the next pass."""
+        self._all_pending_dirty = True
+
+    def mark_job_requests_dirty(self, jobid: int) -> None:
+        """Re-evaluate every pending request of ``jobid`` (e.g. its session
+        just resumed, so grants are deliverable again)."""
+        for request in self.pending:
+            if request.jobid == jobid and not request.dirty:
+                request.dirty = True
+                self._dirty_list.append(request)
+
+    def mark_pending_dirty_for_platform(self, platform: str) -> None:
+        """Re-evaluate pending requests whose symbolic name could match a
+        machine of ``platform`` (one just became grantable or changed)."""
+        for request in self.pending:
+            if request.dirty:
+                continue
+            if self._symbolic_platform_match(request.symbolic, platform):
+                request.dirty = True
+                self._dirty_list.append(request)
+
+    def take_dirty_pending(self) -> List[PendingRequest]:
+        """The requests to evaluate this pass, in service order, clearing
+        their dirty flags.  With the all-dirty flag set this is exactly the
+        seed's full pass; otherwise only flagged requests are returned."""
+        if self._all_pending_dirty:
+            self._all_pending_dirty = False
+            self._dirty_list = []
+            order = list(self.pending_sorted())
+            for request in order:
+                request.dirty = False
+            return order
+        if not self._dirty_list:
+            return []
+        flagged = {
+            id(r) for r in self._dirty_list if r.dirty and r.queued
+        }
+        self._dirty_list = []
+        if not flagged:
+            return []
+        order = [r for r in self.pending_sorted() if id(r) in flagged]
+        for request in order:
+            request.dirty = False
+        return order
 
     # -- machines ---------------------------------------------------------
 
@@ -146,8 +560,24 @@ class BrokerState:
         record = self.machines.get(host)
         if record is None:
             record = MachineRecord(host=host)
+            record._state = self
             self.machines[host] = record
+            self._machine_rank[host] = len(self._machine_rank)
+            self._unreported_count += 1
         return record
+
+    def all_reported(self, hosts) -> bool:
+        """Whether every machine in ``hosts`` has a current daemon report
+        (the knowledge-completeness guard behind denial decisions)."""
+        if not self.use_indexes:
+            return all(
+                self.machines[h].reported
+                for h in hosts
+                if h in self.machines
+            )
+        # Every known machine is a managed one (records are only created for
+        # the managed set), so the counter answers for any hosts subset.
+        return self._unreported_count == 0
 
     def machine(self, host: str) -> MachineRecord:
         """The record for ``host`` (KeyError if unknown)."""
@@ -203,16 +633,35 @@ class BrokerState:
     # -- allocations -------------------------------------------------------
 
     def allocations_of(self, jobid: int) -> List[Allocation]:
-        """Every allocation currently held by ``jobid``."""
+        """Every allocation currently held by ``jobid``.
+
+        Indexed O(holdings); returned in the seed's machine-table order so
+        downstream message sequences stay byte-identical."""
+        if not self.use_indexes:
+            return [
+                m.allocation
+                for m in self.machines.values()
+                if m.allocation is not None and m.allocation.jobid == jobid
+            ]
+        held = self._allocations_by_jobid.get(jobid)
+        if not held:
+            return []
+        rank = self._machine_rank
         return [
-            m.allocation
-            for m in self.machines.values()
-            if m.allocation is not None and m.allocation.jobid == jobid
+            held[host] for host in sorted(held, key=lambda h: rank.get(h, -1))
         ]
 
     def holding_count(self, jobid: int) -> int:
-        """How many machines ``jobid`` holds right now."""
-        return len(self.allocations_of(jobid))
+        """How many machines ``jobid`` holds right now (O(1))."""
+        if not self.use_indexes:
+            return len(
+                [
+                    m
+                    for m in self.machines.values()
+                    if m.allocation is not None and m.allocation.jobid == jobid
+                ]
+            )
+        return len(self._allocations_by_jobid.get(jobid, ()))
 
     def allocate(
         self,
@@ -274,24 +723,67 @@ class BrokerState:
     def release(self, host: str) -> Optional[Allocation]:
         """Unbind ``host``; returns the allocation it held, if any."""
         record = self.machines[host]
-        allocation, record.allocation = record.allocation, None
+        allocation = record.allocation
+        record.allocation = None
         return allocation
 
     # -- queries used by policies --------------------------------------------
+
+    def _request_filter_ok(
+        self, record: MachineRecord, job: JobRecord, request: PendingRequest
+    ) -> bool:
+        """Per-request eligibility filters not captured by the index
+        partition (home host, full RSL constraints, private/adaptive)."""
+        if record.host == job.home_host:
+            # The job already runs on its home machine; growing means
+            # acquiring *another* one (and PVM-style systems cannot
+            # re-add their own master host anyway).
+            return False
+        if not job.rsl.matches_machine(record.snapshot_view()):
+            return False
+        if record.kind == "private" and not job.adaptive:
+            return False  # paper policy: private machines only to adaptive jobs
+        return True
+
+    def _matching_buckets(
+        self,
+        buckets: Dict[str, Dict[str, MachineRecord]],
+        symbolic: str,
+    ) -> List[Dict[str, MachineRecord]]:
+        """The platform buckets whose machines satisfy ``symbolic``."""
+        result = []
+        for platform, bucket in buckets.items():
+            if bucket and self._symbolic_platform_match(symbolic, platform):
+                result.append(bucket)
+        return result
 
     def eligible_machines(
         self, request: PendingRequest
     ) -> List[MachineRecord]:
         """Machines satisfying the symbolic name, reported and usable."""
         job = self.jobs[request.jobid]
+        if not self.use_indexes:
+            return self._eligible_machines_fullscan(job, request)
         result = []
+        for bucket in self._matching_buckets(
+            self._usable_by_platform, request.symbolic
+        ):
+            self.machines_scanned += len(bucket)
+            for record in bucket.values():
+                if self._request_filter_ok(record, job, request):
+                    result.append(record)
+        return result
+
+    def _eligible_machines_fullscan(
+        self, job: JobRecord, request: PendingRequest
+    ) -> List[MachineRecord]:
+        """The seed's O(machines) eligibility scan (reference semantics)."""
+        result = []
+        self.machines_scanned += len(self.machines)
         for record in self.machines.values():
             if not record.reported:
                 continue
             if record.host == job.home_host:
-                # The job already runs on its home machine; growing means
-                # acquiring *another* one (and PVM-style systems cannot
-                # re-add their own master host anyway).
                 continue
             if not symbolic_matches(request.symbolic, record.snapshot_view()):
                 continue
@@ -300,32 +792,176 @@ class BrokerState:
             if record.console_active:
                 continue  # the owner is at the console: hands off
             if record.kind == "private" and not job.adaptive:
-                continue  # paper policy: private machines only to adaptive jobs
+                continue
             result.append(record)
         return result
 
     def idle_machines(self, request: PendingRequest) -> List[MachineRecord]:
-        """Eligible machines with no current allocation, public first."""
-        free = [
-            m for m in self.eligible_machines(request) if m.allocation is None
-        ]
+        """Eligible machines with no current allocation, public first.
+
+        Indexed: only the idle partition is examined, so a fully-allocated
+        cluster answers in O(1) however large it is."""
+        if not self.use_indexes:
+            free = [
+                m
+                for m in self.eligible_machines(request)
+                if m.allocation is None
+            ]
+            free.sort(key=lambda m: (m.kind != "public", m.cpu_load, m.host))
+            return free
+        job = self.jobs[request.jobid]
+        free = []
+        for bucket in self._matching_buckets(
+            self._idle_by_platform, request.symbolic
+        ):
+            self.machines_scanned += len(bucket)
+            for record in bucket.values():
+                if self._request_filter_ok(record, job, request):
+                    free.append(record)
         free.sort(key=lambda m: (m.kind != "public", m.cpu_load, m.host))
         return free
 
+    def best_idle(
+        self, request: PendingRequest
+    ) -> Optional[MachineRecord]:
+        """The machine :meth:`idle_machines` would rank first, found without
+        scanning: walk the matching platforms' idle heaps in key order —
+        (public first, least loaded, host) — and return the first machine
+        passing the per-request filters.  O(log n) per grant where the list
+        query is O(idle); a full-cluster expansion is O(n log n) total
+        instead of O(n²).  Entries popped past (request-filtered, e.g. the
+        job's home host) are pushed back, so the heaps stay complete."""
+        job = self.jobs[request.jobid]
+        pairs = [
+            (platform, bucket)
+            for platform, bucket in self._idle_by_platform.items()
+            if bucket and self._symbolic_platform_match(request.symbolic, platform)
+        ]
+        if not pairs:
+            return None
+        tops: Dict[str, Tuple[bool, int, str]] = {}
+        buckets = dict(pairs)
+        for platform, bucket in pairs:
+            entry = self._peek_idle(platform, bucket)
+            if entry is not None:
+                tops[platform] = entry
+        popped: List[Tuple[str, Tuple[bool, int, str]]] = []
+        result = None
+        while tops:
+            platform = min(tops, key=tops.get)
+            entry = tops[platform]
+            record = buckets[platform][entry[2]]
+            self.machines_scanned += 1
+            if self._request_filter_ok(record, job, request):
+                result = record
+                break
+            # Filtered for this request only (home host, RSL, private):
+            # set it aside and look at the platform's next-best machine.
+            heapq.heappop(self._idle_heap[platform])
+            popped.append((platform, entry))
+            entry = self._peek_idle(platform, buckets[platform])
+            if entry is None:
+                del tops[platform]
+            else:
+                tops[platform] = entry
+        for platform, entry in popped:
+            heapq.heappush(self._idle_heap[platform], entry)
+        return result
+
+    def held_eligible(self, request: PendingRequest) -> List[MachineRecord]:
+        """Eligible machines that currently hold an allocation — the victim
+        universe for preemption decisions."""
+        if not self.use_indexes:
+            return [
+                m
+                for m in self.eligible_machines(request)
+                if m.allocation is not None
+            ]
+        job = self.jobs[request.jobid]
+        result = []
+        for bucket in self._matching_buckets(
+            self._usable_by_platform, request.symbolic
+        ):
+            self.machines_scanned += len(bucket)
+            for record in bucket.values():
+                if record.allocation is None:
+                    continue
+                if self._request_filter_ok(record, job, request):
+                    result.append(record)
+        return result
+
+    def satisfiable_somewhere(
+        self, symbolic: str, job: JobRecord
+    ) -> bool:
+        """Could any *reported* machine ever satisfy (symbolic, job RSL)?
+
+        The best-case feasibility check behind denial decisions: ignores
+        console activity and allocation state, exactly like the seed's scan
+        in ``_deny_if_unsatisfiable`` (core memoizes the result against
+        :attr:`capability_version`)."""
+        if not self.use_indexes:
+            self.machines_scanned += len(self.machines)
+            for record in self.machines.values():
+                if not record.reported or record.host == job.home_host:
+                    continue
+                view = record.snapshot_view()
+                if symbolic_matches(symbolic, view) and job.rsl.matches_machine(
+                    view
+                ):
+                    return True
+            return False
+        for bucket in self._matching_buckets(
+            self._reported_by_platform, symbolic
+        ):
+            self.machines_scanned += len(bucket)
+            for record in bucket.values():
+                if record.host == job.home_host:
+                    continue
+                if job.rsl.matches_machine(record.snapshot_view()):
+                    return True
+        return False
+
     def pending_sorted(self) -> List[PendingRequest]:
         """Service order: firm requests FIFO first, then elastic requests
-        from the poorest job first (even partition among elastic jobs)."""
-        firm = [r for r in self.pending if r.firm]
-        elastic = [r for r in self.pending if not r.firm]
-        firm.sort(key=lambda r: (r.arrived_at, r.reqid))
-        elastic.sort(
-            key=lambda r: (self.holding_count(r.jobid), r.arrived_at, r.reqid)
-        )
-        return firm + elastic
+        from the poorest job first (even partition among elastic jobs).
+
+        The order is cached and only rebuilt when queue membership or a
+        holding count changes (Python's stable sort keeps arrival-order
+        ties exactly as the seed did)."""
+        if not self.use_indexes:
+            firm = [r for r in self.pending if r.firm]
+            elastic = [r for r in self.pending if not r.firm]
+            firm.sort(key=lambda r: (r.arrived_at, r.reqid))
+            elastic.sort(
+                key=lambda r: (
+                    self.holding_count(r.jobid),
+                    r.arrived_at,
+                    r.reqid,
+                )
+            )
+            return firm + elastic
+        order = self._order_cache
+        if order is None:
+            firm = []
+            elastic = []
+            for request in self.pending:
+                (firm if request.firm else elastic).append(request)
+            firm.sort(key=lambda r: (r.arrived_at, r.reqid))
+            elastic.sort(
+                key=lambda r: (
+                    self.holding_count(r.jobid),
+                    r.arrived_at,
+                    r.reqid,
+                )
+            )
+            order = firm + elastic
+            self._order_cache = order
+        return order
 
     def drop_job_requests(self, jobid: int) -> None:
         """Forget every pending request of ``jobid`` (job finished)."""
-        self.pending = [r for r in self.pending if r.jobid != jobid]
+        for request in [r for r in self.pending if r.jobid == jobid]:
+            self.pending.remove(request)
 
     def summary(self) -> Dict[str, Any]:
         """Human-readable status (the ``rbstat`` view)."""

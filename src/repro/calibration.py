@@ -131,6 +131,15 @@ class Calibration:
     #: ResourceBroker is able to asynchronously initiate the second phase").
     module_request_timeout: float = 2.5
 
+    #: Every Nth daemon report is a full snapshot even when the machine's
+    #: change probe saw nothing move (reports in between are compact delta
+    #: beacons that only renew liveness and leases).  Bounds how long a
+    #: broker whose record went stale through *lost* reports (it resets
+    #: records on connection EOF, faults can drop reports in transit) waits
+    #: for re-syncable state: at most ``daemon_full_report_every *
+    #: daemon_report_interval`` seconds.
+    daemon_full_report_every: int = 5
+
     #: Lease TTL on every grant.  Daemons piggyback renewal on their report
     #: (one report lists the jobids with live subapps on the machine), so a
     #: healthy holder renews ~``lease_ttl / daemon_report_interval`` times

@@ -188,7 +188,13 @@ class Cluster:
         self.owner_activities[host] = activity
         return activity
 
-    def start_broker(self, policy=None, managed_hosts=None, broker_host=None):
+    def start_broker(
+        self,
+        policy=None,
+        managed_hosts=None,
+        broker_host=None,
+        scheduler_mode=None,
+    ):
         """Boot ResourceBroker over this cluster; see
         :class:`repro.broker.service.BrokerService`."""
         from repro.broker.service import BrokerService
@@ -198,6 +204,7 @@ class Cluster:
             policy=policy,
             managed_hosts=managed_hosts,
             broker_host=broker_host,
+            scheduler_mode=scheduler_mode,
         )
         return self.broker
 

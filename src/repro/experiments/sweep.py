@@ -29,8 +29,10 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 #: Cell key order used everywhere: grid expansion, merge order, reports.
 Cell = Tuple[str, int, int]  # (workload, machines, seed)
 
-#: Cluster sizes the pinned kernel benchmark covers.
-BENCH_SIZES = (8, 16, 32, 64, 128, 256)
+#: Cluster sizes the pinned kernel benchmark covers.  512 and 1024 are the
+#: control-plane scaling points: with the broker's indexed scheduler the
+#: per-event cost at 1024 should stay within a few percent of 256.
+BENCH_SIZES = (8, 16, 32, 64, 128, 256, 512, 1024)
 
 
 def _drive_churn(cluster, service, sim_seconds: float) -> None:
@@ -109,6 +111,11 @@ def run_cell(
         "grants": len(service.events_of("grant")),
         "revokes": len(service.events_of("revoke")),
         "metrics": cluster.network.metrics.snapshot(),
+        # Broker control-plane cost: machine records examined by eligibility
+        # scans.  Deterministic for a given scheduler mode, but *different*
+        # between the indexed and full-scan schedulers (which agree on every
+        # decision, not on how much work finding it took).
+        "broker": {"machines_scanned": service.state.machines_scanned},
     }
     heap_ops = heap["pushes"] + heap["processed"] + heap["skipped_cancelled"]
     return {

@@ -88,6 +88,12 @@ class Machine:
         #: False while the machine is crashed/powered off; the network
         #: refuses connections to a down machine.
         self.up: bool = True
+        #: Bumped on every process-table change (register/unregister).  The
+        #: monitoring daemon folds it into its cheap change probe: any
+        #: process arrival or exit — including subapp lease changes that
+        #: leave counts unchanged — forces a full report instead of a
+        #: delta beacon.
+        self.proc_table_version: int = 0
         #: Users with a login session on this machine.
         self.logged_in: Set[str] = set()
         #: True while the machine's owner is at the console (keyboard/mouse
@@ -115,10 +121,12 @@ class Machine:
     def register_process(self, proc: "OSProcess") -> None:
         """Enter ``proc`` into the process table."""
         self.procs[proc.pid] = proc
+        self.proc_table_version += 1
 
     def unregister_process(self, proc: "OSProcess") -> None:
         """Remove ``proc`` from the process table (idempotent)."""
-        self.procs.pop(proc.pid, None)
+        if self.procs.pop(proc.pid, None) is not None:
+            self.proc_table_version += 1
 
     def processes_of(self, uid: str) -> List["OSProcess"]:
         """Live processes belonging to ``uid``, in pid order."""

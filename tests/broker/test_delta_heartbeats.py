@@ -1,0 +1,118 @@
+"""Delta heartbeats: daemons ship full snapshots only when something moved.
+
+The monitoring daemon keeps its report *cadence* (one message per
+``daemon_report_interval``, so liveness detection and event counts are
+untouched) but sends a compact beacon whenever its change probe — cpu
+load, process-table version, console state, login count — is unchanged
+since the last full snapshot.  Every ``daemon_full_report_every``-th
+report is forced full so a broker whose record went stale through lost
+messages re-syncs within a bounded window.
+"""
+
+import json
+
+from repro.broker import protocol
+from repro.os.signals import SIGKILL
+from tests.broker.conftest import install_greedy
+from tests.broker.test_liveness import _rbdaemons
+
+
+def _counter(cluster, name):
+    return cluster.broker.metrics.counter(name).value
+
+
+def test_steady_cluster_sends_mostly_beacons(cluster4):
+    cal = cluster4.network.calibration
+    cluster4.env.run(until=cluster4.now + 40.0)
+    fulls = _counter(cluster4, "rbdaemon.full_reports")
+    beacons = _counter(cluster4, "rbdaemon.beacons")
+    reports = _counter(cluster4, "rbdaemon.reports")
+    assert reports == fulls + beacons
+    assert beacons > fulls  # an idle machine mostly beacons
+    # The forced-full cadence holds: at most one full per full_every
+    # reports per machine (plus the initial snapshot each).
+    machines = len(cluster4.broker.managed_hosts)
+    assert fulls <= reports / cal.daemon_full_report_every + machines
+    # And the wire savings are real: a beacon is a fraction of a snapshot.
+    beacon_bytes = len(json.dumps(protocol.daemon_beacon(0.0)))
+    snapshot = cluster4.machine("n01").snapshot()
+    full_bytes = len(json.dumps(protocol.daemon_report(snapshot)))
+    assert beacon_bytes < full_bytes / 3
+    assert _counter(cluster4, "rbdaemon.report_bytes") < reports * full_bytes
+
+
+def test_console_change_forces_prompt_full_report(cluster4):
+    svc = cluster4.broker
+    cluster4.env.run(until=cluster4.now + 10.0)
+    assert not svc.state.machine("n01").console_active
+    fulls = _counter(cluster4, "rbdaemon.full_reports")
+    cluster4.machine("n01").console_active = True
+    cluster4.machine("n01").logged_in.add("ann")
+    # The next report (one interval away at most) must carry the change —
+    # a beacon would hide it from owner-priority reclaim.
+    cal = cluster4.network.calibration
+    cluster4.env.run(until=cluster4.now + cal.daemon_report_interval + 1.0)
+    assert svc.state.machine("n01").console_active
+    assert _counter(cluster4, "rbdaemon.full_reports") > fulls
+
+
+def test_lease_renewal_rides_beacons(cluster4):
+    """A machine whose holder sits quietly must still renew its lease: the
+    beacon renews the lease inventory of the last full report."""
+    svc = cluster4.broker
+    cal = cluster4.network.calibration
+
+    @cluster4.system_bin.register("hold")
+    def hold(proc):
+        yield proc.sleep(3600.0)
+
+    handle = svc.submit("n00", ["rsh", "anylinux", "hold"])
+    cluster4.env.run(until=cluster4.now + 5.0)
+    job = handle.job_record()
+    held = svc.holdings()[job.jobid]
+    assert len(held) == 1
+
+    cluster4.env.run(until=cluster4.now + 3.0 * cal.lease_ttl)
+    assert _counter(cluster4, "rbdaemon.beacons") > 0
+    assert svc.holdings()[job.jobid] == held  # never expired mid-run
+    assert _counter(cluster4, "leases.expired") == 0
+    cluster4.assert_no_crashes()
+
+
+def test_daemon_restart_resends_full_snapshot(cluster4):
+    """A reconnecting daemon must not open with a beacon: the broker reset
+    the machine record on connection EOF, so the first report after any
+    reconnect is a full snapshot (the daemon forgets its probe too)."""
+    svc = cluster4.broker
+    cluster4.env.run(until=cluster4.now + 10.0)
+    daemons = _rbdaemons(cluster4, "n01")
+    assert daemons
+    fulls = _counter(cluster4, "rbdaemon.full_reports")
+    daemons[0].signal(SIGKILL)
+    cluster4.env.run(until=cluster4.now + 6.0)
+    record = svc.state.machine("n01")
+    assert record.reported and not record.dead
+    assert record.platform == "i686linux"  # rebuilt from a fresh snapshot
+    assert _counter(cluster4, "rbdaemon.full_reports") > fulls
+    assert svc.metrics.counter("broker.daemon_restarts").value >= 1
+
+
+def test_grant_and_release_bump_the_change_probe(cluster4):
+    """Allocation activity always breaks a beacon streak: subapp arrival and
+    exit bump the machine's process-table version, forcing full reports, so
+    the broker's lease inventory can never go stale silently."""
+    svc = cluster4.broker
+    install_greedy(cluster4)
+    cluster4.env.run(until=cluster4.now + 10.0)
+    versions = {
+        host: cluster4.machine(host).proc_table_version
+        for host in svc.managed_hosts
+    }
+    handle = svc.submit("n00", ["greedy", "2"], rsl="+(adaptive)")
+    cluster4.env.run(until=cluster4.now + 5.0)
+    job = handle.job_record()
+    for host in svc.holdings()[job.jobid]:
+        assert cluster4.machine(host).proc_table_version > versions[host]
+        # ... and the broker's record carries the lease from the full
+        # report that followed.
+        assert job.jobid in svc.state.machine(host).leases
