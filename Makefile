@@ -2,7 +2,7 @@
 
 export PYTHONPATH := src
 
-.PHONY: test lint check chaos chaos-smoke bench-smoke bench-broker
+.PHONY: test lint check chaos chaos-smoke bench-smoke bench-broker bench-obs slo
 
 test:  ## tier-1 test suite
 	python -m pytest -q tests
@@ -29,3 +29,9 @@ bench-smoke:  ## kernel perf gate vs the pinned BENCH_kernel.json baseline
 
 bench-broker:  ## broker control-plane gate vs the pinned BENCH_broker.json
 	python benchmarks/bench_broker.py
+
+bench-obs:  ## observability-overhead gate vs the pinned BENCH_obs.json
+	python benchmarks/bench_obs.py
+
+slo:  ## churn workload under a health monitor; fails on any violated SLO
+	python -m repro slo

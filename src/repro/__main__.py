@@ -17,6 +17,10 @@ Commands
     Fan a deterministic (seed x cluster-size x workload) simulation grid
     across worker processes; merged results are byte-identical for any
     worker count (see :mod:`repro.experiments.sweep`).
+``slo [--minutes M]``
+    Run the churn workload under a health monitor and print the health and
+    SLO reports (grant-wait p95, zero stuck allocations); exits non-zero
+    on any violated objective.
 """
 
 from __future__ import annotations
@@ -158,6 +162,7 @@ def _cmd_sweep(args) -> int:
         seeds=seeds,
         sim_minutes=args.minutes,
         workers=args.workers,
+        health=args.health,
     )
     print(format_sweep(cells))
     merged = merge_results(cells, sim_minutes=args.minutes)
@@ -175,6 +180,26 @@ def _cmd_sweep(args) -> int:
             fh.write("\n")
         print(f"kernel benchmark written to {args.bench}")
     return 0
+
+
+def _cmd_slo(args) -> int:
+    from repro.cluster import Cluster, ClusterSpec
+    from repro.experiments.sweep import _drive_churn
+    from repro.obs import HealthMonitor, evaluate_slos
+
+    cluster = Cluster(ClusterSpec.uniform(args.machines, seed=args.seed))
+    service = cluster.start_broker()
+    service.wait_ready()
+    monitor = HealthMonitor(service).start()
+    _drive_churn(cluster, service, args.minutes * 60.0)
+    cluster.assert_no_crashes()
+    report = monitor.report()
+    print(report.render())
+    slo = evaluate_slos(
+        service, report, grant_wait_p95=args.grant_wait_p95
+    )
+    print(slo.render())
+    return 0 if slo.passed else 1
 
 
 def main(argv=None) -> int:
@@ -261,7 +286,42 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="write the BENCH_kernel.json performance envelope",
     )
+    sweep.add_argument(
+        "--health",
+        action="store_true",
+        help="attach a health monitor to every cell and embed its report "
+        "(changes event counts; off for pinned benchmarks)",
+    )
     sweep.set_defaults(fn=_cmd_sweep)
+
+    slo = sub.add_parser(
+        "slo",
+        help="run the churn workload under a health monitor and evaluate "
+        "service-level objectives",
+    )
+    slo.add_argument(
+        "--machines",
+        type=int,
+        default=16,
+        help="cluster size (default 16)",
+    )
+    slo.add_argument(
+        "--seed", type=int, default=1, help="simulation seed (default 1)"
+    )
+    slo.add_argument(
+        "--minutes",
+        type=float,
+        default=5.0,
+        help="simulated minutes to run (default 5)",
+    )
+    slo.add_argument(
+        "--grant-wait-p95",
+        type=float,
+        default=30.0,
+        dest="grant_wait_p95",
+        help="objective: p95 grant wait in seconds (default 30)",
+    )
+    slo.set_defaults(fn=_cmd_slo)
 
     args = parser.parse_args(argv)
     return args.fn(args)

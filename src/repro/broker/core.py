@@ -48,6 +48,7 @@ from repro.broker.state import (
     PendingRequest,
 )
 from repro.cluster import ports
+from repro.obs.timeseries import windowed_rate
 from repro.os.errors import ConnectionClosed
 
 
@@ -373,6 +374,9 @@ class _BrokerControl:
         elif kind == "status":
             _safe_send(conn, protocol.status_reply(self.state.summary()))
             conn.close()
+        elif kind == "stats":
+            _safe_send(conn, protocol.stats_reply(self.stats()))
+            conn.close()
         elif kind == "halt_job":
             jobid = int(first.get("jobid", -1))
             job = self.state.jobs.get(jobid)
@@ -384,6 +388,54 @@ class _BrokerControl:
             conn.close()
         else:
             conn.close()
+
+    def stats(self) -> dict:
+        """The live introspection snapshot served by the ``stats`` RPC.
+
+        Read-only over state, counters and the service's online phase
+        digests — no scans beyond the leased set, no simulation events, so
+        polling it never perturbs the run being observed."""
+        state = self.state
+        metrics = self.metrics
+        now = self.proc.env.now
+        grants = metrics.counter("broker.grants")
+        leased = state.leased_records()
+        reclaiming = sum(
+            1
+            for record in leased
+            if record.allocation is not None
+            and record.allocation.state is AllocationState.RECLAIMING
+        )
+        scanned = state.machines_scanned
+        return {
+            "time": now,
+            "epoch": self.service.epoch,
+            "pending": len(state.pending),
+            "dirty_pending": state.dirty_pending_count(),
+            "machines": len(state.machines),
+            "machines_reported": state.reported_count(),
+            "leased": len(leased),
+            "reclaiming": reclaiming,
+            "jobs": len(state.jobs),
+            "jobs_done": sum(1 for job in state.jobs.values() if job.done),
+            "grants": grants.value,
+            "denials": metrics.counter("broker.denials").value,
+            "revokes": metrics.counter("broker.revokes").value,
+            "leases_adopted": metrics.counter("leases.adopted").value,
+            "leases_expired": metrics.counter("leases.expired").value,
+            "sessions_resumed": metrics.counter("sessions.resumed").value,
+            "machines_scanned": scanned,
+            "scans_per_grant": (
+                scanned / grants.value if grants.value else 0.0
+            ),
+            "grant_rate": windowed_rate(grants.samples, now, window=60.0),
+            "phases": self.service.phase_stats.summary(),
+            "obs": {
+                "tracer": self.tracer.self_stats(),
+                "metrics": metrics.self_stats(),
+            },
+            "metrics": metrics.snapshot(),
+        }
 
     # -- daemon sessions ----------------------------------------------------
 
@@ -914,6 +966,7 @@ class _BrokerControl:
         allocation = record.allocation
         assert allocation is not None and allocation.state is AllocationState.ACTIVE
         allocation.state = AllocationState.RECLAIMING
+        allocation.reclaiming_since = self.proc.env.now
         allocation.claimed_by = claimed_by
         if claimed_by is not None:
             claimed_by.reserved_host = host

@@ -240,6 +240,21 @@ def status_reply(summary: Message) -> Message:
     return {"type": "status_reply", "summary": summary}
 
 
+def stats_request() -> Message:
+    """User tool -> broker: request the live telemetry snapshot.
+
+    Unlike :func:`status_request` (machine/job tables), this asks for the
+    continuous-telemetry view: queue depths, dirty-set size, lease and
+    adoption counts, scans-per-grant, per-phase latency digests and the
+    observability layer's own self-metering."""
+    return {"type": "stats"}
+
+
+def stats_reply(stats: Message) -> Message:
+    """Broker -> user tool: the live telemetry snapshot."""
+    return {"type": "stats_reply", "stats": stats}
+
+
 def halt_job(jobid: int) -> Message:
     """User tool -> broker: stop job ``jobid``."""
     return {"type": "halt_job", "jobid": jobid}

@@ -20,6 +20,7 @@ from repro.broker.daemon import rbdaemon_main
 from repro.broker.rshprime import rshprime_main
 from repro.broker.tools import rbctl_main, rbstat_main, rbtop_main, rbtrace_main
 from repro.broker.state import BrokerState, JobRecord
+from repro.obs.timeseries import SpanPhaseFolder
 from repro.os.process import OSProcess
 from repro.os.programs import ProgramDirectory
 from repro.os.signals import SIGKILL
@@ -147,6 +148,10 @@ class BrokerService:
         #: Run-wide observability, shared with everything on this network.
         self.tracer = cluster.network.tracer
         self.metrics = cluster.network.metrics
+        #: Online per-phase allocation-latency digests, folded from span-end
+        #: events as they happen (no post-hoc tree walks) — what the live
+        #: ``stats`` RPC reports.
+        self.phase_stats = SpanPhaseFolder(self.tracer)
         self.ready = self.env.event()
         #: The live ``_BrokerControl`` once the broker program boots.
         self.control = None
@@ -313,16 +318,41 @@ class BrokerService:
             environ={"RB_BROKER_HOST": self.broker_host},
         )
 
-    def run_rbstat(self, host: Optional[str] = None, uid: str = "user") -> OSProcess:
+    def run_rbstat(
+        self,
+        host: Optional[str] = None,
+        uid: str = "user",
+        stats: bool = False,
+    ) -> OSProcess:
         """Run the ``rbstat`` status tool as ``uid`` on ``host``.
 
+        ``stats=True`` runs ``rbstat --stats`` (the live telemetry view).
         Raises :class:`BrokerUnavailable` when the broker is down (the tool
         itself, run by hand, still fails fast and writes a clear error to
         ``~/.rbstat``)."""
         self._require_broker("query broker status")
+        argv = ["rbstat", "--stats"] if stats else ["rbstat"]
         return self.cluster.run_command(
             host or self.broker_host,
-            ["rbstat"],
+            argv,
+            uid=uid,
+            environ={"RB_BROKER_HOST": self.broker_host},
+        )
+
+    def run_rbtop(
+        self,
+        host: Optional[str] = None,
+        uid: str = "user",
+        polls: int = 1,
+        interval: float = 2.0,
+    ) -> OSProcess:
+        """Run the live ``rbtop`` poller against this broker.
+
+        Raises :class:`BrokerUnavailable` when the broker is down."""
+        self._require_broker("poll broker stats")
+        return self.cluster.run_command(
+            host or self.broker_host,
+            ["rbtop", "--polls", str(polls), "--interval", str(interval)],
             uid=uid,
             environ={"RB_BROKER_HOST": self.broker_host},
         )

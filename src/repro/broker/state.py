@@ -64,6 +64,9 @@ class Allocation:
     lease_expires_at: float = float("inf")
     #: When RECLAIMING: the pending request that will receive this machine.
     claimed_by: Optional["PendingRequest"] = None
+    #: Instant the reclaim began (revoke sent); -1.0 while ACTIVE.  The
+    #: health monitor's stuck-allocation watchdog measures against this.
+    reclaiming_since: float = -1.0
 
 
 #: MachineRecord fields that feed the RSL / symbolic matching view (and so
@@ -957,6 +960,19 @@ class BrokerState:
             order = firm + elastic
             self._order_cache = order
         return order
+
+    def dirty_pending_count(self) -> int:
+        """How many pending requests are flagged for re-evaluation (the
+        live ``stats`` view of scheduler backlog)."""
+        if self._all_pending_dirty:
+            return len(self.pending)
+        return sum(1 for r in self.pending if r.dirty)
+
+    def reported_count(self) -> int:
+        """How many managed machines currently have a daemon report."""
+        if not self.use_indexes:
+            return sum(1 for m in self.machines.values() if m.reported)
+        return len(self.machines) - self._unreported_count
 
     def drop_job_requests(self, jobid: int) -> None:
         """Forget every pending request of ``jobid`` (job finished)."""

@@ -22,6 +22,7 @@ from __future__ import annotations
 from repro.cluster import Cluster, ClusterSpec
 from repro.experiments.results import ExperimentTable
 from repro.faults import FaultInjector, FaultPlan
+from repro.obs import HealthMonitor
 
 
 def run_chaos(
@@ -45,6 +46,7 @@ def run_chaos(
     cluster = Cluster(ClusterSpec.uniform(machines + 1, seed=seed))
     svc = cluster.start_broker()
     svc.wait_ready()
+    monitor = HealthMonitor(svc).start()
     worker_hosts = [f"n{i:02d}" for i in range(1, machines + 1)]
 
     # Machine-level faults hit only worker machines: n00 is the submission
@@ -134,16 +136,18 @@ def run_chaos(
     )
     table.add("revocations", len(svc.events_of("revoke")))
     table.add("grants", len(svc.events_of("grant")))
-    stuck = sum(
-        1
-        for record in svc.state.machines.values()
-        if record.allocation is not None
-    )
-    table.add("machines allocated at end", stuck)
+    health = monitor.report()
+    table.add("machines allocated at end", health.stuck_allocations)
+    table.add("health checks run", health.checks)
+    table.add("stuck-allocation events", health.stuck_events)
+    table.add("heartbeat-gap events", health.heartbeat_gap_events)
+    table.add("max heartbeat gap (s)", round(health.max_heartbeat_gap, 3))
+    table.add("queue high watermark", health.queue_high_watermark)
     table.add("finished at (s)", round(finished_at, 3))
     table.meta["jobs"] = len(handles)
     table.meta["completed"] = completed
-    table.meta["stuck_allocations"] = stuck
+    table.meta["stuck_allocations"] = health.stuck_allocations
+    table.meta["health"] = health.to_dict()
     table.meta["plan"] = plan.summary()
     table.meta["faults_injected"] = len(injector.injected)
     table.notes.append(

@@ -79,12 +79,22 @@ WORKLOADS = {
 
 
 def run_cell(
-    workload: str, machines: int, seed: int, sim_minutes: float
+    workload: str,
+    machines: int,
+    seed: int,
+    sim_minutes: float,
+    health: bool = False,
 ) -> Dict[str, Any]:
     """Run one simulation cell; returns deterministic results + measured perf.
 
     The ``result`` block is a pure function of the parameters; ``perf`` is
     wall-clock measurement and must never enter a merged document.
+
+    ``health`` attaches a :class:`repro.obs.HealthMonitor` to the broker and
+    adds its end-of-run report to the result.  Opt-in because the monitor's
+    periodic checks are simulation events: a ``health=True`` cell is still
+    deterministic, but its event counts differ from a plain cell, so the
+    pinned kernel benchmark always runs without it.
     """
     from repro.cluster import Cluster, ClusterSpec
 
@@ -92,6 +102,11 @@ def run_cell(
     cluster = Cluster(ClusterSpec.uniform(machines, seed=seed))
     service = cluster.start_broker()
     service.wait_ready()
+    monitor = None
+    if health:
+        from repro.obs import HealthMonitor
+
+        monitor = HealthMonitor(service).start()
     sim_start = cluster.now
     wall_start = time.perf_counter()
     driver(cluster, service, sim_minutes * 60.0)
@@ -117,6 +132,8 @@ def run_cell(
         # decision, not on how much work finding it took).
         "broker": {"machines_scanned": service.state.machines_scanned},
     }
+    if monitor is not None:
+        result["health"] = monitor.report().to_dict()
     heap_ops = heap["pushes"] + heap["processed"] + heap["skipped_cancelled"]
     return {
         "workload": workload,
@@ -133,7 +150,7 @@ def run_cell(
     }
 
 
-def _run_cell_packed(packed: Tuple[str, int, int, float]) -> Dict[str, Any]:
+def _run_cell_packed(packed: Tuple) -> Dict[str, Any]:
     """Top-level shim so cells pickle across multiprocessing workers."""
     return run_cell(*packed)
 
@@ -156,6 +173,7 @@ def run_sweep(
     seeds: Sequence[int] = (1,),
     sim_minutes: float = 2.0,
     workers: int = 1,
+    health: bool = False,
 ) -> List[Dict[str, Any]]:
     """Run the full grid, optionally fanning cells across worker processes.
 
@@ -171,7 +189,7 @@ def run_sweep(
                 f"choose from {sorted(WORKLOADS)}"
             )
     grid = expand_grid(workloads, sizes, seeds)
-    packed = [(w, n, s, sim_minutes) for (w, n, s) in grid]
+    packed = [(w, n, s, sim_minutes, health) for (w, n, s) in grid]
     if workers <= 1 or len(packed) <= 1:
         return [_run_cell_packed(cell) for cell in packed]
     with Pool(processes=min(workers, len(packed))) as pool:

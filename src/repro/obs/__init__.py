@@ -12,7 +12,10 @@ arithmetic.  It provides:
 * :mod:`repro.obs.export` — JSONL and Chrome ``trace_event`` exporters plus
   the multi-run :class:`~repro.obs.export.TraceCollector`;
 * :mod:`repro.obs.queries` — span-tree queries (grant timelines, phase
-  durations, connectivity checks).
+  durations, connectivity checks);
+* :mod:`repro.obs.timeseries` — bounded instruments (mergeable histogram
+  digests, ring-capped series, windowed rates, online phase folding);
+* :mod:`repro.obs.health` — simulated-time watchdogs and SLO reports.
 
 Every :class:`~repro.cluster.network.Network` owns a tracer and a registry;
 program bodies reach them through :func:`tracer_of` / :func:`metrics_of`.
@@ -25,7 +28,20 @@ from repro.obs.export import (
     to_jsonl,
     write_trace,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.health import (
+    HealthMonitor,
+    HealthReport,
+    HealthThresholds,
+    SLOReport,
+    evaluate_slos,
+)
+from repro.obs.metrics import (
+    METRICS_MODE_ENVIRON_KEY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from repro.obs.queries import (
     format_trace,
     grant_times,
@@ -35,23 +51,41 @@ from repro.obs.queries import (
 )
 from repro.obs.spans import (
     TRACE_ENVIRON_KEY,
+    TRACE_SAMPLE_ENVIRON_KEY,
     Span,
     Tracer,
     context_from_environ,
     format_context,
     parse_context,
 )
+from repro.obs.timeseries import (
+    HistogramDigest,
+    SeriesBuffer,
+    SpanPhaseFolder,
+    phase_of_span,
+    windowed_rate,
+)
 
 __all__ = [
+    "METRICS_MODE_ENVIRON_KEY",
     "TRACE_ENVIRON_KEY",
+    "TRACE_SAMPLE_ENVIRON_KEY",
     "Counter",
     "Gauge",
+    "HealthMonitor",
+    "HealthReport",
+    "HealthThresholds",
     "Histogram",
+    "HistogramDigest",
     "MetricsRegistry",
+    "SLOReport",
+    "SeriesBuffer",
     "Span",
+    "SpanPhaseFolder",
     "TraceCollector",
     "Tracer",
     "context_from_environ",
+    "evaluate_slos",
     "format_context",
     "format_trace",
     "grant_times",
@@ -59,12 +93,13 @@ __all__ = [
     "metrics_of",
     "parse_context",
     "phase_durations",
+    "phase_of_span",
     "span_record",
     "to_chrome",
     "to_jsonl",
     "trace_root",
     "tracer_of",
-    "write_trace",
+    "windowed_rate",
 ]
 
 

@@ -1,0 +1,357 @@
+"""Simulated-time health watchdogs and SLO reports for the broker.
+
+The chaos experiment proved the broker *recovers*; this module watches it
+*while it runs*.  A :class:`HealthMonitor` is an ordinary simulation process
+ticking on the simulated clock, so its checks are deterministic facts of the
+run like everything else.  Each pass evaluates three watchdogs against live
+broker state:
+
+* **stuck allocations** — a machine in RECLAIMING longer than the threshold
+  (the revoke went out, nobody released; the dual of the lease sweeper's
+  expiry, caught *before* the lease runs out);
+* **heartbeat gaps** — a tracked machine silent longer than the liveness
+  deadline (the sweeper should have acted; a gap beyond it means detection
+  itself is lagging);
+* **queue-depth watermarks** — the pending queue above its high-water
+  threshold (demand outrunning supply, or a scheduler stall).
+
+Anomalies are edge-triggered into ``health.*`` counters and the broker
+event log, and summarised in an end-of-run :class:`HealthReport` — which is
+also the single source of truth for the chaos table's ``stuck_allocations``.
+:func:`evaluate_slos` turns a report plus the grant-wait histogram into a
+pass/fail :class:`SLOReport` (the ``python -m repro slo`` command).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class HealthThresholds:
+    """Watchdog thresholds; ``None`` fields derive from the calibration.
+
+    ``stuck_after`` defaults to the lease TTL (a reclaim outliving a whole
+    lease is stuck), ``heartbeat_gap`` to the liveness deadline, and
+    ``queue_high`` to ``max(4, managed machines)``.
+    """
+
+    check_interval: float = 5.0
+    stuck_after: Optional[float] = None
+    heartbeat_gap: Optional[float] = None
+    queue_high: Optional[int] = None
+
+
+@dataclass
+class HealthReport:
+    """End-of-run summary of everything the watchdogs saw.
+
+    ``stuck_allocations`` is the number of machines still holding an
+    allocation at report time — the chaos experiment's leaked-allocation
+    count (its meta is emitted from here).
+    """
+
+    time: float
+    checks: int
+    stuck_allocations: int
+    allocated_hosts: List[str] = field(default_factory=list)
+    stuck_events: int = 0
+    heartbeat_gap_events: int = 0
+    max_heartbeat_gap: float = 0.0
+    queue_breaches: int = 0
+    queue_high_watermark: int = 0
+    pending: int = 0
+
+    @property
+    def healthy(self) -> bool:
+        """No stuck-allocation anomalies were ever flagged.
+
+        Deliberately *not* ``stuck_allocations == 0``: machines held by a
+        still-running job at report time are normal for a mid-flight
+        snapshot; only drained runs (chaos) should insist the count is
+        zero, which they assert on ``stuck_allocations`` directly."""
+        return self.stuck_events == 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (deterministic; safe to embed in merged docs)."""
+        return {
+            "time": round(self.time, 6),
+            "checks": self.checks,
+            "stuck_allocations": self.stuck_allocations,
+            "allocated_hosts": list(self.allocated_hosts),
+            "stuck_events": self.stuck_events,
+            "heartbeat_gap_events": self.heartbeat_gap_events,
+            "max_heartbeat_gap": round(self.max_heartbeat_gap, 6),
+            "queue_breaches": self.queue_breaches,
+            "queue_high_watermark": self.queue_high_watermark,
+            "pending": self.pending,
+            "healthy": self.healthy,
+        }
+
+    def render(self) -> str:
+        """Human-readable health summary."""
+        verdict = "healthy" if self.healthy else "UNHEALTHY"
+        lines = [
+            f"== health @ t={self.time:.3f}s: {verdict} "
+            f"({self.checks} checks) ==",
+            (
+                f"stuck allocations: {self.stuck_allocations} "
+                f"(events: {self.stuck_events})"
+            ),
+            (
+                f"heartbeat gaps: {self.heartbeat_gap_events} "
+                f"(max gap: {self.max_heartbeat_gap:.3f}s)"
+            ),
+            (
+                f"queue: high watermark {self.queue_high_watermark}, "
+                f"{self.queue_breaches} breaches, "
+                f"{self.pending} pending at end"
+            ),
+        ]
+        if self.allocated_hosts:
+            lines.append("allocated at end: " + ", ".join(self.allocated_hosts))
+        return "\n".join(lines) + "\n"
+
+
+class HealthMonitor:
+    """A simulated-time watchdog process over one :class:`BrokerService`.
+
+    Construct with the service (after ``wait_ready`` is a natural spot),
+    call :meth:`start` to begin periodic checks, and :meth:`report` at the
+    end of the run.  Reads ``service.state`` on every pass, so broker
+    restarts (which swap the state object) are followed transparently.
+    All bookkeeping is plain counters plus per-host edge-trigger sets, so a
+    monitor adds one timer event per interval and nothing else.
+    """
+
+    def __init__(self, service: Any, thresholds: Optional[HealthThresholds] = None) -> None:
+        self.service = service
+        self.env = service.env
+        self.metrics = service.metrics
+        cal = service.cluster.network.calibration
+        given = thresholds or HealthThresholds()
+        self.check_interval = given.check_interval
+        self.stuck_after = (
+            given.stuck_after
+            if given.stuck_after is not None
+            else cal.lease_ttl
+        )
+        self.heartbeat_gap = (
+            given.heartbeat_gap
+            if given.heartbeat_gap is not None
+            else cal.liveness_deadline
+        )
+        self.queue_high = (
+            given.queue_high
+            if given.queue_high is not None
+            else max(4, len(service.managed_hosts))
+        )
+        self.checks = 0
+        self.stuck_events = 0
+        self.gap_events = 0
+        self.queue_breaches = 0
+        self.queue_high_watermark = 0
+        self.max_heartbeat_gap = 0.0
+        self._stuck_flagged: set = set()
+        self._gap_flagged: set = set()
+        self._queue_flagged = False
+        self._proc = None
+
+    def start(self) -> "HealthMonitor":
+        """Begin periodic checks (idempotent); returns self for chaining."""
+        if self._proc is None:
+            self._proc = self.env.process(self._run())
+        return self
+
+    def _run(self):
+        while True:
+            yield self.env.timeout(self.check_interval)
+            self.check()
+
+    def check(self) -> None:
+        """Run one watchdog pass against current broker state.
+
+        Anomalies are edge-triggered: a condition increments its counter
+        and logs once when it appears on a host, and re-arms only after
+        the host recovers — a machine stuck for ten intervals is one
+        event, not ten."""
+        from repro.broker.state import AllocationState
+
+        self.checks += 1
+        now = self.env.now
+        state = self.service.state
+
+        stuck_now: set = set()
+        for record in state.leased_records():
+            allocation = record.allocation
+            if (
+                allocation is not None
+                and allocation.state is AllocationState.RECLAIMING
+                and allocation.reclaiming_since >= 0.0
+                and now - allocation.reclaiming_since > self.stuck_after
+            ):
+                stuck_now.add(record.host)
+                if record.host not in self._stuck_flagged:
+                    self.stuck_events += 1
+                    self.metrics.counter("health.stuck_allocations").inc()
+                    self.service.log(
+                        event="health_stuck_allocation",
+                        host=record.host,
+                        jobid=allocation.jobid,
+                        reclaiming_for=now - allocation.reclaiming_since,
+                    )
+        self._stuck_flagged = stuck_now
+
+        gaps_now: set = set()
+        for record in state.tracked_records():
+            if record.last_seen < 0.0:
+                continue
+            gap = now - record.last_seen
+            if gap > self.max_heartbeat_gap:
+                self.max_heartbeat_gap = gap
+            if gap > self.heartbeat_gap:
+                gaps_now.add(record.host)
+                if record.host not in self._gap_flagged:
+                    self.gap_events += 1
+                    self.metrics.counter("health.heartbeat_gaps").inc()
+                    self.service.log(
+                        event="health_heartbeat_gap", host=record.host, gap=gap
+                    )
+        self._gap_flagged = gaps_now
+
+        depth = len(state.pending)
+        if depth > self.queue_high_watermark:
+            self.queue_high_watermark = depth
+        if depth > self.queue_high:
+            if not self._queue_flagged:
+                self.queue_breaches += 1
+                self.metrics.counter("health.queue_breaches").inc()
+                self.service.log(event="health_queue_high", depth=depth)
+            self._queue_flagged = True
+        else:
+            self._queue_flagged = False
+
+    def report(self) -> HealthReport:
+        """Run a final check and summarise the whole run."""
+        self.check()
+        state = self.service.state
+        allocated = sorted(
+            host
+            for host, record in state.machines.items()
+            if record.allocation is not None
+        )
+        return HealthReport(
+            time=self.env.now,
+            checks=self.checks,
+            stuck_allocations=len(allocated),
+            allocated_hosts=allocated,
+            stuck_events=self.stuck_events,
+            heartbeat_gap_events=self.gap_events,
+            max_heartbeat_gap=self.max_heartbeat_gap,
+            queue_breaches=self.queue_breaches,
+            queue_high_watermark=self.queue_high_watermark,
+            pending=len(state.pending),
+        )
+
+
+@dataclass
+class SLObjective:
+    """One service-level objective: a measured value against a bound."""
+
+    name: str
+    actual: float
+    objective: float
+    ok: bool
+
+    def render(self) -> str:
+        """One pass/fail line."""
+        mark = "PASS" if self.ok else "FAIL"
+        return f"{mark} {self.name}: {self.actual:g} (objective <= {self.objective:g})"
+
+
+@dataclass
+class SLOReport:
+    """A set of evaluated objectives; passes only if every one does."""
+
+    objectives: List[SLObjective] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """Whether every objective held."""
+        return all(objective.ok for objective in self.objectives)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for merged documents."""
+        return {
+            "passed": self.passed,
+            "objectives": [
+                {
+                    "name": o.name,
+                    "actual": o.actual,
+                    "objective": o.objective,
+                    "ok": o.ok,
+                }
+                for o in self.objectives
+            ],
+        }
+
+    def render(self) -> str:
+        """Human-readable SLO report."""
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [f"== SLO report: {verdict} =="]
+        lines.extend(objective.render() for objective in self.objectives)
+        return "\n".join(lines) + "\n"
+
+
+def evaluate_slos(
+    service: Any,
+    report: HealthReport,
+    grant_wait_p95: float = 30.0,
+    max_heartbeat_gap: Optional[float] = None,
+    drained: bool = False,
+) -> SLOReport:
+    """Evaluate the run's service-level objectives.
+
+    Objectives: 95th-percentile grant wait below ``grant_wait_p95`` (the
+    paper's allocation-latency claim as a bound), zero stuck-allocation
+    events, and — when ``max_heartbeat_gap`` is given — the worst observed
+    heartbeat gap below it.  ``drained`` adds a zero-leaked-allocations
+    objective; only meaningful when the run was given time to wind down
+    (machines held by a still-running job are not leaks).
+    """
+    wait = service.metrics.histogram("broker.grant_wait")
+    p95 = wait.percentile(0.95)
+    objectives = [
+        SLObjective(
+            name="grant_wait_p95_seconds",
+            actual=p95,
+            objective=grant_wait_p95,
+            ok=p95 <= grant_wait_p95,
+        ),
+        SLObjective(
+            name="stuck_allocation_events",
+            actual=float(report.stuck_events),
+            objective=0.0,
+            ok=report.stuck_events == 0,
+        ),
+    ]
+    if drained:
+        objectives.append(
+            SLObjective(
+                name="stuck_allocations",
+                actual=float(report.stuck_allocations),
+                objective=0.0,
+                ok=report.stuck_allocations == 0,
+            )
+        )
+    if max_heartbeat_gap is not None:
+        objectives.append(
+            SLObjective(
+                name="max_heartbeat_gap_seconds",
+                actual=report.max_heartbeat_gap,
+                objective=max_heartbeat_gap,
+                ok=report.max_heartbeat_gap <= max_heartbeat_gap,
+            )
+        )
+    return SLOReport(objectives=objectives)

@@ -26,12 +26,17 @@ byte-identical exports (see ``tests/obs/test_trace_determinism.py``).
 
 from __future__ import annotations
 
+import hashlib
 import itertools
-from typing import Any, Dict, List, Optional, Union
+import os
+from typing import Any, Callable, Dict, List, Optional, Union
 
 #: Environment variable carrying the active span context down the simulated
 #: process tree (``"<trace_id>:<span_id>"``).
 TRACE_ENVIRON_KEY = "RB_TRACE"
+
+#: Environment variable selecting the default trace sampling rate (0..1).
+TRACE_SAMPLE_ENVIRON_KEY = "RB_TRACE_SAMPLE"
 
 #: Wire/dict form of a span context: ``{"trace_id": int, "span_id": int}``.
 Context = Dict[str, int]
@@ -77,6 +82,7 @@ class Span:
         "parent_id",
         "started_at",
         "ended_at",
+        "sampled",
         "_attrs",
     )
 
@@ -89,6 +95,7 @@ class Span:
         parent_id: Optional[int],
         started_at: float,
         attrs: Optional[Dict[str, Any]],
+        sampled: bool = True,
     ) -> None:
         self.tracer = tracer
         self.name = name
@@ -97,6 +104,7 @@ class Span:
         self.parent_id = parent_id
         self.started_at = started_at
         self.ended_at: Optional[float] = None
+        self.sampled = sampled
         # Allocated lazily: attribute-less spans (and there are many on the
         # hot instrumentation paths) never pay for a dict.
         self._attrs = attrs if attrs else None
@@ -141,6 +149,9 @@ class Span:
             self.attrs.update(attrs)
         if self.ended_at is None:
             self.ended_at = self.tracer.env.now
+            if self.sampled and self.tracer._observers:
+                for observer in self.tracer._observers:
+                    observer(self)
         return self
 
     # -- propagation -----------------------------------------------------------
@@ -168,11 +179,28 @@ class Tracer:
     simulated cluster), created unconditionally — recording is cheap, and an
     always-on tracer is what makes every experiment's run inspectable after
     the fact without re-running it.
+
+    ``sample`` (default from ``RB_TRACE_SAMPLE``, 1.0 when unset) is a
+    head-based trace sampling rate: the keep/drop decision is made once per
+    *trace*, at root creation, by hashing ``"<seed>:<trace_id>"`` — so it is
+    deterministic for a given seed, every trace tree is kept or dropped
+    whole, and identical seeds still give identical exports at any rate.
+    Unsampled spans are created (ids advance identically — determinism does
+    not depend on the rate) but are not recorded or indexed, and span-end
+    observers never see them.
     """
 
-    def __init__(self, env: Any) -> None:
+    def __init__(self, env: Any, sample: Optional[float] = None) -> None:
         self.env = env
+        if sample is None:
+            sample = float(os.environ.get(TRACE_SAMPLE_ENVIRON_KEY, "1.0"))
+        self.sample = min(1.0, max(0.0, sample))
+        self._sample_seed = int(getattr(getattr(env, "rng", None), "seed", 0) or 0)
+        self._unsampled_traces: set = set()
         self.spans: List[Span] = []
+        self.spans_started = 0
+        self.spans_sampled_out = 0
+        self._observers: List[Callable[[Span], None]] = []
         self._by_id: Dict[int, Span] = {}
         # Query indexes, maintained at append time (mirroring the broker's
         # events_of index): the recall surface — trace viewers, experiment
@@ -187,6 +215,20 @@ class Tracer:
 
     # -- creation ------------------------------------------------------------
 
+    def add_observer(self, observer: Callable[[Span], None]) -> None:
+        """Register a callback invoked with each sampled span as it ends."""
+        self._observers.append(observer)
+
+    def _keep_trace(self, trace_id: int) -> bool:
+        if self.sample >= 1.0:
+            return True
+        if self.sample <= 0.0:
+            return False
+        digest = hashlib.sha256(
+            f"{self._sample_seed}:{trace_id}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0**64 < self.sample
+
     def start(self, name: str, parent: ParentLike = None, **attrs: Any) -> Span:
         """Open a span; ``parent`` may be a Span, a context dict, the
         ``trace:span`` string form, or None (which roots a new trace)."""
@@ -198,6 +240,13 @@ class Tracer:
             trace_id, parent_id = parent["trace_id"], parent["span_id"]
         else:
             trace_id, parent_id = next(self._trace_ids), None
+        self.spans_started += 1
+        if parent_id is None:
+            sampled = self._keep_trace(trace_id)
+            if not sampled:
+                self._unsampled_traces.add(trace_id)
+        else:
+            sampled = trace_id not in self._unsampled_traces
         span = Span(
             tracer=self,
             name=name,
@@ -206,7 +255,11 @@ class Tracer:
             parent_id=parent_id,
             started_at=self.env.now,
             attrs=attrs,
+            sampled=sampled,
         )
+        if not sampled:
+            self.spans_sampled_out += 1
+            return span
         self.spans.append(span)
         self._by_id[span.span_id] = span
         self._by_name.setdefault(name, []).append(span)
@@ -238,6 +291,15 @@ class Tracer:
     def children_of(self, span: Span) -> List[Span]:
         """Direct children of ``span``, in start order."""
         return list(self._by_parent.get(span.span_id, ()))
+
+    def self_stats(self) -> Dict[str, Any]:
+        """Obs self-metering: sampling rate, spans started/kept/dropped."""
+        return {
+            "sample": self.sample,
+            "spans_started": self.spans_started,
+            "spans_kept": len(self.spans),
+            "spans_sampled_out": self.spans_sampled_out,
+        }
 
     def __repr__(self) -> str:
         open_count = sum(1 for s in self.spans if not s.finished)

@@ -1,0 +1,188 @@
+"""Trace queries on damaged trees, and trace-sampling determinism.
+
+A broker crash leaves spans open forever (crash-truncated traces); a
+context that points at a span the tracer never recorded leaves orphans
+(disconnected traces).  ``phase_durations`` and ``grant_times`` must stay
+well-defined on both — post-mortems run on exactly these traces.
+
+Sampling is head-based per trace and seeded: the keep/drop decision must
+never change simulated behaviour, and the kept subset must be the same on
+every run of the same seed.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.obs import (
+    TRACE_SAMPLE_ENVIRON_KEY,
+    Tracer,
+    format_trace,
+    grant_times,
+    is_connected,
+    phase_durations,
+    to_jsonl,
+    trace_root,
+)
+from repro.sim import Environment
+
+
+# -- crash-truncated traces --------------------------------------------------
+
+
+def _truncated_trace(env, tracer):
+    """A job trace cut off mid-flight: the reclaim span never ends."""
+    root = tracer.start("job.submit", jobid=1)
+    request = tracer.start("broker.request", parent=root, jobid=1)
+    env.run(until=2.0)
+    request.end(host="n01")
+    reclaim = tracer.start("broker.reclaim", parent=root, host="n01")
+    env.run(until=5.0)
+    assert not reclaim.finished  # the crash point
+    return root
+
+
+def test_phase_durations_excludes_open_spans():
+    env = Environment()
+    tracer = Tracer(env)
+    root = _truncated_trace(env, tracer)
+    root.end()
+    durations = phase_durations(tracer, root.trace_id)
+    # The open reclaim contributes nothing; finished spans sum normally.
+    assert "broker.reclaim" not in durations
+    assert durations["broker.request"] == pytest.approx(2.0)
+    assert durations["job.submit"] == pytest.approx(5.0)
+
+
+def test_phase_durations_of_a_fully_open_trace_is_empty():
+    # Everything in flight at the crash: nothing ever finished.
+    env = Environment()
+    tracer = Tracer(env)
+    root = tracer.start("job.submit", jobid=2)
+    tracer.start("broker.request", parent=root, jobid=2)
+    env.run(until=4.0)
+    assert phase_durations(tracer, root.trace_id) == {}
+
+
+def test_grant_times_on_a_crash_truncated_trace():
+    env = Environment()
+    tracer = Tracer(env)
+    root = tracer.start("job.submit", jobid=9)
+    granted = tracer.start("broker.request", parent=root, jobid=9)
+    env.run(until=3.0)
+    granted.end(host="n02")
+    # A request in flight at the crash, and a denial (no host): neither is
+    # a grant, and neither may poison the timeline.
+    tracer.start("broker.request", parent=root, jobid=9)
+    tracer.start("broker.request", parent=root, jobid=9).end()
+    assert grant_times(tracer, jobid=9) == [3.0]
+    assert grant_times(tracer, jobid=9, since=3.5) == []
+
+
+# -- disconnected traces -----------------------------------------------------
+
+
+def test_orphan_spans_make_a_trace_disconnected():
+    env = Environment()
+    tracer = Tracer(env)
+    root = tracer.start("job.submit", jobid=4)
+    # A context that survived its parent (e.g. inherited through RB_TRACE
+    # across a broker restart): the parent id was never recorded here.
+    orphan_context = {"trace_id": root.trace_id, "span_id": 424242}
+    orphan = tracer.start("broker.request", parent=orphan_context, jobid=4)
+    env.run(until=1.5)
+    orphan.end(host="n03")
+    root.end()
+    assert not is_connected(tracer, root.trace_id)
+    # Queries still answer from what was recorded.
+    assert grant_times(tracer, jobid=4) == [1.5]
+    durations = phase_durations(tracer, root.trace_id)
+    assert durations["broker.request"] == pytest.approx(1.5)
+    # The tree renderers only walk from roots: the orphan is simply absent,
+    # never a crash or an infinite walk.
+    outline = format_trace(tracer, root.trace_id)
+    assert "job.submit" in outline
+    assert "broker.request" not in outline
+
+
+def test_trace_root_of_a_rootless_trace_is_none():
+    env = Environment()
+    tracer = Tracer(env)
+    anchor = tracer.start("job.submit")  # allocates trace_id 1
+    orphan = tracer.start(
+        "broker.request", parent={"trace_id": 99, "span_id": 7}
+    )
+    orphan.end()
+    assert trace_root(tracer, orphan.trace_id) is None
+    assert trace_root(tracer, anchor.trace_id) is anchor
+    assert not is_connected(tracer, orphan.trace_id)
+
+
+def test_connected_trace_stays_connected():
+    env = Environment()
+    tracer = Tracer(env)
+    root = _truncated_trace(env, tracer)
+    assert is_connected(tracer, root.trace_id)
+
+
+# -- sampling determinism ----------------------------------------------------
+
+
+def _traced_run(seed):
+    """A small brokered workload; returns (cluster, JSONL trace export)."""
+    cluster = Cluster(ClusterSpec.uniform(4, seed=seed))
+    svc = cluster.start_broker()
+    svc.wait_ready()
+    svc.submit("n00", ["rsh", "anylinux", "compute", "2.0"], uid="seq")
+    cluster.env.run(until=cluster.now + 8.0)
+    svc.submit("n00", ["rsh", "anylinux", "compute", "1.0"], uid="seq")
+    cluster.env.run(until=cluster.now + 5.0)
+    return cluster, to_jsonl(cluster.network.tracer.spans, now=cluster.now)
+
+
+def test_sampling_disabled_matches_unset_byte_for_byte(monkeypatch):
+    _, baseline = _traced_run(seed=5)
+    monkeypatch.setenv(TRACE_SAMPLE_ENVIRON_KEY, "1.0")
+    _, explicit = _traced_run(seed=5)
+    assert explicit.encode() == baseline.encode()
+
+
+def test_sampled_out_run_keeps_simulation_identical(monkeypatch):
+    full, _ = _traced_run(seed=5)
+    monkeypatch.setenv(TRACE_SAMPLE_ENVIRON_KEY, "0.0")
+    dark, export = _traced_run(seed=5)
+    # Zero spans kept, but every span id was still drawn...
+    tracer = dark.network.tracer
+    assert export == ""
+    assert tracer.spans == []
+    assert tracer.spans_started > 0
+    assert tracer.spans_sampled_out == tracer.spans_started
+    # ...and the simulation itself did not notice: the metrics plane (which
+    # sampling never touches) recorded the identical grant history.
+    grants = "broker.grants"
+    assert (
+        dark.broker.metrics.counter(grants).samples
+        == full.broker.metrics.counter(grants).samples
+    )
+
+
+def test_partial_sampling_is_a_deterministic_subset(monkeypatch):
+    def keyset(cluster):
+        return {
+            (s.trace_id, s.span_id, s.name)
+            for s in cluster.network.tracer.spans
+        }
+
+    full_cluster, _ = _traced_run(seed=5)
+    everything = keyset(full_cluster)
+    monkeypatch.setenv(TRACE_SAMPLE_ENVIRON_KEY, "0.5")
+    first_cluster, first = _traced_run(seed=5)
+    _, second = _traced_run(seed=5)
+    assert first.encode() == second.encode()
+    kept = keyset(first_cluster)
+    assert kept <= everything
+    assert kept != everything  # some trace was actually dropped
+    assert kept  # ...and some trace was actually kept
+    # Whole trees are kept or dropped: no kept span has a dropped ancestor.
+    kept_traces = {trace_id for trace_id, _sid, _name in kept}
+    for trace_id in kept_traces:
+        assert is_connected(first_cluster.network.tracer, trace_id)
