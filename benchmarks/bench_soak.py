@@ -1,0 +1,229 @@
+"""Service-mode soak gate against the pinned ``BENCH_soak.json``.
+
+Run as a script (``make soak-smoke``).  Two modes:
+
+* **Gate** (default) — replay the pinned *smoke* soak (a scaled-down run
+  of the full trace: same seed, same shape, fewer submissions) and check:
+
+  - *Completion*: every submission drains, zero failures, zero stuck
+    allocations after settle.
+  - *Determinism*: the soak's simulation-derived counters (grants,
+    recoveries, replayed records, compactions, journal bytes, finish
+    time) must match the committed baseline exactly; a mismatch means
+    broker behaviour changed and the baseline must be regenerated
+    deliberately (``python benchmarks/bench_soak.py --pin``).
+  - *Flat memory*: traced bytes per submission over the second half of
+    the run must stay under ``BYTES_PER_SUBMISSION_BUDGET`` — the soak's
+    whole reason to exist; a regression here is a service-mode leak.
+  - *Bounded journal*: on-disk journal size must stay under
+    ``JOURNAL_CEILING`` (compaction working) regardless of trace length.
+  - *Performance*: submissions drained per wall-second must not regress
+    by more than ``REPRO_SOAK_TOLERANCE`` (default 0.30) against the
+    baseline.  Wall-clock is machine-dependent; regenerate the pin when
+    moving the baseline to new hardware.
+
+* **Pin** (``--pin``) — run the full soak (>=100k submissions) plus the
+  smoke run and rewrite ``BENCH_soak.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+BASELINE = ROOT / "BENCH_soak.json"
+
+#: The full soak the pin records (the ISSUE's >=100k-submission service run).
+FULL_SUBMISSIONS = 100_000
+
+#: The scaled-down soak the CI gate replays.
+SMOKE_SUBMISSIONS = 3_000
+
+SEED = 1
+MACHINES = 12
+RESTARTS = 2
+MEMORY_CHECKPOINTS = 20
+
+#: Live traced bytes per submission allowed over the run's second half.
+#: The soak's steady state measures well under 200; a breach means some
+#: per-submission object survives its job.
+BYTES_PER_SUBMISSION_BUDGET = 256.0
+
+#: On-disk journal ceiling (chars): WAL + retained snapshot generations.
+#: Compaction triggers at ``journal_compact_bytes`` (64 KiB), so total disk
+#: should hover near two generations' worth regardless of trace length.
+JOURNAL_CEILING = 262_144
+
+#: Deterministic fields compared exactly between a run and the pin.
+EXACT_FIELDS = (
+    "completed",
+    "failed",
+    "grants",
+    "revocations",
+    "recoveries_from_journal",
+    "replayed_records",
+    "recovery_conflicts",
+    "journal_compactions",
+    "journal_bytes",
+    "stuck_allocations",
+    "stuck_events",
+    "journal_lag_events",
+    "finished_at",
+)
+
+
+def measure(submissions: int, verbose: bool = False) -> dict:
+    """One soak run reduced to its gate envelope."""
+    from repro.experiments import run_soak
+
+    progress = None
+    if verbose:
+
+        def progress(completed, total):
+            print(f"  {completed}/{total} submissions completed", flush=True)
+
+    start = time.perf_counter()
+    report = run_soak(
+        seed=SEED,
+        machines=MACHINES,
+        submissions=submissions,
+        restarts=RESTARTS,
+        memory_checkpoints=MEMORY_CHECKPOINTS,
+        progress=progress,
+    )
+    wall = time.perf_counter() - start
+
+    samples = report.memory_samples
+    half = len(samples) // 2
+    span = samples[-1][0] - samples[half][0]
+    growth = samples[-1][1] - samples[half][1]
+    bytes_per_submission = growth / max(span, 1)
+    return {
+        "completed": report.completed,
+        "failed": report.failed,
+        "grants": report.grants,
+        "revocations": report.revocations,
+        "recoveries_from_journal": int(report.recoveries_from_journal),
+        "replayed_records": int(report.replayed_records),
+        "recovery_conflicts": int(report.recovery_conflicts),
+        "journal_compactions": report.journal_compactions,
+        "journal_bytes": report.journal_bytes,
+        "stuck_allocations": report.stuck_allocations,
+        "stuck_events": report.stuck_events,
+        "journal_lag_events": report.journal_lag_events,
+        "finished_at": report.finished_at,
+        "submissions": submissions,
+        "bytes_per_submission": round(bytes_per_submission, 1),
+        "peak_traced_bytes": max(traced for _, traced in samples),
+        "submissions_per_second": round(submissions / max(wall, 1e-9)),
+        "wall_seconds": round(wall, 4),
+    }
+
+
+def _print_entry(tag: str, entry: dict) -> None:
+    print(
+        f"{tag}: {entry['submissions']} submissions: "
+        f"{entry['completed']} completed, "
+        f"{entry['grants']} grants, "
+        f"{entry['recoveries_from_journal']} journal recoveries "
+        f"({entry['replayed_records']} records), "
+        f"{entry['journal_compactions']} compactions, "
+        f"journal {entry['journal_bytes']} B, "
+        f"{entry['bytes_per_submission']:.1f} B/submission, "
+        f"{entry['submissions_per_second']} submissions/s"
+    )
+
+
+def pin(verbose: bool = False) -> int:
+    smoke = measure(SMOKE_SUBMISSIONS, verbose=verbose)
+    _print_entry("pin smoke", smoke)
+    full = measure(FULL_SUBMISSIONS, verbose=verbose)
+    _print_entry("pin full", full)
+    document = {
+        "seed": SEED,
+        "machines": MACHINES,
+        "restarts": RESTARTS,
+        "smoke": smoke,
+        "full": full,
+    }
+    BASELINE.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"pin: wrote {BASELINE}")
+    return 0
+
+
+def gate() -> int:
+    baseline = json.loads(BASELINE.read_text())
+    pinned = baseline["smoke"]
+    tolerance = float(os.environ.get("REPRO_SOAK_TOLERANCE", "0.30"))
+
+    entry = measure(SMOKE_SUBMISSIONS)
+    _print_entry("soak", entry)
+
+    failures = []
+    if entry["completed"] != entry["submissions"] or entry["failed"]:
+        failures.append(
+            f"drain failed: {entry['completed']}/{entry['submissions']} "
+            f"completed, {entry['failed']} failed"
+        )
+    if entry["stuck_allocations"]:
+        failures.append(
+            f"{entry['stuck_allocations']} machine(s) still allocated after "
+            f"settle — an allocation leaked through the soak"
+        )
+    for field in EXACT_FIELDS:
+        if entry[field] != pinned[field]:
+            failures.append(
+                f"{field} drifted: {entry[field]} != baseline "
+                f"{pinned[field]} (soak behaviour changed; rerun with "
+                f"--pin if intentional)"
+            )
+    if entry["bytes_per_submission"] > BYTES_PER_SUBMISSION_BUDGET:
+        failures.append(
+            f"memory not flat: {entry['bytes_per_submission']:.1f} traced "
+            f"bytes/submission over the second half exceeds the "
+            f"{BYTES_PER_SUBMISSION_BUDGET:.0f} B budget — a service-mode "
+            f"leak"
+        )
+    if entry["journal_bytes"] > JOURNAL_CEILING:
+        failures.append(
+            f"journal unbounded: {entry['journal_bytes']} B on disk exceeds "
+            f"the {JOURNAL_CEILING} B ceiling — compaction is not keeping up"
+        )
+    floor = pinned["submissions_per_second"] * (1.0 - tolerance)
+    if entry["submissions_per_second"] < floor:
+        failures.append(
+            f"throughput regression: {entry['submissions_per_second']} "
+            f"submissions/s is more than {tolerance:.0%} below baseline "
+            f"{pinned['submissions_per_second']}"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("soak: OK (drained, deterministic, flat memory, bounded journal)")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    sys.path.insert(0, str(ROOT / "src"))
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--pin",
+        action="store_true",
+        help=f"regenerate {BASELINE.name} instead of gating against it",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="print drain progress"
+    )
+    args = parser.parse_args()
+    if args.pin:
+        return pin(verbose=args.verbose)
+    return gate()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

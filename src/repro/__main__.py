@@ -21,6 +21,10 @@ Commands
     Run the churn workload under a health monitor and print the health and
     SLO reports (grant-wait p95, zero stuck allocations); exits non-zero
     on any violated objective.
+``soak [--submissions N]``
+    Service-mode soak: the durable (journaled) broker under a large
+    diurnal arrival trace with mid-run crash/restarts; exits non-zero
+    unless the trace drains with zero stuck allocations.
 """
 
 from __future__ import annotations
@@ -133,6 +137,7 @@ def _cmd_chaos(args) -> int:
     table = run_chaos(
         seed=args.seed,
         broker_crashes=1 if args.broker_crash else 0,
+        journal=args.journal,
         trace=collector,
     )
     print(table)
@@ -202,6 +207,33 @@ def _cmd_slo(args) -> int:
     return 0 if slo.passed else 1
 
 
+def _cmd_soak(args) -> int:
+    from repro.experiments import run_soak
+
+    progress = None
+    if args.verbose:
+
+        def progress(completed, total):
+            print(f"  {completed}/{total} submissions completed")
+
+    report = run_soak(
+        seed=args.seed,
+        machines=args.machines,
+        submissions=args.submissions,
+        journal=not args.no_journal,
+        restarts=args.restarts,
+        memory_checkpoints=args.memory_checkpoints,
+        progress=progress,
+    )
+    print(report.render())
+    if report.memory_samples:
+        print("memory checkpoints (submissions, traced bytes):")
+        for completed, traced in report.memory_samples:
+            print(f"  {completed:>8} {traced:>12}")
+    ok = report.drained and report.stuck_allocations == 0
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -242,6 +274,13 @@ def main(argv=None) -> int:
         dest="broker_crash",
         help="also SIGKILL and restart the broker mid-run "
         "(exercises leases, re-registration and session resumption)",
+    )
+    chaos.add_argument(
+        "--journal",
+        action="store_true",
+        help="run the broker durable (write-ahead journal + snapshot "
+        "recovery) and add journal faults: a guaranteed broker crash, a "
+        "torn journal tail at the crash instant, and a disk-stall window",
     )
     chaos.add_argument(
         "--verbose", action="store_true", help="also print the fault plan"
@@ -322,6 +361,52 @@ def main(argv=None) -> int:
         help="objective: p95 grant wait in seconds (default 30)",
     )
     slo.set_defaults(fn=_cmd_slo)
+
+    soak = sub.add_parser(
+        "soak",
+        help="service-mode soak: the durable broker under a large diurnal "
+        "arrival trace with mid-run crash/restarts",
+    )
+    soak.add_argument(
+        "--seed", type=int, default=1, help="simulation seed (default 1)"
+    )
+    soak.add_argument(
+        "--machines",
+        type=int,
+        default=12,
+        help="worker machines (default 12; the broker host is extra)",
+    )
+    soak.add_argument(
+        "--submissions",
+        type=int,
+        default=2000,
+        help="submissions to drain (default 2000)",
+    )
+    soak.add_argument(
+        "--restarts",
+        type=int,
+        default=1,
+        help="broker crash+restart pairs spread across the trace (default 1)",
+    )
+    soak.add_argument(
+        "--no-journal",
+        action="store_true",
+        dest="no_journal",
+        help="run without the write-ahead journal (restarts then recover "
+        "from daemon re-registration alone)",
+    )
+    soak.add_argument(
+        "--memory-checkpoints",
+        type=int,
+        default=0,
+        dest="memory_checkpoints",
+        help="sample tracemalloc this many times across the run "
+        "(wall-side metering; 0 = off)",
+    )
+    soak.add_argument(
+        "--verbose", action="store_true", help="print drain progress"
+    )
+    soak.set_defaults(fn=_cmd_soak)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -18,8 +18,11 @@ Layout mirrors the paper's architecture (§3):
 * :mod:`repro.broker.service` — host-side harness that installs the broker
   onto a :class:`~repro.cluster.builder.Cluster` and offers a typed
   submission API.
+* :mod:`repro.broker.journal` — the durable broker's write-ahead journal
+  and snapshot/replay recovery (DESIGN.md §14).
 """
 
+from repro.broker.journal import BrokerJournal, RecoveryInfo, state_fingerprint
 from repro.broker.service import BrokerService, JobHandle
 from repro.broker.state import (
     AllocationState,
@@ -31,10 +34,13 @@ from repro.broker.state import (
 
 __all__ = [
     "AllocationState",
+    "BrokerJournal",
     "BrokerService",
     "BrokerState",
     "JobHandle",
     "JobRecord",
     "MachineRecord",
     "PendingRequest",
+    "RecoveryInfo",
+    "state_fingerprint",
 ]

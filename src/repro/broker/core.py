@@ -86,6 +86,8 @@ def make_broker_main(service):
             proc.thread(ctl.daemon_keeper(host), name=f"daemon-keeper-{host}")
         proc.thread(ctl.liveness_sweeper(), name="liveness-sweeper")
         proc.thread(ctl.lease_sweeper(), name="lease-sweeper")
+        if service.journal is not None:
+            proc.thread(ctl.journal_flusher(), name="journal-flusher")
         while True:
             try:
                 conn = yield listener.accept()
@@ -216,6 +218,22 @@ class _BrokerControl:
                 if self._sweep_timer is timer:
                     self._sweep_timer = None
                 timer.cancel()  # no-op after firing; frees it on interrupt
+
+    # -- journal flushing -----------------------------------------------------
+
+    def journal_flusher(self):
+        """Drain the journal's coalesced notes (machine views, lease
+        renewals) to disk every ``journal_flush_interval``.
+
+        Structural ops are flushed write-through at record time, so this
+        thread bounds only the staleness of the high-rate noise; it dies
+        with the broker process, which is exactly the page-cache-loss
+        semantics :meth:`BrokerJournal.discard_unflushed` models."""
+        journal = self.service.journal
+        interval = self.cal.journal_flush_interval
+        while True:
+            yield self.proc.sleep(interval)
+            journal.flush()
 
     def _mark_machine_dead(self, record, silence):
         record.dead = True
@@ -407,8 +425,25 @@ class _BrokerControl:
             and record.allocation.state is AllocationState.RECLAIMING
         )
         scanned = state.machines_scanned
+        journal = self.service.journal
+
+        def metric_value(name: str) -> float:
+            # Read without creating: a stats poll must not mint instruments
+            # (that would change self-metering counts under observation).
+            instrument = metrics._metrics.get(name)
+            return instrument.value if instrument is not None else 0.0
+
+        recovery = {
+            "from_journal": metric_value("recovery.from_journal"),
+            "from_reregistration": metric_value("recovery.from_reregistration"),
+            "replayed_records": metric_value("recovery.replayed_records"),
+            "conflicts": metric_value("recovery.conflicts"),
+            "latency_seconds": metric_value("recovery.latency_seconds"),
+        }
         return {
             "time": now,
+            "journal": journal.stats() if journal is not None else {"enabled": False},
+            "recovery": recovery,
             "epoch": self.service.epoch,
             "pending": len(state.pending),
             "dirty_pending": state.dirty_pending_count(),
@@ -449,6 +484,7 @@ class _BrokerControl:
                 host=host,
                 leases=list(hello.get("leases", ())),
             )
+        self._reconcile_recovered(record, hello.get("leases", ()))
         self._adopt_from_inventory(record, hello.get("leases", ()))
         try:
             while True:
@@ -477,6 +513,9 @@ class _BrokerControl:
                     record.update(msg["snapshot"])
                     record.leases = tuple(msg.get("leases", ()))
                     leases = record.leases
+                    # A full report is a live inventory: cross-check any
+                    # journal-recovered allocation against it.
+                    self._reconcile_recovered(record, leases)
                 if was_dead:
                     self.metrics.counter("broker.machine_rejoins").inc()
                     self.service.log(event="machine_rejoin", host=host)
@@ -511,8 +550,52 @@ class _BrokerControl:
             allocation.lease_expires_at = (
                 self.proc.env.now + self.cal.lease_ttl
             )
+            allocation.recovered = False  # a live inventory confirms it
+            journal = self.state.journal
+            if journal is not None:
+                journal.note_lease(record.host, allocation.lease_expires_at)
         elif allocation is None:
             self._adopt_from_inventory(record, leases)
+
+    def _reconcile_recovered(self, record, leases) -> None:
+        """Cross-check a journal-recovered allocation against a live daemon
+        inventory (hello or full report).
+
+        Agreement — the recovered jobid in the machine's own lease list —
+        confirms the allocation and clears its flag.  Disagreement resolves
+        toward the live inventory (the daemon knows what actually runs on
+        its machine; the journal knows what a dead broker *intended*): the
+        recovered allocation is dropped, counted in ``recovery.conflicts``,
+        and the machine becomes grantable again."""
+        allocation = record.allocation
+        if allocation is None or not allocation.recovered:
+            return
+        if allocation.jobid in set(int(j) for j in leases):
+            allocation.recovered = False
+            allocation.lease_expires_at = max(
+                allocation.lease_expires_at,
+                self.proc.env.now + self.cal.lease_ttl,
+            )
+            return
+        self._drop_recovered(record, trusted=sorted(int(j) for j in leases))
+
+    def _drop_recovered(self, record, trusted) -> None:
+        """Release a recovered allocation the live side disagrees with."""
+        allocation = record.allocation
+        self.metrics.counter("recovery.conflicts").inc()
+        self.service.log(
+            event="recovery_conflict",
+            host=record.host,
+            jobid=allocation.jobid,
+            trusted=trusted,
+        )
+        released = self.state.release(record.host)
+        reclaim = self._reclaim_spans.pop(record.host, None)
+        if reclaim is not None:
+            reclaim.end(outcome="recovery_conflict")
+        claim = released.claimed_by if released else None
+        if claim is not None:
+            claim.reserved_host = None
 
     def _adopt_from_inventory(self, record, leases) -> None:
         """Adopt a pre-crash allocation a daemon inventory testifies to.
@@ -703,9 +786,23 @@ class _BrokerControl:
                 host, jobid, now=now, lease_expires_at=now + self.cal.lease_ttl
             )
             if adopted is None:
-                self.service.log(
-                    event="lease_conflict", host=host, leases=[jobid]
-                )
+                record = self.state.machines.get(host)
+                existing = record.allocation if record is not None else None
+                if existing is not None and existing.recovered:
+                    # A journal-recovered allocation against a live app's
+                    # claim: the live side wins (the recovered holder may
+                    # not even exist any more).
+                    self._drop_recovered(record, trusted=[jobid])
+                    self.state.adopt_allocation(
+                        host,
+                        jobid,
+                        now=now,
+                        lease_expires_at=now + self.cal.lease_ttl,
+                    )
+                else:
+                    self.service.log(
+                        event="lease_conflict", host=host, leases=[jobid]
+                    )
         for allocation in self.state.allocations_of(jobid):
             if allocation.state is AllocationState.RECLAIMING:
                 # The revoke sent to the old session died with it: repeat it
@@ -970,6 +1067,20 @@ class _BrokerControl:
         allocation.claimed_by = claimed_by
         if claimed_by is not None:
             claimed_by.reserved_host = host
+        journal = self.state.journal
+        if journal is not None:
+            journal.record(
+                {
+                    "op": "reclaim",
+                    "host": host,
+                    "since": allocation.reclaiming_since,
+                    "claim": (
+                        [claimed_by.jobid, claimed_by.reqid]
+                        if claimed_by is not None
+                        else None
+                    ),
+                }
+            )
         victim = self.state.job(allocation.jobid)
         # Parent the reclaim under whatever demanded it: the claiming
         # request's span, or the victim's own job span on owner reclaims.
@@ -1038,6 +1149,8 @@ class _BrokerControl:
         for key in [k for k in self._request_spans if k[0] == job.jobid]:
             self._request_spans.pop(key).end(outcome="dropped")
             self.metrics.gauge("broker.pending_requests").dec()
+        for key in [k for k in self._reqids if k[0] == job.jobid]:
+            self._reqids.pop(key, None)
         for allocation in self.state.allocations_of(job.jobid):
             released = self.state.release(allocation.host)
             reclaim = self._reclaim_spans.pop(allocation.host, None)
@@ -1049,5 +1162,17 @@ class _BrokerControl:
         span = self._job_spans.pop(job.jobid, None)
         if span is not None:
             span.end(code=code)
+        retain = self.service.retain_done_jobs
+        journal = self.state.journal
+        if journal is not None:
+            journal.record(
+                {"op": "job_done", "jobid": job.jobid, "prune": not retain}
+            )
+        if not retain:
+            # Service mode: the job table must not grow without bound.  A
+            # resume for a pruned job cannot arrive (its app exited before
+            # job_done), and a stray one would self-heal through the
+            # orphan-session grace anyway.
+            self.state.jobs.pop(job.jobid, None)
         self.service.log(event="job_done", jobid=job.jobid, code=code)
         yield from self._schedule()

@@ -11,12 +11,14 @@ an event log.
 from __future__ import annotations
 
 import os
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.broker.app import app_main, subapp_main
 from repro.broker.core import make_broker_main
 from repro.broker.daemon import rbdaemon_main
+from repro.broker.journal import BrokerJournal
 from repro.broker.rshprime import rshprime_main
 from repro.broker.tools import rbctl_main, rbstat_main, rbtop_main, rbtrace_main
 from repro.broker.state import BrokerState, JobRecord
@@ -120,6 +122,9 @@ class BrokerService:
         managed_hosts: Optional[Sequence[str]] = None,
         broker_host: Optional[str] = None,
         scheduler_mode: Optional[str] = None,
+        journal: Optional[bool] = None,
+        event_log_cap: Optional[int] = None,
+        retain_done_jobs: bool = True,
     ) -> None:
         self.cluster = cluster
         self.env = cluster.env
@@ -143,8 +148,18 @@ class BrokerService:
         self.scheduler_mode = scheduler_mode
         self.state = BrokerState()
         self.state.use_indexes = scheduler_mode == "indexed"
-        self.events: List[Dict[str, Any]] = []
-        self._events_by_kind: Dict[str, List[Dict[str, Any]]] = {}
+        #: ``event_log_cap`` bounds the event log for service-mode runs (a
+        #: soak would otherwise grow it without limit); ``None`` keeps the
+        #: unbounded lists every existing test and experiment expects.
+        self.event_log_cap = event_log_cap
+        self.events: Any = (
+            [] if event_log_cap is None else deque(maxlen=event_log_cap)
+        )
+        self._events_by_kind: Dict[str, Any] = {}
+        #: False makes :func:`core._finish_job` drop finished jobs from the
+        #: state tables (service mode: the job set must not grow forever).
+        #: The default keeps them, as ``rbstat`` and the experiments expect.
+        self.retain_done_jobs = retain_done_jobs
         #: Run-wide observability, shared with everything on this network.
         self.tracer = cluster.network.tracer
         self.metrics = cluster.network.metrics
@@ -180,6 +195,22 @@ class BrokerService:
         if self.rb_bin not in broker_machine.path:
             broker_machine.path = [self.rb_bin] + list(broker_machine.path)
 
+        #: Durable write-ahead journal (DESIGN.md §14), off by default so
+        #: the seed's in-memory-only behaviour is untouched; opt in per
+        #: service or cluster-wide via ``RB_JOURNAL=1``.
+        if journal is None:
+            journal = os.environ.get("RB_JOURNAL", "") not in ("", "0")
+        self.journal: Optional[BrokerJournal] = None
+        if journal:
+            calibration = cluster.network.calibration
+            self.journal = BrokerJournal(
+                fs=broker_machine.fs,
+                clock=lambda: self.env.now,
+                metrics=self.metrics,
+                compact_bytes=calibration.journal_compact_bytes,
+            )
+            self.journal.attach(self.state, epoch=self.epoch)
+
         self.broker_proc = OSProcess(
             broker_machine,
             ["rbroker"],
@@ -197,7 +228,15 @@ class BrokerService:
         if kind is not None:
             # Index at append time so events_of() is O(matches), not a full
             # scan — experiment harnesses poll it in tight wait loops.
-            self._events_by_kind.setdefault(kind, []).append(entry)
+            bucket = self._events_by_kind.get(kind)
+            if bucket is None:
+                bucket = (
+                    []
+                    if self.event_log_cap is None
+                    else deque(maxlen=self.event_log_cap)
+                )
+                self._events_by_kind[kind] = bucket
+            bucket.append(entry)
 
     def events_of(self, event: str) -> List[Dict[str, Any]]:
         """All logged entries of one event kind, in order."""
@@ -227,27 +266,97 @@ class BrokerService:
         self.metrics.counter("broker.crashes").inc()
         self.log(event="broker_crash", epoch=self.epoch)
         self.broker_proc.signal(SIGKILL)
+        if self.journal is not None:
+            # Anything still in the journal's cache died with the process;
+            # only what reached the simulated disk survives.
+            self.journal.discard_unflushed()
 
     def restart_broker(self) -> OSProcess:
-        """Boot a fresh broker incarnation with empty state.
+        """Boot a fresh broker incarnation, recovering state if possible.
 
-        The new incarnation (``epoch + 1``) starts from a blank
-        :class:`BrokerState` — only the managed-host list survives — and
-        reconstructs everything else from daemon re-registration
-        inventories and app session resumptions (core.py's recovery
-        window).  Its jobid counter starts past every id the dead
-        incarnation could have issued, so resumed jobs keep their ids
-        without colliding with fresh submissions.
+        With a journal, the new incarnation (``epoch + 1``) recovers jobs,
+        leases, the pending queue and the epoch directly from disk
+        (snapshot + WAL replay) in near-zero time; daemon re-registration
+        then *reconciles* the recovered picture — disagreements resolve
+        toward the live inventory and count ``recovery.conflicts``.
+        Without one (or when nothing on disk is readable), it starts from a
+        blank :class:`BrokerState` — only the managed-host list survives —
+        and reconstructs everything from daemon re-registration inventories
+        and app session resumptions (core.py's recovery window).  Either
+        way the jobid counter starts past every id the dead incarnation
+        could have issued, so resumed jobs keep their ids without colliding
+        with fresh submissions.
         """
         if self.broker_proc.is_alive:
             self.broker_proc.signal(SIGKILL)
+            if self.journal is not None:
+                self.journal.discard_unflushed()
         self.epoch += 1
+        restarted_at = self.env.now
         next_jobid = max(self.state.jobs, default=0) + 1
-        self.state = BrokerState(first_jobid=next_jobid)
-        self.state.use_indexes = self.scheduler_mode == "indexed"
-        for host in self.managed_hosts:
-            self.state.add_machine(host)
+        recovered = None
+        if self.journal is not None:
+            self.journal.discard_unflushed()
+            recovered = self.journal.recover(
+                first_jobid=next_jobid,
+                use_indexes=self.scheduler_mode == "indexed",
+                now=restarted_at,
+                lease_ttl=self.cluster.network.calibration.lease_ttl,
+            )
+        if recovered is not None:
+            state, info = recovered
+            self.state = state
+            self.epoch = max(self.epoch, info.epoch + 1)
+            for host in self.managed_hosts:
+                self.state.add_machine(host)
+            self.metrics.counter("recovery.from_journal").inc()
+            self.metrics.counter("recovery.replayed_records").inc(info.records)
+            if info.torn_tails:
+                self.metrics.counter("recovery.torn_tails").inc(info.torn_tails)
+            if info.corrupt_records:
+                self.metrics.counter("recovery.corrupt_records").inc(
+                    info.corrupt_records
+                )
+            if info.snapshot_fallbacks:
+                self.metrics.counter("recovery.snapshot_fallbacks").inc(
+                    info.snapshot_fallbacks
+                )
+            # State is whole the instant the new process boots: recovery
+            # latency is zero on the simulated clock (re-registration only
+            # cross-checks it).
+            self.metrics.gauge("recovery.latency_seconds").set(0.0)
+            self.log(
+                event="recovery",
+                source="journal",
+                epoch=self.epoch,
+                records=info.records,
+                snapshot_generation=info.base_generation,
+                snapshot_used=info.snapshot_used,
+                torn_tails=info.torn_tails,
+                corrupt_records=info.corrupt_records,
+                snapshot_fallbacks=info.snapshot_fallbacks,
+                jobs=len(state.jobs),
+                leases=len(state.leased_records()),
+                pending=len(state.pending),
+            )
+        else:
+            self.state = BrokerState(first_jobid=next_jobid)
+            self.state.use_indexes = self.scheduler_mode == "indexed"
+            for host in self.managed_hosts:
+                self.state.add_machine(host)
+            self.metrics.counter("recovery.from_reregistration").inc()
+            self.log(event="recovery", source="reregistration", epoch=self.epoch)
         self.ready = self.env.event()
+        if recovered is None:
+            # Blind until the periphery re-reports: recovery latency is the
+            # restart-to-ready gap.
+            self.ready.add_callback(
+                lambda ev: self.metrics.gauge("recovery.latency_seconds").set(
+                    self.env.now - restarted_at
+                )
+            )
+        if self.journal is not None:
+            self.journal.attach(self.state, epoch=self.epoch, compact=True)
         self.control = None
         self._daemon_down = {}
         self.metrics.counter("broker.restarts").inc()

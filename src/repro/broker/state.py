@@ -67,6 +67,11 @@ class Allocation:
     #: Instant the reclaim began (revoke sent); -1.0 while ACTIVE.  The
     #: health monitor's stuck-allocation watchdog measures against this.
     reclaiming_since: float = -1.0
+    #: True while this allocation was rebuilt from the journal and no live
+    #: daemon inventory has confirmed it yet.  Confirmation (the jobid in
+    #: the daemon's lease list) clears it; a disagreeing inventory resolves
+    #: toward the live side and counts a ``recovery.conflicts``.
+    recovered: bool = field(default=False, compare=False)
 
 
 #: MachineRecord fields that feed the RSL / symbolic matching view (and so
@@ -253,11 +258,28 @@ class _PendingQueue(list):
         request.dirty = True
         self._state._order_cache = None
         self._state._dirty_list.append(request)
+        journal = self._state.journal
+        if journal is not None:
+            journal.record(
+                {
+                    "op": "pend+",
+                    "reqid": request.reqid,
+                    "jobid": request.jobid,
+                    "symbolic": request.symbolic,
+                    "firm": request.firm,
+                    "arrived": request.arrived_at,
+                }
+            )
 
     def remove(self, request: PendingRequest) -> None:  # type: ignore[override]
         super().remove(request)
         request.queued = False
         self._state._order_cache = None
+        journal = self._state.journal
+        if journal is not None:
+            journal.record(
+                {"op": "pend-", "reqid": request.reqid, "jobid": request.jobid}
+            )
 
 
 class BrokerState:
@@ -279,6 +301,9 @@ class BrokerState:
         #: Machine records examined by eligibility/deny queries (coarse
         #: telemetry; the bench derives "policy scans per grant" from it).
         self.machines_scanned: int = 0
+        #: Attached :class:`~repro.broker.journal.BrokerJournal`, if the
+        #: broker runs durable; ``None`` keeps every mutation hook inert.
+        self.journal: Optional[Any] = None
 
         # -- incremental indexes (maintained through the record hook) -------
         #: host -> insertion rank, for seed-identical iteration order.
@@ -334,6 +359,11 @@ class BrokerState:
         changes that only shrink the candidate universe (console occupied,
         report lost) mark nothing — removing options never makes a waiting
         request actionable."""
+        if self.journal is not None and name != "allocation":
+            # Allocation transitions are journalled as explicit ops by the
+            # mutators; everything else coalesces into the machine's dirty
+            # durable view, written at the next flush.
+            self.journal.note_machine(record)
         if name == "last_seen":
             if (old >= 0.0) != (new >= 0.0):
                 self._refresh_tracked(record)
@@ -604,6 +634,7 @@ class BrokerState:
         )
         self._next_jobid += 1
         self.jobs[job.jobid] = job
+        self._journal_job(job)
         return job
 
     def adopt_job(
@@ -627,7 +658,22 @@ class BrokerState:
         )
         self._next_jobid = max(self._next_jobid, jobid + 1)
         self.jobs[jobid] = job
+        self._journal_job(job)
         return job
+
+    def _journal_job(self, job: JobRecord) -> None:
+        if self.journal is not None:
+            self.journal.record(
+                {
+                    "op": "job",
+                    "jobid": job.jobid,
+                    "user": job.user,
+                    "home": job.home_host,
+                    "rsl": job.rsl.source,
+                    "argv": list(job.argv),
+                    "adaptive": job.adaptive,
+                }
+            )
 
     def job(self, jobid: int) -> JobRecord:
         """The record for ``jobid`` (KeyError if unknown)."""
@@ -688,6 +734,17 @@ class BrokerState:
             lease_expires_at=lease_expires_at,
         )
         record.allocation = allocation
+        if self.journal is not None:
+            self.journal.record(
+                {
+                    "op": "alloc",
+                    "host": host,
+                    "jobid": jobid,
+                    "firm": firm,
+                    "granted": now,
+                    "expires": lease_expires_at,
+                }
+            )
         return allocation
 
     def adopt_allocation(
@@ -712,6 +769,9 @@ class BrokerState:
             existing.lease_expires_at = max(
                 existing.lease_expires_at, lease_expires_at
             )
+            existing.recovered = False
+            if self.journal is not None:
+                self.journal.note_lease(host, existing.lease_expires_at)
             return existing
         allocation = Allocation(
             host=host,
@@ -721,6 +781,17 @@ class BrokerState:
             lease_expires_at=lease_expires_at,
         )
         record.allocation = allocation
+        if self.journal is not None:
+            self.journal.record(
+                {
+                    "op": "alloc",
+                    "host": host,
+                    "jobid": jobid,
+                    "firm": False,
+                    "granted": now,
+                    "expires": lease_expires_at,
+                }
+            )
         return allocation
 
     def release(self, host: str) -> Optional[Allocation]:
@@ -728,6 +799,8 @@ class BrokerState:
         record = self.machines[host]
         allocation = record.allocation
         record.allocation = None
+        if allocation is not None and self.journal is not None:
+            self.journal.record({"op": "release", "host": host})
         return allocation
 
     # -- queries used by policies --------------------------------------------

@@ -155,6 +155,26 @@ def format_stats(stats: dict) -> str:
             f"grant rate={stats.get('grant_rate', 0.0):.3f}/s"
         ),
     ]
+    journal = stats.get("journal", {})
+    if journal.get("enabled"):
+        lines.append(
+            f"journal: gen={journal.get('generation', 0)} "
+            f"records={journal.get('records', 0)} "
+            f"flushes={journal.get('flushes', 0)} "
+            f"compactions={journal.get('compactions', 0)} "
+            f"bytes={journal.get('total_bytes', 0)} "
+            f"lag={journal.get('flush_lag', 0.0):.3f}s"
+            + (" STALLED" if journal.get("stalled") else "")
+        )
+    recovery = stats.get("recovery", {})
+    if recovery and any(recovery.values()):
+        lines.append(
+            f"recovery: journal={recovery.get('from_journal', 0):g} "
+            f"rereg={recovery.get('from_reregistration', 0):g} "
+            f"replayed={recovery.get('replayed_records', 0):g} "
+            f"conflicts={recovery.get('conflicts', 0):g} "
+            f"latency={recovery.get('latency_seconds', 0.0):.3f}s"
+        )
     phases = stats.get("phases", {})
     if phases:
         lines.append("== phases ==")

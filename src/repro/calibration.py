@@ -176,6 +176,19 @@ class Calibration:
     #: (grow: give the machine back; shrink: blunt subapp revoke).
     module_script_retries: int = 1
 
+    #: How often the durable broker's flusher thread drains coalesced
+    #: journal notes (machine views, lease renewals) to disk.  Structural
+    #: ops (grants, releases, queue changes) are flushed write-through, so
+    #: this bounds only the staleness of the coalesced noise — and the most
+    #: a crash can lose of it.
+    journal_flush_interval: float = 0.5
+
+    #: WAL size (characters) that triggers a compacting snapshot.  Small
+    #: enough that recovery replay stays near-instant and disk stays flat
+    #: under sustained load; large enough that steady-state churn does not
+    #: snapshot every few seconds.
+    journal_compact_bytes: int = 65536
+
 
 #: The default calibration used across experiments, matching the paper's
 #: testbed as described above.

@@ -194,9 +194,16 @@ class Cluster:
         managed_hosts=None,
         broker_host=None,
         scheduler_mode=None,
+        journal=None,
+        event_log_cap=None,
+        retain_done_jobs=True,
     ):
         """Boot ResourceBroker over this cluster; see
-        :class:`repro.broker.service.BrokerService`."""
+        :class:`repro.broker.service.BrokerService`.
+
+        ``journal`` turns on the durable write-ahead journal (None reads
+        ``RB_JOURNAL``); ``event_log_cap`` and ``retain_done_jobs=False``
+        bound the service's memory for service-mode soaks."""
         from repro.broker.service import BrokerService
 
         self.broker = BrokerService(
@@ -205,6 +212,9 @@ class Cluster:
             managed_hosts=managed_hosts,
             broker_host=broker_host,
             scheduler_mode=scheduler_mode,
+            journal=journal,
+            event_log_cap=event_log_cap,
+            retain_done_jobs=retain_done_jobs,
         )
         return self.broker
 

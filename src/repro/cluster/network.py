@@ -249,8 +249,11 @@ class Network:
         #: by every send and connect once attached.  None = healthy network.
         self.faults = None
         #: Client-side endpoint of every connection ever established (each
-        #: knows its peer); pruned of fully-closed pairs on each sweep.
+        #: knows its peer); pruned of fully-closed pairs on each sever sweep
+        #: and — amortized — as new connections are established, so a
+        #: long-running service does not retain every socket it ever opened.
         self._connections: List[Connection] = []
+        self._prune_connections_at = 1024
         #: Run-wide observability: the span tracer and metrics registry every
         #: program body reaches via ``repro.obs.tracer_of`` / ``metrics_of``.
         self.tracer = Tracer(env)
@@ -329,6 +332,8 @@ class Network:
             client.peer = server
             server.peer = client
             self._connections.append(client)
+            if len(self._connections) >= self._prune_connections_at:
+                self._prune_connections()
             proc.adopt_connection(client)
             listener._backlog.put_nowait(server)
             if self.trace is not None:
@@ -337,6 +342,23 @@ class Network:
 
         timer.add_callback(_establish)
         return result
+
+    def _prune_connections(self) -> None:
+        """Forget fully-closed connection pairs (amortized O(1) per connect).
+
+        The doubling threshold keeps the scan linear in *live* connections:
+        a steady-state service with N live sockets rescans only after ~N new
+        establishments, while the list itself stays O(N) instead of growing
+        with every connection the run ever made."""
+        self._connections = [
+            conn
+            for conn in self._connections
+            if not (
+                conn.closed_local
+                and (conn.peer is None or conn.peer.closed_local)
+            )
+        ]
+        self._prune_connections_at = max(1024, 2 * len(self._connections))
 
     def sever(self, predicate: Callable[[Optional[str], Optional[str]], bool]) -> int:
         """Close both ends of every live connection matching ``predicate``.

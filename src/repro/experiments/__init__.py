@@ -17,7 +17,10 @@ utilization       §6.2 closing experiment — five-hour utilization run
 
 ``chaos`` is not a paper artefact: it is the robustness capstone — a mixed
 workload surviving a seeded schedule of crashes, partitions and lost
-heartbeats (see :mod:`repro.experiments.chaos`).
+heartbeats (see :mod:`repro.experiments.chaos`).  ``soak`` is its
+service-mode sibling: the durable (journaled) broker under a large diurnal
+arrival trace with mid-run crash/restarts, gated on drain, flat memory and
+a bounded journal (see :mod:`repro.experiments.soak`).
 """
 
 from repro.experiments.results import ExperimentTable, Row, format_table
@@ -35,8 +38,10 @@ from repro.experiments.table3 import run_table3
 from repro.experiments.fig7 import run_fig7
 from repro.experiments.utilization import run_utilization
 from repro.experiments.chaos import run_chaos
+from repro.experiments.soak import SoakReport, run_soak
 
 __all__ = [
+    "SoakReport",
     "ExperimentTable",
     "Row",
     "bench_report",
@@ -47,6 +52,7 @@ __all__ = [
     "run_cell",
     "run_chaos",
     "run_fig7",
+    "run_soak",
     "run_sweep",
     "run_table1",
     "run_table2",

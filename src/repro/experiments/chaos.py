@@ -33,6 +33,7 @@ def run_chaos(
     crashes: int = 3,
     partitions: int = 1,
     broker_crashes: int = 0,
+    journal: bool = False,
     trace=None,
 ) -> ExperimentTable:
     """Run the chaos experiment; see the module docstring.
@@ -42,12 +43,25 @@ def run_chaos(
     ``broker_crashes`` > 0 the schedule SIGKILLs the broker that many times
     (each followed by a restart), exercising lease re-adoption, daemon
     re-registration and app session resumption.
+
+    ``journal=True`` runs the broker durable (write-ahead journal +
+    snapshot recovery) and turns the disk against it too: at least one
+    broker crash, a torn tail on the journal at the crash instant, and a
+    disk-stall window.  Restarts then recover from snapshot+replay first
+    and reconcile against the daemons, instead of rebuilding from
+    re-registration alone.
     """
     cluster = Cluster(ClusterSpec.uniform(machines + 1, seed=seed))
-    svc = cluster.start_broker()
+    svc = cluster.start_broker(journal=journal)
     svc.wait_ready()
     monitor = HealthMonitor(svc).start()
     worker_hosts = [f"n{i:02d}" for i in range(1, machines + 1)]
+
+    if journal:
+        # A durable broker that never crashes proves nothing: guarantee at
+        # least one crash/restart pair, tear the journal tail at the crash
+        # instant, and stall the disk for a window.
+        broker_crashes = max(broker_crashes, 1)
 
     # Machine-level faults hit only worker machines: n00 is the submission
     # host and runs the broker.  The broker *process* is fair game, though —
@@ -61,6 +75,8 @@ def run_chaos(
         crashes=crashes,
         partitions=partitions,
         broker_crashes=broker_crashes,
+        torn_writes=1 if journal else 0,
+        disk_stalls=1 if journal else 0,
     )
     injector = FaultInjector(cluster, plan).start()
 
@@ -111,6 +127,37 @@ def run_chaos(
     table.add("latency spikes injected", plan.count("latency_spike"))
     table.add("broker crashes injected", plan.count("broker_crash"))
     table.add("broker restarts", counters.counter("broker.restarts").value)
+    if journal:
+        table.add("journal torn writes injected", plan.count("journal_torn_write"))
+        table.add("disk stalls injected", plan.count("disk_stall"))
+        table.add(
+            "recoveries from journal",
+            counters.counter("recovery.from_journal").value,
+        )
+        table.add(
+            "recoveries from re-registration",
+            counters.counter("recovery.from_reregistration").value,
+        )
+        table.add(
+            "journal records replayed",
+            counters.counter("recovery.replayed_records").value,
+        )
+        table.add(
+            "torn journal tails tolerated",
+            counters.counter("recovery.torn_tails").value,
+        )
+        table.add(
+            "recovery conflicts (live inventory won)",
+            counters.counter("recovery.conflicts").value,
+        )
+        table.add(
+            "recovery latency (s)",
+            round(counters.gauge("recovery.latency_seconds").value, 3),
+        )
+        table.add(
+            "journal compactions",
+            svc.journal.compactions if svc.journal is not None else 0,
+        )
     table.add(
         "daemon re-registrations",
         counters.counter("broker.daemon_reregistrations").value,
@@ -150,6 +197,18 @@ def run_chaos(
     table.meta["health"] = health.to_dict()
     table.meta["plan"] = plan.summary()
     table.meta["faults_injected"] = len(injector.injected)
+    table.meta["journal"] = journal
+    if journal:
+        table.meta["recovery"] = {
+            "from_journal": counters.counter("recovery.from_journal").value,
+            "from_reregistration": counters.counter(
+                "recovery.from_reregistration"
+            ).value,
+            "replayed_records": counters.counter(
+                "recovery.replayed_records"
+            ).value,
+            "conflicts": counters.counter("recovery.conflicts").value,
+        }
     table.notes.append(
         "every job must complete despite crashes, partitions and lost "
         "heartbeats; same seed => byte-identical trace"

@@ -21,8 +21,10 @@ from repro.faults.plan import (
     BrokerCrash,
     BrokerRestart,
     DaemonKill,
+    DiskStall,
     Fault,
     FaultPlan,
+    JournalTornWrite,
     LatencySpike,
     MachineCrash,
     MessageDrop,
@@ -33,9 +35,11 @@ __all__ = [
     "BrokerCrash",
     "BrokerRestart",
     "DaemonKill",
+    "DiskStall",
     "Fault",
     "FaultInjector",
     "FaultPlan",
+    "JournalTornWrite",
     "LatencySpike",
     "MachineCrash",
     "MessageDrop",

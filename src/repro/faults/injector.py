@@ -14,7 +14,10 @@ performs each fault at its scheduled instant:
   rule;
 * ``broker_crash`` / ``broker_restart`` — SIGKILLs the broker process /
   boots a fresh incarnation via the cluster's :class:`BrokerService`
-  (no-ops on a cluster that never started a broker).
+  (no-ops on a cluster that never started a broker);
+* ``journal_torn_write`` / ``disk_stall`` — truncates the tail of the
+  broker journal's newest WAL file / freezes journal flushes for a window
+  (no-ops when the broker runs without a journal).
 
 Every injection opens and ends an observability span (``fault.<kind>``) and
 bumps ``faults.injected`` plus a per-kind counter, so a chaos run's trace
@@ -101,6 +104,14 @@ class FaultInjector:
         elif kind == "broker_restart":
             if self.cluster.broker is not None:
                 self.cluster.broker.restart_broker()
+        elif kind == "journal_torn_write":
+            broker = self.cluster.broker
+            if broker is not None and broker.journal is not None:
+                broker.journal.tear(fault.drop_chars)
+        elif kind == "disk_stall":
+            broker = self.cluster.broker
+            if broker is not None and broker.journal is not None:
+                broker.journal.stall(fault.duration)
         else:  # pragma: no cover - plan types are closed
             raise ValueError(f"unknown fault kind {kind!r}")
 

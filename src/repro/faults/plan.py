@@ -22,6 +22,10 @@ LatencySpike        all message latencies multiplied for a window
 BrokerCrash         SIGKILL the broker process (jobs run on, unmanaged)
 BrokerRestart       boot a fresh broker incarnation (epoch + 1); daemons
                     re-register and apps resume their sessions
+JournalTornWrite    truncate the tail of the broker's on-disk journal (a
+                    partially persisted append, as after power loss)
+DiskStall           the broker's journal device stops accepting flushes for
+                    a window (hung disk / saturated write cache)
 ==================  ========================================================
 """
 
@@ -117,6 +121,34 @@ class BrokerRestart:
     kind = "broker_restart"
 
 
+@dataclass(frozen=True)
+class JournalTornWrite:
+    """Drop the last ``drop_chars`` characters of the broker journal's
+    newest WAL file at ``at`` — the on-disk shadow of an append that was
+    only partially persisted when power went out.  Recovery must treat the
+    torn tail as absent, not as corruption of the whole journal.
+
+    No-op on a cluster whose broker runs without a journal."""
+
+    at: float
+    drop_chars: int = 24
+
+    kind = "journal_torn_write"
+
+
+@dataclass(frozen=True)
+class DiskStall:
+    """The broker's journal device accepts no flushes for ``duration``
+    seconds starting at ``at`` (hung disk, saturated write cache).  The
+    broker keeps running — appends buffer in memory — but a crash inside
+    the window loses everything buffered since the stall began."""
+
+    at: float
+    duration: float = 5.0
+
+    kind = "disk_stall"
+
+
 Fault = Union[
     MachineCrash,
     DaemonKill,
@@ -125,6 +157,8 @@ Fault = Union[
     LatencySpike,
     BrokerCrash,
     BrokerRestart,
+    JournalTornWrite,
+    DiskStall,
 ]
 
 
@@ -180,6 +214,9 @@ class FaultPlan:
         spike_factor: float = 25.0,
         broker_crashes: int = 0,
         broker_restart_after: float = 4.0,
+        torn_writes: int = 0,
+        disk_stalls: int = 0,
+        stall_duration: float = 6.0,
     ) -> "FaultPlan":
         """Draw a random plan over ``hosts`` from ``rng`` (a numpy Generator,
         typically ``env.rng.stream("faults.plan")`` so the schedule is a pure
@@ -232,10 +269,26 @@ class FaultPlan:
             )
         # Broker faults draw last: adding them must not reshuffle the draws
         # (and so the schedule) of every other fault kind under a fixed seed.
+        crash_times = []
         for _ in range(broker_crashes):
             crash_at = when()
+            crash_times.append(crash_at)
             plan.add(BrokerCrash(at=crash_at))
             plan.add(BrokerRestart(at=crash_at + broker_restart_after))
+        # Journal faults draw after the broker block for the same reason.
+        # A torn write pairs with a broker crash when one is scheduled (the
+        # tear fires at the same instant; sorted() is stable, so the crash —
+        # added first — injects first and the tear truncates what the dead
+        # broker had persisted), otherwise it draws its own time.
+        for i in range(torn_writes):
+            tear_at = crash_times[i] if i < len(crash_times) else when()
+            plan.add(
+                JournalTornWrite(
+                    at=tear_at, drop_chars=int(rng.integers(8, 64))
+                )
+            )
+        for _ in range(disk_stalls):
+            plan.add(DiskStall(at=when(), duration=stall_duration))
         return plan
 
     def __len__(self) -> int:

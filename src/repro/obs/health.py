@@ -13,7 +13,10 @@ broker state:
   deadline (the sweeper should have acted; a gap beyond it means detection
   itself is lagging);
 * **queue-depth watermarks** — the pending queue above its high-water
-  threshold (demand outrunning supply, or a scheduler stall).
+  threshold (demand outrunning supply, or a scheduler stall);
+* **journal flush lag** — on a durable broker, buffered journal records
+  older than a few flush intervals (a stalled disk or wedged flusher:
+  exactly the state a crash would turn into lost durability).
 
 Anomalies are edge-triggered into ``health.*`` counters and the broker
 event log, and summarised in an end-of-run :class:`HealthReport` — which is
@@ -33,14 +36,16 @@ class HealthThresholds:
     """Watchdog thresholds; ``None`` fields derive from the calibration.
 
     ``stuck_after`` defaults to the lease TTL (a reclaim outliving a whole
-    lease is stuck), ``heartbeat_gap`` to the liveness deadline, and
-    ``queue_high`` to ``max(4, managed machines)``.
+    lease is stuck), ``heartbeat_gap`` to the liveness deadline,
+    ``queue_high`` to ``max(4, managed machines)``, and ``journal_lag`` to
+    four flush intervals (a healthy flusher drains well within one).
     """
 
     check_interval: float = 5.0
     stuck_after: Optional[float] = None
     heartbeat_gap: Optional[float] = None
     queue_high: Optional[int] = None
+    journal_lag: Optional[float] = None
 
 
 @dataclass
@@ -62,6 +67,8 @@ class HealthReport:
     queue_breaches: int = 0
     queue_high_watermark: int = 0
     pending: int = 0
+    journal_lag_events: int = 0
+    max_journal_lag: float = 0.0
 
     @property
     def healthy(self) -> bool:
@@ -86,6 +93,8 @@ class HealthReport:
             "queue_breaches": self.queue_breaches,
             "queue_high_watermark": self.queue_high_watermark,
             "pending": self.pending,
+            "journal_lag_events": self.journal_lag_events,
+            "max_journal_lag": round(self.max_journal_lag, 6),
             "healthy": self.healthy,
         }
 
@@ -109,6 +118,11 @@ class HealthReport:
                 f"{self.pending} pending at end"
             ),
         ]
+        if self.journal_lag_events or self.max_journal_lag:
+            lines.append(
+                f"journal lag: {self.journal_lag_events} events "
+                f"(max lag: {self.max_journal_lag:.3f}s)"
+            )
         if self.allocated_hosts:
             lines.append("allocated at end: " + ", ".join(self.allocated_hosts))
         return "\n".join(lines) + "\n"
@@ -147,15 +161,23 @@ class HealthMonitor:
             if given.queue_high is not None
             else max(4, len(service.managed_hosts))
         )
+        self.journal_lag = (
+            given.journal_lag
+            if given.journal_lag is not None
+            else 4.0 * cal.journal_flush_interval
+        )
         self.checks = 0
         self.stuck_events = 0
         self.gap_events = 0
         self.queue_breaches = 0
         self.queue_high_watermark = 0
         self.max_heartbeat_gap = 0.0
+        self.journal_lag_events = 0
+        self.max_journal_lag = 0.0
         self._stuck_flagged: set = set()
         self._gap_flagged: set = set()
         self._queue_flagged = False
+        self._journal_flagged = False
         self._proc = None
 
     def start(self) -> "HealthMonitor":
@@ -232,6 +254,24 @@ class HealthMonitor:
         else:
             self._queue_flagged = False
 
+        journal = getattr(self.service, "journal", None)
+        if journal is not None:
+            lag = journal.flush_lag(now)
+            if lag > self.max_journal_lag:
+                self.max_journal_lag = lag
+            if lag > self.journal_lag:
+                if not self._journal_flagged:
+                    self.journal_lag_events += 1
+                    self.metrics.counter("health.journal_lag").inc()
+                    self.service.log(
+                        event="health_journal_lag",
+                        lag=lag,
+                        pending_ops=journal.pending_ops(),
+                    )
+                self._journal_flagged = True
+            else:
+                self._journal_flagged = False
+
     def report(self) -> HealthReport:
         """Run a final check and summarise the whole run."""
         self.check()
@@ -252,6 +292,8 @@ class HealthMonitor:
             queue_breaches=self.queue_breaches,
             queue_high_watermark=self.queue_high_watermark,
             pending=len(state.pending),
+            journal_lag_events=self.journal_lag_events,
+            max_journal_lag=self.max_journal_lag,
         )
 
 

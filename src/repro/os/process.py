@@ -200,6 +200,30 @@ class OSProcess:
         for conn in list(self._connections):
             conn.close()
         self.terminated.succeed(code)
+        self._reap()
+
+    def _reap(self) -> None:
+        """Unlink this dead process from the process tree.
+
+        A child stays in ``parent.children`` while it has children of its
+        own (``kill_tree`` must still reach live descendants through a dead
+        intermediate), and is dropped once its own subtree is gone —
+        recursively unpinning dead ancestors.  Without reaping, long-lived
+        parents (rshd, the daemons) accumulate every process they ever
+        spawned and a service-mode run's memory grows with its history."""
+        node = self
+        while (
+            node.parent is not None
+            and not node.is_alive
+            and not node.children
+        ):
+            parent = node.parent
+            try:
+                parent.children.remove(node)
+            except ValueError:
+                pass
+            node.parent = None
+            node = parent
 
     # -- syscalls for program bodies ---------------------------------------
 
@@ -350,8 +374,18 @@ class OSProcess:
         return self._network().connect(self, host, port)
 
     def adopt_connection(self, conn: "Connection") -> None:
-        """Track a connection for closing when this process dies."""
-        self._connections.append(conn)
+        """Track a connection for closing when this process dies.
+
+        Already-closed sockets are dropped amortizedly as new ones are
+        adopted: a long-lived acceptor (rshd, the broker, the daemons)
+        would otherwise pin every connection it ever served until death,
+        growing a service-mode run's memory with its whole history."""
+        connections = self._connections
+        connections.append(conn)
+        if len(connections) >= 32:
+            live = [c for c in connections if not c.closed_local]
+            if 2 * len(live) <= len(connections):
+                self._connections = live
 
     # -- files -------------------------------------------------------------
 

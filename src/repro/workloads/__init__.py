@@ -10,11 +10,22 @@ from repro.workloads.programs import (
     null_main,
     spin_main,
 )
-from repro.workloads.arrivals import SequentialJobTrace, periodic_sequential_jobs
+from repro.workloads.arrivals import (
+    ArrivalTrace,
+    SequentialJobTrace,
+    diurnal_owner_windows,
+    diurnal_rate,
+    periodic_sequential_jobs,
+    replay_owner_windows,
+    trace_arrivals,
+)
 
 __all__ = [
+    "ArrivalTrace",
     "SequentialJobTrace",
     "compute_main",
+    "diurnal_owner_windows",
+    "diurnal_rate",
     "gracespin_main",
     "greedy_main",
     "install_churn",
@@ -22,5 +33,7 @@ __all__ = [
     "loop_main",
     "null_main",
     "periodic_sequential_jobs",
+    "replay_owner_windows",
     "spin_main",
+    "trace_arrivals",
 ]

@@ -130,3 +130,60 @@ def test_rbtop_reports_an_unreachable_broker(cluster4):
     assert top.exit_code == 1
     report = cluster4.machine("n01").fs.read("/home/bob/.rbtop")
     assert report == "error: broker unreachable\n"
+
+
+# -- durability surface ------------------------------------------------------
+
+
+def _journaled_cluster():
+    from repro.cluster import Cluster, ClusterSpec
+
+    cluster = Cluster(ClusterSpec.uniform(4))
+    svc = cluster.start_broker(journal=True)
+    svc.wait_ready()
+    return cluster, svc
+
+
+def test_stats_carry_journal_and_recovery_blocks():
+    cluster, svc = _journaled_cluster()
+    cluster.env.run(until=10.0)
+    stats = _poll_stats(cluster)["stats"]
+    journal = stats["journal"]
+    assert journal["enabled"] is True
+    assert journal["records"] > 0
+    assert journal["flushes"] > 0
+    assert stats["recovery"]["from_journal"] == 0.0
+
+    svc.crash_broker()
+    cluster.env.run(until=cluster.now + 2.0)
+    svc.restart_broker()
+    svc.wait_ready()
+    cluster.env.run(until=cluster.now + 10.0)
+    stats = _poll_stats(cluster)["stats"]
+    assert stats["recovery"]["from_journal"] == 1.0
+    assert stats["recovery"]["replayed_records"] > 0
+    # Reading the recovery block must not mint absent instruments: the
+    # re-registration path was never taken, so its counter never existed.
+    assert stats["recovery"]["from_reregistration"] == 0.0
+    assert "recovery.from_reregistration" not in svc.metrics._metrics
+
+
+def test_unjournaled_stats_mark_the_journal_disabled(cluster4):
+    stats = _poll_stats(cluster4)["stats"]
+    assert stats["journal"] == {"enabled": False}
+
+
+def test_rbstat_stats_renders_journal_and_recovery_lines():
+    cluster, svc = _journaled_cluster()
+    cluster.env.run(until=10.0)
+    svc.crash_broker()
+    cluster.env.run(until=cluster.now + 2.0)
+    svc.restart_broker()
+    svc.wait_ready()
+    cluster.env.run(until=cluster.now + 10.0)
+    stat = svc.run_rbstat(host="n01", uid="bob", stats=True)
+    cluster.env.run(until=stat.terminated)
+    assert stat.exit_code == 0
+    report = cluster.machine("n01").fs.read("/home/bob/.rbstat")
+    assert "journal: gen=" in report
+    assert "recovery: journal=1" in report

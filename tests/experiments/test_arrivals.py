@@ -1,0 +1,98 @@
+"""The soak's workload generators: diurnal arrivals and owner windows."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, MachineSpec
+from repro.workloads import (
+    diurnal_owner_windows,
+    diurnal_rate,
+    replay_owner_windows,
+    trace_arrivals,
+)
+
+
+def _cluster():
+    spec = ClusterSpec(
+        machines=[
+            MachineSpec(name="n00"),
+            MachineSpec(name="p00", private_owner="ann"),
+        ],
+        seed=5,
+    )
+    return Cluster(spec)
+
+
+def test_diurnal_rate_sweeps_base_to_peak_and_back():
+    assert diurnal_rate(0.0, 0.2, 2.0, day=100.0) == pytest.approx(0.2)
+    assert diurnal_rate(50.0, 0.2, 2.0, day=100.0) == pytest.approx(2.0)
+    assert diurnal_rate(100.0, 0.2, 2.0, day=100.0) == pytest.approx(0.2)
+    for t in range(0, 100, 7):
+        assert 0.2 <= diurnal_rate(float(t), 0.2, 2.0, day=100.0) <= 2.0
+
+
+def test_trace_arrivals_is_seeded_ordered_and_bounded():
+    env = _cluster().env
+    trace = trace_arrivals(env, horizon=600.0, min_seconds=0.5, max_seconds=6.0)
+    assert len(trace) > 0
+    assert trace.arrivals == sorted(trace.arrivals)
+    assert all(0.0 <= at <= 600.0 for at in trace.arrivals)
+    assert all(0.5 <= d <= 6.0 for d in trace.durations)
+    assert list(trace.jobs()) == list(zip(trace.arrivals, trace.durations))
+    # Same seed, same trace — the soak's determinism rests on this.
+    again = trace_arrivals(
+        _cluster().env, horizon=600.0, min_seconds=0.5, max_seconds=6.0
+    )
+    assert again.arrivals == trace.arrivals
+    assert again.durations == trace.durations
+
+
+def test_trace_arrivals_max_jobs_caps_the_trace():
+    env = _cluster().env
+    trace = trace_arrivals(env, horizon=10_000.0, max_jobs=25)
+    assert len(trace) == 25
+
+
+def test_arrivals_cluster_around_the_diurnal_peak():
+    env = _cluster().env
+    day = 600.0
+    trace = trace_arrivals(
+        env, horizon=10 * day, base_rate=0.1, peak_rate=2.0, day=day
+    )
+    midday = sum(1 for at in trace.arrivals if 0.25 < (at / day) % 1.0 < 0.75)
+    # The raised-cosine rate concentrates arrivals mid-cycle.
+    assert midday > 0.6 * len(trace)
+
+
+def test_owner_windows_are_sorted_disjoint_and_inside_the_horizon():
+    env = _cluster().env
+    windows = dict(
+        diurnal_owner_windows(env, ["p00"], horizon=3000.0, day=600.0)
+    )
+    assert set(windows) == {"p00"}
+    spans = windows["p00"]
+    assert spans  # ~5 workdays in the horizon
+    last_off = -1.0
+    for on, off in spans:
+        assert last_off < on < off <= 3000.0
+        last_off = off
+
+
+def test_replay_owner_windows_toggles_console_presence():
+    cluster = _cluster()
+    env = cluster.env
+    machine = cluster.machine("p00")
+    env.process(
+        replay_owner_windows(env, machine, [(5.0, 10.0), (20.0, 30.0)]),
+        name="owner@p00",
+    )
+    assert not machine.console_active
+    env.run(until=6.0)
+    assert machine.console_active
+    assert "ann" in machine.logged_in
+    env.run(until=11.0)
+    assert not machine.console_active
+    assert "ann" not in machine.logged_in
+    env.run(until=21.0)
+    assert machine.console_active
+    env.run(until=31.0)
+    assert not machine.console_active

@@ -218,3 +218,59 @@ def test_slo_command_runs_and_passes(capsys):
     out = capsys.readouterr().out
     assert "== SLO report: PASS ==" in out
     assert "grant_wait_p95_seconds" in out
+
+
+# -- journal flush-lag watchdog ----------------------------------------------
+
+
+def _journaled(machines=4, seed=1):
+    cluster = Cluster(ClusterSpec.uniform(machines, seed=seed))
+    svc = cluster.start_broker(journal=True)
+    svc.wait_ready()
+    return cluster, svc
+
+
+def test_journal_lag_threshold_derives_from_calibration():
+    cluster, svc = _journaled()
+    cal = cluster.network.calibration
+    monitor = HealthMonitor(svc)
+    assert monitor.journal_lag == 4.0 * cal.journal_flush_interval
+    explicit = HealthMonitor(svc, HealthThresholds(journal_lag=9.0))
+    assert explicit.journal_lag == 9.0
+
+
+def test_stalled_disk_trips_the_journal_lag_watchdog():
+    cluster, svc = _journaled()
+    cluster.env.run(until=10.0)
+    monitor = HealthMonitor(svc)
+    monitor.check()
+    assert monitor.journal_lag_events == 0
+
+    svc.journal.stall(60.0)
+    svc.journal.note_lease("n01", 99.0)  # something now waits for the disk
+    cluster.env.run(until=cluster.now + 10.0)
+    monitor.check()
+    assert monitor.journal_lag_events == 1
+    assert monitor.max_journal_lag >= 10.0
+    assert svc.metrics.counter("health.journal_lag").value == 1
+    events = svc.events_of("health_journal_lag")
+    assert events and events[-1]["pending_ops"] >= 1
+    # Edge-triggered: the same ongoing stall is one anomaly, not one per
+    # check.
+    monitor.check()
+    assert monitor.journal_lag_events == 1
+
+    report = monitor.report()
+    assert report.journal_lag_events == 1
+    assert report.max_journal_lag >= 10.0
+    assert "journal lag: 1 events" in report.render()
+    assert report.to_dict()["journal_lag_events"] == 1
+
+
+def test_journal_lag_watchdog_is_silent_without_a_journal():
+    cluster, svc = _started()
+    monitor = HealthMonitor(svc).start()
+    cluster.env.run(until=30.0)
+    report = monitor.report()
+    assert report.journal_lag_events == 0
+    assert "journal lag" not in report.render()
