@@ -27,7 +27,7 @@ def bench_simulator_scalability(run_once):
     def experiment():
         return {
             n: _run_cell_minutes(n, sim_minutes=10.0)
-            for n in (8, 16, 32, 64, 128, 256, 512, 1024)
+            for n in (8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
         }
 
     cells = run_once(experiment)
@@ -47,10 +47,15 @@ def bench_simulator_scalability(run_once):
     assert walls[64] < 60.0
     assert walls[256] < 240.0
     assert walls[1024] < 600.0
+    # ...usable at the partitioned-kernel sizes (relaxed: these runs move
+    # millions of events; the point is they finish, not that they are fast)...
+    assert walls[2048] < 1800.0
+    assert walls[4096] < 3600.0
     # ...and no quadratic blow-up: 8x the machines < ~20x the cost.
     assert walls[64] < 20.0 * max(walls[8], 0.05)
     assert walls[256] < 20.0 * max(walls[32], 0.05)
     assert walls[1024] < 20.0 * max(walls[128], 0.05)
+    assert walls[4096] < 20.0 * max(walls[512], 0.05)
     # Flat per-event cost: the broker's indexed scheduler keeps decision
     # cost independent of cluster size, so events/sec at 1024 machines
     # should hold near the 256-machine rate (1.5x bound absorbs wall-clock
@@ -62,3 +67,4 @@ def bench_simulator_scalability(run_once):
     # live population (machines x a small constant), not total event churn.
     assert cells[256]["result"]["heap"]["heap_high_water"] < 50 * 256
     assert cells[1024]["result"]["heap"]["heap_high_water"] < 50 * 1024
+    assert cells[4096]["result"]["heap"]["heap_high_water"] < 50 * 4096

@@ -16,6 +16,7 @@ its per-machine daemons.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -57,6 +58,17 @@ class ClusterSpec:
     machines: List[MachineSpec] = field(default_factory=list)
     seed: int = 0
     calibration: Calibration = DEFAULT
+    #: Event-lane count for the partitioned kernel (DESIGN.md §15).
+    #: 0 (the default) reads ``RB_KERNEL_LANES`` from the environment so
+    #: any experiment can be re-run partitioned without a signature change;
+    #: the result is byte-identical either way.
+    lanes: int = 0
+
+    def lane_count(self) -> int:
+        """Resolved lane count (spec value, else ``RB_KERNEL_LANES``, else 1)."""
+        if self.lanes:
+            return self.lanes
+        return int(os.environ.get("RB_KERNEL_LANES", "1") or 1)
 
     @classmethod
     def uniform(
@@ -65,6 +77,7 @@ class ClusterSpec:
         prefix: str = "n",
         seed: int = 0,
         calibration: Calibration = DEFAULT,
+        lanes: int = 0,
         **machine_kwargs,
     ) -> "ClusterSpec":
         """``count`` identical public machines named n00, n01, ..."""
@@ -72,7 +85,9 @@ class ClusterSpec:
             MachineSpec(name=f"{prefix}{i:02d}", **machine_kwargs)
             for i in range(count)
         ]
-        return cls(machines=machines, seed=seed, calibration=calibration)
+        return cls(
+            machines=machines, seed=seed, calibration=calibration, lanes=lanes
+        )
 
 
 class Cluster:
@@ -80,7 +95,8 @@ class Cluster:
 
     def __init__(self, spec: ClusterSpec) -> None:
         self.spec = spec
-        self.env = Environment(seed=spec.seed)
+        lanes = spec.lane_count()
+        self.env = Environment(seed=spec.seed, lanes=lanes)
         self.network = Network(self.env, calibration=spec.calibration)
         self.calibration = spec.calibration
         self.system_bin = ProgramDirectory("system")
@@ -91,7 +107,8 @@ class Cluster:
         self.machines: Dict[str, Machine] = {}
         self.rshds: Dict[str, OSProcess] = {}
         self.owner_activities: Dict[str, OwnerActivity] = {}
-        for mspec in spec.machines:
+        count = len(spec.machines)
+        for index, mspec in enumerate(spec.machines):
             machine = Machine(
                 self.env,
                 mspec.name,
@@ -102,6 +119,9 @@ class Cluster:
                 kind=mspec.kind,
                 owner=mspec.private_owner,
             )
+            # Contiguous partition of the machine list across lanes; the
+            # first machine (n00, the default broker host) anchors lane 0.
+            machine.lane = index * lanes // count
             machine.path = [self.system_bin]
             self.network.add_machine(machine)
             self.machines[machine.name] = machine
@@ -162,15 +182,24 @@ class Cluster:
         machine = self.machines[host]
         if not machine.up:
             return
-        machine.crash()
-        if reboot_after is None:
-            return
+        env = self.env
+        # Crash fallout (process aborts, EOF timers) and the reboot timer
+        # belong in the victim's lane, not whichever lane the caller (the
+        # fault injector, a test) happened to be dispatched from.
+        token = env.lane_scope(machine.lane) if env._nlanes > 1 else None
+        try:
+            machine.crash()
+            if reboot_after is None:
+                return
 
-        def reboot():
-            yield self.env.timeout(reboot_after)
-            self.boot_machine(host)
+            def reboot():
+                yield env.timeout(reboot_after)
+                self.boot_machine(host)
 
-        self.env.process(reboot(), name=f"reboot-{host}")
+            env.process(reboot(), name=f"reboot-{host}")
+        finally:
+            if token is not None:
+                env.lane_restore(token)
 
     def boot_machine(self, host: str) -> None:
         """Bring a crashed ``host`` back up with a fresh rshd."""

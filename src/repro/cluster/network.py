@@ -51,6 +51,8 @@ class _Inbox(Store):
     message path in the system (daemon status reports).
     """
 
+    __slots__ = ("_conn",)
+
     def __init__(self, env: "Environment", conn: "Connection") -> None:
         super().__init__(env)
         self._conn = conn
@@ -75,6 +77,18 @@ class _Inbox(Store):
 class Connection:
     """One endpoint of a bidirectional message connection."""
 
+    __slots__ = (
+        "network",
+        "env",
+        "label",
+        "host",
+        "lane",
+        "_inbox",
+        "peer",
+        "closed_local",
+        "closed_remote",
+    )
+
     def __init__(
         self, network: "Network", label: str, host: Optional[str] = None
     ) -> None:
@@ -84,6 +98,10 @@ class Connection:
         #: Name of the machine this endpoint lives on (used by the fault
         #: model to decide whether a partition cuts this connection).
         self.host = host
+        #: Event lane of the hosting machine: messages *to* this endpoint
+        #: are scheduled into its lane (the cross-lane envelope of the
+        #: partitioned kernel; a no-op alias of lane 0 when serial).
+        self.lane = network.lane_of(host)
         self._inbox: Store = _Inbox(self.env, self)
         self.peer: Optional["Connection"] = None
         self.closed_local = False
@@ -116,7 +134,17 @@ class Connection:
                 return
             latency = faults.latency(latency)
         # The message rides the timeout as its value: no per-send closure.
-        timer = Timeout(self.env, latency, message)
+        # Under a partitioned kernel the delivery timer is scheduled into
+        # the *receiver's* lane — the in-flight message is the cross-lane
+        # envelope, and its dispatch (plus everything the receiver does in
+        # response) then batches with the receiver's other events.
+        env = self.env
+        if env._nlanes > 1:
+            token = env.lane_scope(peer.lane)
+            timer = Timeout(env, latency, message)
+            env.lane_restore(token)
+        else:
+            timer = Timeout(env, latency, message)
         timer.callbacks.append(peer._deliver_cb)
 
     def _deliver_cb(self, ev: Event) -> None:
@@ -148,7 +176,13 @@ class Connection:
         self.closed_local = True
         peer = self.peer
         if peer is not None:
-            timer = self.env.timeout(self.network.latency)
+            env = self.env
+            if env._nlanes > 1:
+                token = env.lane_scope(peer.lane)
+                timer = env.timeout(self.network.latency)
+                env.lane_restore(token)
+            else:
+                timer = env.timeout(self.network.latency)
             timer.add_callback(lambda _ev: peer._deliver_eof())
 
     def _deliver_eof(self) -> None:
@@ -282,6 +316,11 @@ class Network:
         except KeyError:
             raise NoSuchHost(host) from None
 
+    def lane_of(self, host: Optional[str]) -> int:
+        """Event lane of ``host``'s machine (lane 0 for unknown hosts)."""
+        machine = self.machines.get(host) if host is not None else None
+        return 0 if machine is None else machine.lane
+
     def record_crash(self, proc: "OSProcess") -> None:
         """Remember a process that died with an unhandled exception."""
         self.crashed.append(proc)
@@ -305,26 +344,40 @@ class Network:
 
     def connect(self, proc: "OSProcess", host: str, port: int) -> Event:
         """Event yielding the client-side endpoint after one latency."""
-        result = Event(self.env)
-        timer = self.env.timeout(self.latency)
+        env = self.env
+        result = Event(env)
+        client_lane = proc.machine.lane
+
+        def _trigger(trigger, *args) -> None:
+            # The connect outcome resumes the *client*; schedule it in the
+            # client's lane even though establishment runs in the target's.
+            if env._nlanes > 1:
+                token = env.lane_scope(client_lane)
+                trigger(*args)
+                env.lane_restore(token)
+            else:
+                trigger(*args)
 
         def _establish(_ev: Event) -> None:
             if host not in self.machines:
-                result.fail(NoSuchHost(host))
+                _trigger(result.fail, NoSuchHost(host))
                 return
             target = self.machines[host]
             if not target.up:
-                result.fail(ConnectionRefused(f"{host} is down"))
+                _trigger(result.fail, ConnectionRefused(f"{host} is down"))
                 return
             if self.faults is not None and self.faults.partitioned(
                 proc.machine.name, host
             ):
                 self.metrics.counter("net.partition_refused").inc()
-                result.fail(ConnectionRefused(f"{host} unreachable (partition)"))
+                _trigger(
+                    result.fail,
+                    ConnectionRefused(f"{host} unreachable (partition)"),
+                )
                 return
             listener = self._ports.get((host, port))
             if listener is None or listener.closed:
-                result.fail(ConnectionRefused(f"{host}:{port}"))
+                _trigger(result.fail, ConnectionRefused(f"{host}:{port}"))
                 return
             label = f"{proc.machine.name}:{proc.pid}->{host}:{port}"
             client = Connection(self, label, host=proc.machine.name)
@@ -337,9 +390,18 @@ class Network:
             proc.adopt_connection(client)
             listener._backlog.put_nowait(server)
             if self.trace is not None:
-                self.trace(f"connect {label} at {self.env.now:.6f}")
-            result.succeed(client)
+                self.trace(f"connect {label} at {env.now:.6f}")
+            _trigger(result.succeed, client)
 
+        # The connection request "travels" to the target host: establishment
+        # reads the target's listener/up state, so its timer lives in the
+        # target machine's lane.
+        if env._nlanes > 1:
+            token = env.lane_scope(self.lane_of(host))
+            timer = env.timeout(self.latency)
+            env.lane_restore(token)
+        else:
+            timer = env.timeout(self.latency)
         timer.add_callback(_establish)
         return result
 

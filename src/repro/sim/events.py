@@ -119,15 +119,17 @@ class Event:
         self._ok = True
         self._value = value
         # Environment.schedule inlined (hot path: every store handoff and
-        # task completion lands here).  Mirror changes there.
+        # task completion lands here).  Mirror changes there.  env._queue is
+        # the ambient lane's heap; env._pending is the cross-lane entry count.
         env = self.env
         env._eid += 1
-        queue = env._queue
-        heappush(queue, (env._now, priority, env._eid, self))
+        heappush(env._queue, (env._now, priority, env._eid, self))
         if self._cancelled:
             env._dead += 1
-        if len(queue) > env._heap_high_water:
-            env._heap_high_water = len(queue)
+        pending = env._pending + 1
+        env._pending = pending
+        if pending > env._heap_high_water:
+            env._heap_high_water = pending
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -224,10 +226,11 @@ class Timeout(Event):
         self.delay = delay
         # Environment.schedule inlined (a fresh timeout is never born dead).
         env._eid += 1
-        queue = env._queue
-        heappush(queue, (env._now + delay, NORMAL, env._eid, self))
-        if len(queue) > env._heap_high_water:
-            env._heap_high_water = len(queue)
+        heappush(env._queue, (env._now + delay, NORMAL, env._eid, self))
+        pending = env._pending + 1
+        env._pending = pending
+        if pending > env._heap_high_water:
+            env._heap_high_water = pending
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay!r} at {id(self):#x}>"

@@ -70,6 +70,20 @@ class ProcessorSharingQueue:
         ``speed == 1.0`` machine.
     """
 
+    __slots__ = (
+        "env",
+        "cpus",
+        "speed",
+        "_tasks",
+        "_tids",
+        "_last_update",
+        "_timer",
+        "_timer_deadline",
+        "_drain_order",
+        "_busy_integral",
+        "_accounting_start",
+    )
+
     def __init__(self, env: "Environment", cpus: int = 1, speed: float = 1.0) -> None:
         if cpus < 1:
             raise ValueError("cpus must be >= 1")

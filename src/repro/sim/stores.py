@@ -69,6 +69,8 @@ class Store:
         means unbounded.
     """
 
+    __slots__ = ("env", "capacity", "items", "_putters", "_getters")
+
     def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -150,6 +152,8 @@ class FilterStore(Store):
     tag/source-selective message receives.
     """
 
+    __slots__ = ()
+
     def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> FilterStoreGet:  # type: ignore[override]
         """Event yielding the first buffered item matching ``predicate``."""
         event = FilterStoreGet(self, predicate or (lambda item: True))
@@ -197,6 +201,8 @@ class Resource:
         finally:
             resource.release(req)
     """
+
+    __slots__ = ("env", "capacity", "users", "queue")
 
     def __init__(self, env: "Environment", capacity: int = 1) -> None:
         if capacity < 1:

@@ -1,0 +1,166 @@
+"""Property: lane count is invisible to simulation results.
+
+The partitioned kernel's exact-merge executor preserves the serial total
+order ``(time, priority, seq)`` bit for bit, so *every* deterministic
+artifact the system produces — merged sweep digests, chaos tables and
+exported traces under journaled broker crashes, soak reports, the final
+``BrokerState`` fingerprint — must be byte-identical whether the kernel runs
+one lane or many.  These tests are the PR's contract: any future change that
+makes a lane configuration observable (beyond the explicitly excluded
+per-lane stats) fails here.
+
+Lane count is driven through ``RB_KERNEL_LANES`` for chaos/soak, the same
+knob a user would flip, so the experiment signatures stay untouched.
+"""
+
+import pytest
+
+from repro.broker.journal import state_fingerprint
+from repro.experiments import run_chaos
+from repro.experiments.soak import run_soak
+from repro.experiments.sweep import merge_results, run_cell
+from repro.obs import TraceCollector
+
+LANE_COUNTS = (1, 2, 4)
+
+
+def test_churn_cell_digest_identical_across_lanes():
+    digests = {}
+    events = {}
+    for lanes in LANE_COUNTS:
+        cell = run_cell("churn", 16, 1, 2.0, lanes=lanes)
+        merged = merge_results([cell], 2.0)
+        digests[lanes] = merged["digest"]
+        events[lanes] = cell["result"]["heap"]["processed"]
+        assert cell["kernel"]["lanes"] == lanes
+    assert len(set(digests.values())) == 1, digests
+    assert len(set(events.values())) == 1, events
+
+
+def test_multi_lane_cell_reports_lane_activity():
+    cell = run_cell("churn", 16, 1, 2.0, lanes=4)
+    detail = cell["kernel"]["lane_detail"]
+    assert len(detail) == 4
+    # Partitioned 16 machines / 4 lanes: every lane hosts activity.
+    assert all(lane["processed"] > 0 for lane in detail)
+    assert sum(lane["processed"] for lane in detail) == (
+        cell["result"]["heap"]["processed"]
+    )
+
+
+def _chaos_run(tmp_path, lanes, monkeypatch, tag):
+    monkeypatch.setenv("RB_KERNEL_LANES", str(lanes))
+    collector = TraceCollector()
+    table = run_chaos(
+        seed=5,
+        machines=3,
+        sequential_jobs=1,
+        horizon=240.0,
+        crashes=2,
+        partitions=1,
+        journal=True,
+        trace=collector,
+    )
+    path = tmp_path / f"chaos-lanes{lanes}-{tag}.jsonl"
+    collector.write(str(path))
+    return table, path.read_bytes()
+
+
+def test_journaled_chaos_byte_identical_across_lanes(tmp_path, monkeypatch):
+    tables = {}
+    traces = {}
+    for lanes in LANE_COUNTS:
+        table, trace = _chaos_run(tmp_path, lanes, monkeypatch, "a")
+        tables[lanes] = table
+        traces[lanes] = trace
+    reference = tables[1]
+    assert reference.meta["completed"] == reference.meta["jobs"]
+    for lanes in LANE_COUNTS[1:]:
+        assert str(tables[lanes]) == str(reference)
+        assert tables[lanes].meta["plan"] == reference.meta["plan"]
+        assert traces[lanes] == traces[1]
+
+
+def test_soak_report_identical_across_lanes(monkeypatch):
+    reports = {}
+    for lanes in (1, 4):
+        monkeypatch.setenv("RB_KERNEL_LANES", str(lanes))
+        reports[lanes] = run_soak(
+            seed=2,
+            machines=4,
+            submissions=40,
+            restarts=1,
+            day=120.0,
+            journal=True,
+        )
+    assert reports[1].render() == reports[4].render()
+    assert reports[1].drained
+
+
+def test_final_broker_state_fingerprint_identical_across_lanes():
+    from repro.cluster import Cluster, ClusterSpec
+    from repro.experiments.sweep import _drive_churn
+
+    fingerprints = {}
+    for lanes in LANE_COUNTS:
+        cluster = Cluster(ClusterSpec.uniform(12, seed=3, lanes=lanes))
+        service = cluster.start_broker()
+        service.wait_ready()
+        _drive_churn(cluster, service, 90.0)
+        cluster.assert_no_crashes()
+        fingerprints[lanes] = state_fingerprint(service.state)
+    assert fingerprints[2] == fingerprints[1]
+    assert fingerprints[4] == fingerprints[1]
+
+
+def test_rb_kernel_lanes_env_is_the_default(monkeypatch):
+    from repro.cluster import ClusterSpec
+
+    monkeypatch.setenv("RB_KERNEL_LANES", "3")
+    spec = ClusterSpec.uniform(6, seed=0)
+    assert spec.lane_count() == 3
+    # An explicit spec value wins over the environment.
+    assert ClusterSpec.uniform(6, seed=0, lanes=2).lane_count() == 2
+    monkeypatch.delenv("RB_KERNEL_LANES")
+    assert spec.lane_count() == 1
+
+
+def test_lane_partition_is_contiguous_and_anchors_broker():
+    from repro.cluster import Cluster, ClusterSpec
+
+    cluster = Cluster(ClusterSpec.uniform(8, seed=0, lanes=4))
+    lanes = [cluster.machines[name].lane for name in cluster.machine_names()]
+    assert lanes == [0, 0, 1, 1, 2, 2, 3, 3]
+    assert cluster.machines["n00"].lane == 0
+    assert cluster.env.lane_count == 4
+
+
+@pytest.mark.parametrize("lanes", [2, 4])
+def test_stats_rpc_exposes_kernel_block(lanes):
+    from repro.broker import protocol
+    from repro.cluster import Cluster, ClusterSpec, ports
+
+    cluster = Cluster(ClusterSpec.uniform(8, seed=1, lanes=lanes))
+    service = cluster.start_broker()
+    service.wait_ready()
+    cluster.env.run(until=cluster.now + 30.0)
+    replies = []
+
+    @cluster.system_bin.register("statpoll")
+    def statpoll(proc):
+        conn = yield proc.connect("n00", ports.BROKER)
+        conn.send(protocol.stats_request())
+        reply = yield conn.recv()
+        conn.close()
+        replies.append(reply)
+        return 0
+
+    proc = cluster.run_command("n01", ["statpoll"], uid="op")
+    cluster.env.run(until=proc.terminated)
+    assert proc.exit_code == 0
+    kernel = replies[0]["stats"]["kernel"]
+    assert kernel["lanes"] == lanes
+    assert len(kernel["lane_detail"]) == lanes
+    assert kernel["lane_clock_skew"] >= 0.0
+    assert kernel["window_stalls"] > 0
+    assert kernel["events_processed"] > 0

@@ -1,0 +1,262 @@
+"""The partitioned kernel: lane mechanics and the windowed executor.
+
+Covers the in-process side (lane scoping, exact-merge run loop, window
+primitive, per-lane stats) and :mod:`repro.sim.lanes` (conservative window
+protocol, serial/mp byte-identity, the lookahead safety contract).
+"""
+
+import sys
+
+import pytest
+
+from repro.sim.environment import Environment
+from repro.sim.events import NORMAL
+from repro.sim.lanes import LanedSimulation, LaneRuntime, lane_ring
+
+
+# -- in-process lanes ------------------------------------------------------
+
+
+def test_lane_count_validation():
+    with pytest.raises(ValueError):
+        Environment(lanes=0)
+    assert Environment(lanes=3).lane_count == 3
+    assert Environment().lane_count == 1
+
+
+def test_schedule_into_places_event_in_target_lane():
+    env = Environment(lanes=3)
+    ev = env.event()
+    ev._ok = True
+    ev._value = None
+    env.schedule_into(2, ev, delay=1.0)
+    stats = env.heap_stats()
+    assert [lane["pending"] for lane in stats["lanes"]] == [0, 0, 1]
+    assert stats["pending"] == 1
+
+
+def test_lane_scope_restore_roundtrip():
+    env = Environment(lanes=2)
+    assert env._lane.id == 0
+    token = env.lane_scope(1)
+    assert env._lane.id == 1
+    assert env._queue is env._lanes[1].heap
+    env.lane_restore(token)
+    assert env._lane.id == 0
+    assert env._queue is env._lanes[0].heap
+
+
+def test_cross_lane_timers_run_in_serial_order():
+    """Events spread across lanes are dispatched in global (time, seq) order."""
+    for lanes in (1, 2, 4):
+        env = Environment(lanes=lanes)
+        order = []
+        for i in range(40):
+            ev = env.event()
+            ev._ok = True
+            ev._value = i
+            ev.callbacks.append(lambda e: order.append(e._value))
+            # Deterministic but lane-interleaved placement and times.
+            env.schedule_into(i % lanes, ev, delay=float((i * 7) % 10))
+        env.run()
+        if lanes == 1:
+            expected = order
+        assert order == expected
+
+
+def test_multi_lane_run_until_event_and_clock():
+    env = Environment(lanes=2)
+
+    def pinger():
+        yield env.timeout(1.0)
+        done = env.event()
+        done._ok = True
+        done._value = None
+        env.schedule_into(1, done, delay=0.0)
+        return 42
+
+    proc = env.process(pinger())
+    assert env.run(until=proc) == 42
+    assert env.now == pytest.approx(1.0)
+
+
+def test_run_window_is_half_open():
+    env = Environment()
+    fired = []
+    t1 = env.timeout(1.0, "a")
+    t1.callbacks.append(lambda e: fired.append(e._value))
+    t2 = env.timeout(2.0, "b")
+    t2.callbacks.append(lambda e: fired.append(e._value))
+    env.run_window(2.0)
+    # The event exactly at the window end is left for the next window...
+    assert fired == ["a"]
+    assert env.now == pytest.approx(2.0)
+    env.run_window(2.5)
+    assert fired == ["a", "b"]
+    assert env.now == pytest.approx(2.5)
+
+
+def test_run_window_rejects_past_and_multi_lane():
+    env = Environment()
+    env.run_window(1.0)
+    with pytest.raises(ValueError):
+        env.run_window(0.5)
+    laned = Environment(lanes=2)
+    with pytest.raises(AssertionError):
+        laned.run_window(1.0)
+
+
+def test_heap_stats_reports_per_lane_high_water_and_stalls():
+    env = Environment(lanes=2)
+
+    def ping_pong(lane, other):
+        while env.now < 5.0:
+            yield env.timeout(0.5)
+            ev = env.event()
+            ev._ok = True
+            ev._value = None
+            env.schedule_into(other, ev, delay=0.5)
+
+    token = env.lane_scope(0)
+    env.process(ping_pong(0, 1))
+    env.lane_restore(token)
+    token = env.lane_scope(1)
+    env.process(ping_pong(1, 0))
+    env.lane_restore(token)
+    env.run(until=6.0)
+    stats = env.heap_stats()
+    lanes = stats["lanes"]
+    assert len(lanes) == 2
+    assert all(lane["heap_high_water"] >= 1 for lane in lanes)
+    assert sum(lane["processed"] for lane in lanes) == stats["processed"]
+    # Cross-lane pushes must have broken batched runs at least once.
+    assert sum(lane["window_stalls"] for lane in lanes) > 0
+    assert all(lane["clock"] <= env.now for lane in lanes)
+
+
+def test_single_lane_stats_mirror_globals():
+    env = Environment()
+    env.timeout(1.0)
+    env.run()
+    stats = env.heap_stats()
+    assert len(stats["lanes"]) == 1
+    assert stats["lanes"][0]["processed"] == stats["processed"]
+    assert stats["lanes"][0]["heap_high_water"] == stats["heap_high_water"]
+
+
+def test_cancellation_across_lanes_is_skipped_not_run():
+    env = Environment(lanes=2)
+    fired = []
+    victim = env.event()
+    victim._ok = True
+    victim._value = "victim"
+    victim.callbacks.append(lambda e: fired.append(e._value))
+    env.schedule_into(1, victim, delay=1.0)
+    keeper = env.event()
+    keeper._ok = True
+    keeper._value = "keeper"
+    keeper.callbacks.append(lambda e: fired.append(e._value))
+    env.schedule_into(0, keeper, delay=2.0)
+    victim.cancel()
+    env.run()
+    assert fired == ["keeper"]
+    assert env.heap_stats()["skipped_cancelled"] == 1
+
+
+# -- windowed executor -----------------------------------------------------
+
+
+def test_post_enforces_lookahead_floor():
+    rt = LaneRuntime(0, 2, lookahead=0.1, seed=0)
+    with pytest.raises(ValueError):
+        rt.post(1, "x", delay=0.05)
+    rt.post(1, "x", delay=0.1)
+    assert len(rt.outgoing) == 1
+
+
+def test_laned_simulation_validates_parameters():
+    with pytest.raises(ValueError):
+        LanedSimulation(0, lambda rt: None)
+    with pytest.raises(ValueError):
+        LanedSimulation(2, lambda rt: None, lookahead=0.0)
+    with pytest.raises(ValueError):
+        LanedSimulation(1, lambda rt: None).run(1.0, backend="gpu")
+
+
+def test_local_post_delivers_without_envelope():
+    received = []
+
+    def build(rt):
+        rt.on_message(received.append)
+
+        def sender():
+            yield rt.env.timeout(0.01)
+            rt.post(rt.lane_id, "self")
+
+        rt.env.process(sender())
+
+    doc = LanedSimulation(1, build, lookahead=0.001).run(1.0)
+    assert received == ["self"]
+    assert doc["envelopes"] == 0
+    assert doc["lane_results"][0]["received"] == 1
+
+
+def test_cross_lane_envelopes_arrive_after_lookahead():
+    log = []
+
+    def build(rt):
+        rt.on_message(lambda payload: log.append((rt.lane_id, rt.env.now, payload)))
+        if rt.lane_id == 0:
+
+            def sender():
+                yield rt.env.timeout(0.5)
+                rt.post(1, "hello")
+
+            rt.env.process(sender())
+
+    doc = LanedSimulation(2, build, lookahead=0.25).run(2.0)
+    assert log == [(1, 0.75, "hello")]
+    assert doc["envelopes"] == 1
+    assert doc["windows"] >= 2
+
+
+def test_lane_ring_serial_mp_byte_identical():
+    if sys.platform != "linux":  # pragma: no cover - fork backend
+        pytest.skip("mp backend needs fork")
+    build = lane_ring(64, mean=0.001, send_every=3)
+    for lanes in (2, 4):
+        sim = LanedSimulation(lanes, build, lookahead=0.0005, seed=11)
+        serial = sim.run(0.25, backend="serial")
+        parallel = sim.run(0.25, backend="mp")
+        assert serial["digest"] == parallel["digest"]
+        assert serial == parallel
+
+
+def test_lane_ring_totals_consistent_across_lane_counts():
+    build = lane_ring(48, mean=0.001, send_every=2)
+    docs = {
+        lanes: LanedSimulation(lanes, build, lookahead=0.0005, seed=3).run(0.2)
+        for lanes in (1, 2, 4)
+    }
+    ticks = {
+        lanes: sum(lr["result"]["ticks"] for lr in doc["lane_results"])
+        for lanes, doc in docs.items()
+    }
+    # Local actor activity is partition-independent; only message delivery
+    # differs by whatever is still in flight at the horizon.
+    assert len(set(ticks.values())) == 1
+    for lanes, doc in docs.items():
+        sent = sum(lr["sent"] for lr in doc["lane_results"])
+        received = sum(lr["received"] for lr in doc["lane_results"])
+        # Anything unreceived is either an unrouted envelope (in_flight) or
+        # a delivery timer still in some lane's heap past the horizon.
+        assert sent - received >= doc["in_flight"] >= 0
+
+
+def test_same_seed_same_doc_different_seed_diverges():
+    build = lane_ring(32, mean=0.001)
+    doc_a = LanedSimulation(2, build, lookahead=0.0005, seed=5).run(0.1)
+    doc_b = LanedSimulation(2, build, lookahead=0.0005, seed=5).run(0.1)
+    doc_c = LanedSimulation(2, build, lookahead=0.0005, seed=6).run(0.1)
+    assert doc_a["digest"] == doc_b["digest"]
+    assert doc_a["digest"] != doc_c["digest"]
