@@ -2,7 +2,7 @@
 
 export PYTHONPATH := src
 
-.PHONY: test lint check chaos chaos-smoke bench-smoke bench-broker bench-obs bench-lanes soak-smoke slo
+.PHONY: test lint check chaos chaos-smoke bench-smoke bench-broker bench-obs bench-lanes soak-smoke failover-smoke slo
 
 test:  ## tier-1 test suite
 	python -m pytest -q tests
@@ -38,6 +38,9 @@ bench-lanes:  ## partitioned-kernel gate: lane determinism + overhead + mp speed
 
 soak-smoke:  ## service-mode soak gate vs the pinned BENCH_soak.json
 	python benchmarks/bench_soak.py
+
+failover-smoke:  ## warm-standby failover gate vs the pinned BENCH_failover.json
+	python benchmarks/bench_failover.py
 
 slo:  ## churn workload under a health monitor; fails on any violated SLO
 	python -m repro slo

@@ -1,0 +1,225 @@
+"""Failover benchmark: warm-standby promotion vs. restart-and-recover.
+
+Measures the full client-visible disruption of losing the broker process
+under two recovery mechanisms, on otherwise identical 5-machine clusters
+running the same adaptive workload:
+
+* **promotion** — a warm standby (DESIGN.md §16) detects heartbeat
+  silence, promotes its shipped shadow under a fenced epoch, and boots on
+  the well-known secondary address.  Disruption = silence-detection
+  deadline + daemon re-registration.
+* **restart** — the journal path from DESIGN.md §13: an operator respawns
+  the broker ``RESTART_AFTER`` seconds after the crash (the fault-plan
+  convention), which recovers from snapshot + WAL and waits for daemon
+  re-registration.
+
+Both paths end at the same line: the service's ``ready`` event re-fires
+once every managed daemon has re-proved its inventory to the new
+incarnation.  Everything measured is simulated time, so the numbers are
+exact and pinned in ``BENCH_failover.json``; the gate fails on any drift,
+on a double grant, or if promotion ever stops being strictly faster than
+restart+recover.
+
+Usage:
+    python benchmarks/bench_failover.py          # gate against baseline
+    python benchmarks/bench_failover.py --pin    # regenerate baseline
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+BASELINE = ROOT / "BENCH_failover.json"
+
+SEED = 11
+WORKERS = ["n00", "n01", "n02", "n03"]
+STANDBY = "n04"
+CRASH_AT = 10.0  # steady state: the greedy job holds full strength by here
+#: Operator respawn delay on the restart path — the fault-plan convention
+#: (``FaultPlan.generate(broker_restart_after=4.0)``).
+RESTART_AFTER = 4.0
+SETTLE = 10.0
+
+#: Simulated-time results compared exactly against the baseline: the whole
+#: scenario is deterministic, so any drift is a behaviour change.
+EXACT_FIELDS = (
+    "disruption_seconds",
+    "detection_seconds",
+    "ready_gap_seconds",
+    "double_grants",
+    "holdings_after",
+    "promotions",
+    "restarts",
+)
+
+
+def _measure(standby: bool) -> dict:
+    from repro.cluster import Cluster, ClusterSpec
+    from repro.workloads import install_churn
+
+    started = time.perf_counter()
+    cluster = Cluster(ClusterSpec.uniform(5, seed=SEED))
+    if standby:
+        svc = cluster.start_broker(
+            journal=True, standby_host=STANDBY, managed_hosts=WORKERS
+        )
+    else:
+        svc = cluster.start_broker(journal=True, managed_hosts=WORKERS)
+    svc.wait_ready()
+    install_churn(cluster.system_bin)
+    handle = svc.submit("n01", ["greedy", "2"], rsl="+(adaptive)")
+    cluster.env.run(until=CRASH_AT)
+    job = handle.job_record()
+    assert len(svc.holdings()[job.jobid]) == 2, "not at strength before crash"
+
+    crash_at = cluster.now
+    svc.crash_broker()
+    if standby:
+        # The standby notices the heartbeat silence and promotes; step the
+        # clock until it has (svc.ready is only replaced at that instant).
+        while not svc.events_of("broker_promoted"):
+            cluster.env.run(until=cluster.now + 0.25)
+            assert cluster.now < crash_at + 30.0, "standby never promoted"
+        detected_at = svc.events_of("broker_promoted")[0]["time"]
+    else:
+        cluster.env.run(until=crash_at + RESTART_AFTER)
+        svc.restart_broker()
+        detected_at = cluster.now
+    svc.wait_ready()
+    ready_at = cluster.now
+
+    cluster.env.run(until=ready_at + SETTLE)
+    assert handle.proc.is_alive, "app died across the failover"
+    entry = {
+        "path": "promotion" if standby else "restart",
+        "disruption_seconds": round(ready_at - crash_at, 6),
+        "detection_seconds": round(detected_at - crash_at, 6),
+        "ready_gap_seconds": round(ready_at - detected_at, 6),
+        "double_grants": svc.metrics.counter("fencing.double_grants").value,
+        "holdings_after": len(svc.holdings()[job.jobid]),
+        "promotions": svc.metrics.counter("broker.promotions").value,
+        "restarts": svc.metrics.counter("broker.restarts").value,
+        "wall_seconds": round(time.perf_counter() - started, 4),
+    }
+    cluster.assert_no_crashes()
+    return entry
+
+
+def measure() -> dict:
+    return {
+        "promotion": _measure(standby=True),
+        "restart": _measure(standby=False),
+    }
+
+
+def _print_entry(entry: dict) -> None:
+    print(
+        f"{entry['path']}: disruption {entry['disruption_seconds']:.3f}s "
+        f"(detection {entry['detection_seconds']:.3f}s + re-registration "
+        f"{entry['ready_gap_seconds']:.3f}s), "
+        f"holdings {entry['holdings_after']}, "
+        f"double grants {entry['double_grants']}"
+    )
+
+
+def _check(results: dict) -> list:
+    failures = []
+    promotion, restart = results["promotion"], results["restart"]
+    if promotion["disruption_seconds"] >= restart["disruption_seconds"]:
+        failures.append(
+            f"promotion is not faster: {promotion['disruption_seconds']}s "
+            f"disruption vs restart+recover "
+            f"{restart['disruption_seconds']}s — the warm standby buys "
+            f"nothing"
+        )
+    for entry in (promotion, restart):
+        if entry["double_grants"]:
+            failures.append(
+                f"{entry['path']}: {entry['double_grants']} double grant(s) "
+                f"— two incarnations granted the same machine"
+            )
+        if entry["holdings_after"] != 2:
+            failures.append(
+                f"{entry['path']}: job holds {entry['holdings_after']} "
+                f"machines after settling, wanted full strength (2)"
+            )
+    return failures
+
+
+def pin() -> int:
+    results = measure()
+    for entry in results.values():
+        _print_entry(entry)
+    failures = _check(results)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    document = {
+        "seed": SEED,
+        "crash_at": CRASH_AT,
+        "restart_after": RESTART_AFTER,
+        "promotion": results["promotion"],
+        "restart": results["restart"],
+    }
+    BASELINE.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"pin: wrote {BASELINE}")
+    return 0
+
+
+def gate() -> int:
+    baseline = json.loads(BASELINE.read_text())
+    results = measure()
+    for entry in results.values():
+        _print_entry(entry)
+
+    failures = _check(results)
+    # Determinism: a second run must reproduce every simulated-time field.
+    rerun = measure()
+    for path in ("promotion", "restart"):
+        for field in EXACT_FIELDS:
+            if results[path][field] != rerun[path][field]:
+                failures.append(
+                    f"{path}.{field} is nondeterministic: "
+                    f"{results[path][field]} != {rerun[path][field]} on an "
+                    f"identical rerun"
+                )
+            if results[path][field] != baseline[path][field]:
+                failures.append(
+                    f"{path}.{field} drifted: {results[path][field]} != "
+                    f"baseline {baseline[path][field]} (failover behaviour "
+                    f"changed; rerun with --pin if intentional)"
+                )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        margin = (
+            results["restart"]["disruption_seconds"]
+            - results["promotion"]["disruption_seconds"]
+        )
+        print(
+            f"failover: OK (promotion beats restart by {margin:.3f}s, "
+            f"deterministic, zero double grants)"
+        )
+    return 1 if failures else 0
+
+
+def main() -> int:
+    sys.path.insert(0, str(ROOT / "src"))
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--pin",
+        action="store_true",
+        help=f"regenerate {BASELINE.name} instead of gating against it",
+    )
+    args = parser.parse_args()
+    if args.pin:
+        return pin()
+    return gate()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

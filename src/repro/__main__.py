@@ -12,7 +12,9 @@ Commands
 ``chaos [--seed N]``
     Robustness capstone: a mixed workload under a seeded fault schedule
     (crashes, partitions, lost heartbeats); exits non-zero unless every job
-    completes.
+    completes.  ``--standby`` swaps the crash/restart recovery path for
+    warm-standby failover (WAL shipping, fenced promotion, zero double
+    grants).
 ``sweep [--workers N]``
     Fan a deterministic (seed x cluster-size x workload) simulation grid
     across worker processes; merged results are byte-identical for any
@@ -138,6 +140,7 @@ def _cmd_chaos(args) -> int:
         seed=args.seed,
         broker_crashes=1 if args.broker_crash else 0,
         journal=args.journal,
+        standby=args.standby,
         trace=collector,
     )
     print(table)
@@ -145,8 +148,12 @@ def _cmd_chaos(args) -> int:
         print("\nfault plan:")
         print(table.meta["plan"])
     _write_collected(args, collector)
-    # The whole point: every job survives the faults.
-    return 0 if table.meta["completed"] == table.meta["jobs"] else 1
+    # The whole point: every job survives the faults — and with a warm
+    # standby, fencing must have kept the split brain from double-granting.
+    ok = table.meta["completed"] == table.meta["jobs"]
+    if args.standby:
+        ok = ok and table.meta["double_grants"] == 0
+    return 0 if ok else 1
 
 
 def _cmd_sweep(args) -> int:
@@ -282,6 +289,14 @@ def main(argv=None) -> int:
         help="run the broker durable (write-ahead journal + snapshot "
         "recovery) and add journal faults: a guaranteed broker crash, a "
         "torn journal tail at the crash instant, and a disk-stall window",
+    )
+    chaos.add_argument(
+        "--standby",
+        action="store_true",
+        help="run with a warm-standby replica (WAL shipping) and the "
+        "failover schedule: a standby kill, a ship-link partition, and a "
+        "primary SIGKILL mid-ship with no restart — recovery must come "
+        "from fenced promotion, with zero double grants",
     )
     chaos.add_argument(
         "--verbose", action="store_true", help="also print the fault plan"

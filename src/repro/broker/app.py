@@ -41,7 +41,7 @@ from repro.os.errors import (
     NoSuchHost,
     NoSuchProgram,
 )
-from repro.os.retry import connect_with_backoff
+from repro.os.retry import connect_any_with_backoff, connect_with_backoff
 from repro.os.signals import SIGKILL, SIGTERM
 from repro.rsl import is_symbolic_hostname, parse_rsl
 from repro.sim.stores import Store
@@ -96,6 +96,10 @@ class _AppState:
     firm: bool = True
     broker: Any = None
     broker_host: str = ""
+    #: Well-known broker addresses in dial order (primary first, then the
+    #: warm standby when one is configured): a resume after a failover must
+    #: find whichever incarnation is alive.
+    broker_hosts: List[str] = field(default_factory=list)
     #: Registration fields, kept verbatim so a resume can replay them to a
     #: fresh broker incarnation that never saw the original submit.
     rsl_text: str = ""
@@ -132,6 +136,10 @@ def app_main(proc):
     broker_host = proc.environ.get("RB_BROKER_HOST")
     if broker_host is None:
         return 1
+    standby_host = proc.environ.get("RB_BROKER_STANDBY")
+    broker_hosts = list(
+        dict.fromkeys([broker_host] + ([standby_host] if standby_host else []))
+    )
     cal = proc.machine.network.calibration
     rsl = parse_rsl(rsl_text)
     tracer = tracer_of(proc)
@@ -199,6 +207,7 @@ def app_main(proc):
         firm=(not rsl.adaptive) or (rsl.module is not None),
         broker=broker,
         broker_host=broker_host,
+        broker_hosts=broker_hosts,
         rsl_text=rsl_text,
         command=list(command),
         adaptive=rsl.adaptive,
@@ -327,9 +336,11 @@ def _resume_broker_session(proc, st):
     )
     st.broker.close()
     try:
-        conn = yield from connect_with_backoff(
+        # Alternate across the well-known addresses: after a failover the
+        # live broker answers at the standby's address, not the primary's.
+        conn = yield from connect_any_with_backoff(
             proc,
-            st.broker_host,
+            st.broker_hosts or [st.broker_host],
             ports.BROKER,
             attempts=cal.broker_resume_attempts,
             counter=metrics.counter("app.resume_connect_retries"),

@@ -42,6 +42,7 @@ evaluate-everything scheduler as the reference that
 from __future__ import annotations
 
 from repro.broker import protocol
+from repro.broker.journal import snapshot_state
 from repro.broker.state import (
     Allocation,
     AllocationState,
@@ -50,6 +51,8 @@ from repro.broker.state import (
 from repro.cluster import ports
 from repro.obs.timeseries import windowed_rate
 from repro.os.errors import ConnectionClosed
+from repro.os.retry import connect_forever
+from repro.os.signals import SIGKILL
 
 
 def _safe_send(conn, message) -> bool:
@@ -82,6 +85,23 @@ def make_broker_main(service):
                 lambda ev: recover.end() if not recover.finished else None
             )
         listener = proc.listen(ports.BROKER)
+        if service.fencing:
+            # Warm-standby replication (DESIGN.md §16): serve the WAL ship
+            # stream, heartbeat it, keep the standby process alive, and —
+            # on a promoted incarnation — fence the ex-primary.
+            ship_listener = proc.listen(ports.SHIP)
+            proc.thread(ctl.ship_acceptor(ship_listener), name="ship-acceptor")
+            proc.thread(ctl.ship_heartbeater(), name="ship-heartbeater")
+            if service.standby_host != proc.machine.name:
+                proc.thread(
+                    ctl.standby_keeper(service.standby_host),
+                    name="standby-keeper",
+                )
+            if (
+                service.fence_target
+                and service.fence_target != proc.machine.name
+            ):
+                proc.thread(ctl.fencer(service.fence_target), name="fencer")
         for host in service.managed_hosts:
             proc.thread(ctl.daemon_keeper(host), name=f"daemon-keeper-{host}")
         proc.thread(ctl.liveness_sweeper(), name="liveness-sweeper")
@@ -109,6 +129,30 @@ class _BrokerControl:
         self.cal = proc.machine.network.calibration
         self.tracer = service.tracer
         self.metrics = service.metrics
+        # Captured per-incarnation, NOT read through the service: after a
+        # standby promotion the service points at the *new* incarnation's
+        # state/journal/epoch/events, and a partitioned ex-primary that kept
+        # running must keep serving its own — that split is exactly what the
+        # fencing protocol exists to resolve (DESIGN.md §16).
+        self.epoch = service.epoch
+        self.journal = service.journal
+        self._ready = service.ready
+        self._daemon_down = service._daemon_down
+        #: Fencing on = a warm standby is configured: epoch-stamp grants and
+        #: renewals toward daemons, serve the ship port.  Off (the default)
+        #: leaves the wire protocol byte-identical to the pre-standby broker.
+        self._fencing = service.fencing
+        self._addresses = list(service.broker_addresses)
+        #: host -> live daemon connection (for epoch-stamped sends).
+        self._daemon_conns = {}
+        #: The live ship session to the standby (None when disconnected).
+        self._ship_conn = None
+        #: Stream offset shipped on the current session.
+        self._ship_sent = 0
+        #: Triggered when the ship session drops (wakes the standby keeper).
+        self._standby_down = None
+        #: Set once this incarnation is fenced; all grants stop.
+        self._demoted = False
         self._reqids = {}  # (jobid, reqid) -> PendingRequest (for dedupe)
         self._reports_seen = set()
         self._managed_set = frozenset(service.managed_hosts)
@@ -127,7 +171,7 @@ class _BrokerControl:
         #: first-epoch broker (nothing to recover, adoption disabled).
         self._recovery_until = (
             proc.env.now + self.cal.broker_recovery_window
-            if service.epoch > 1
+            if self.epoch > 1
             else -1.0
         )
         # Span bookkeeping lives here, NOT on the state dataclasses: putting
@@ -140,12 +184,17 @@ class _BrokerControl:
     # -- daemon management ----------------------------------------------------
 
     def daemon_keeper(self, host):
-        """Spawn the daemon on ``host`` and respawn it whenever it dies."""
+        """Spawn the daemon on ``host`` and respawn it whenever it dies.
+
+        The daemon argv carries every well-known broker address (primary
+        plus standby, when one is configured) so a daemon spawned before a
+        failover finds whichever incarnation is alive afterwards.
+        """
         while True:
             down = self.proc.env.event()
-            self.service._daemon_down[host] = down
+            self._daemon_down[host] = down
             rsh = self.proc.spawn(
-                ["system:rsh", host, "rbdaemon", self.proc.machine.name],
+                ["system:rsh", host, "rbdaemon", *self._addresses],
             )
             code = yield self.proc.wait(rsh)
             if code != 0:
@@ -155,6 +204,200 @@ class _BrokerControl:
             yield down  # triggered when the daemon's connection drops
             self.metrics.counter("broker.daemon_restarts").inc()
             self.service.log(event="daemon_restart", host=host)
+
+    def standby_keeper(self, host):
+        """Spawn the warm standby on ``host`` and respawn it whenever its
+        ship session drops (the same keeper discipline as daemons: the
+        *connection* is the liveness signal, never the process)."""
+        while True:
+            down = self.proc.env.event()
+            self._standby_down = down
+            rsh = self.proc.spawn(
+                ["system:rsh", host, "rbstandby", self.proc.machine.name],
+            )
+            code = yield self.proc.wait(rsh)
+            if code != 0:
+                # Standby machine unreachable; back off and retry.
+                yield self.proc.sleep(self.cal.daemon_report_interval)
+                continue
+            yield down  # triggered when the ship session drops
+            self.metrics.counter("broker.standby_restarts").inc()
+            self.service.log(event="standby_restart", host=host)
+
+    # -- WAL shipping and fencing (DESIGN.md §16) -----------------------------
+
+    def ship_acceptor(self, listener):
+        """Accept ship-port sessions (the standby's hello, or a promoted
+        peer's fence notice)."""
+        while True:
+            try:
+                conn = yield listener.accept()
+            except ConnectionClosed:
+                return
+            self.proc.thread(self._serve_ship(conn), name="ship-session")
+
+    def _serve_ship(self, conn):
+        """Serve one ship session: resume or re-baseline the stream, then
+        drain frames as the journal flushes and trim on acks."""
+        journal = self.journal
+        try:
+            first = yield conn.recv()
+        except ConnectionClosed:
+            conn.close()
+            return
+        kind = first.get("type")
+        if kind == "fence_notice":
+            # A peer broker announcing a higher epoch over the ship port:
+            # the fencing path for an ex-primary whose daemons are all on
+            # the far side of a partition.
+            witnessed = int(first.get("epoch", 0))
+            conn.close()
+            if witnessed > self.epoch:
+                self._demote(witnessed=witnessed, source="fence_notice")
+            return
+        if kind != "ship_hello" or journal is None or not journal.ship_enabled:
+            conn.close()
+            return
+        self._ship_conn = conn
+        self.metrics.counter("ship.sessions").inc()
+        acked = int(first.get("acked", 0))
+        resumable = (
+            int(first.get("stream", -1)) == journal.ship_stream
+            and acked <= journal.flushed_offset
+            and journal.ship_pending(acked) is not None
+        )
+        if resumable:
+            # The standby holds a prefix of this very stream: trim to its
+            # ack and resend whatever it missed.
+            journal.note_ship_ack(acked)
+            self._ship_sent = acked
+            if journal.flushed_offset > acked:
+                self.metrics.counter("ship.resends").inc()
+        else:
+            # Different stream (a new incarnation) or a gap past the
+            # retained window: re-baseline with a full-state snapshot at
+            # the current flushed offset.
+            journal.flush(force=True)
+            self._ship_sent = journal.flushed_offset
+            journal.note_ship_ack(self._ship_sent)
+            self.metrics.counter("ship.snapshots").inc()
+            _safe_send(
+                conn,
+                protocol.ship_snapshot(
+                    journal.ship_stream,
+                    self._ship_sent,
+                    snapshot_state(self.state),
+                    self.epoch,
+                ),
+            )
+        journal.set_ship_kick(self._ship_drain)
+        self._ship_drain()
+        try:
+            while True:
+                msg = yield conn.recv()
+                mtype = msg.get("type")
+                if self._ship_conn is not conn:
+                    return  # superseded by a fresh session
+                if mtype == "ship_ack":
+                    if int(msg.get("stream", -1)) == journal.ship_stream:
+                        journal.note_ship_ack(int(msg.get("acked", 0)))
+                        self._ship_drain()
+                elif mtype == "fence_notice":
+                    witnessed = int(msg.get("epoch", 0))
+                    if witnessed > self.epoch:
+                        self._demote(
+                            witnessed=witnessed, source="fence_notice"
+                        )
+                        return
+        except ConnectionClosed:
+            pass
+        conn.close()
+        if self._ship_conn is conn:
+            self._ship_conn = None
+            journal.set_ship_kick(None)
+            # Wake the standby keeper so it respawns the replica (which
+            # resumes from its locally persisted offset).
+            down = self._standby_down
+            if down is not None and not down.triggered:
+                down.succeed()
+
+    def _ship_drain(self):
+        """Push flushed-but-unshipped journal chars down the live ship
+        session, whole retained chunks at a time (chunks are whole frames —
+        the standby parses each one independently), bounded by the in-flight
+        window."""
+        conn = self._ship_conn
+        journal = self.journal
+        if conn is None or journal is None:
+            return
+        while self._ship_sent < journal.flushed_offset:
+            if (
+                self._ship_sent - journal.acked_offset
+                >= self.cal.ship_window_chars
+            ):
+                self.metrics.counter("ship.window_stalls").inc()
+                return  # window full: the next ack re-kicks the drain
+            pending = journal.ship_pending(self._ship_sent)
+            if not pending:
+                return
+            start, data = pending[0]
+            if not _safe_send(
+                conn, protocol.ship_frame(journal.ship_stream, start, data)
+            ):
+                return
+            self._ship_sent = start + len(data)
+            self.metrics.counter("ship.frames").inc()
+            self.metrics.counter("ship.shipped_chars").inc(len(data))
+
+    def ship_heartbeater(self):
+        """Beat the ship session every ``standby_heartbeat_interval`` so the
+        standby's silence clock only runs when the primary (or the path to
+        it) is actually gone."""
+        while True:
+            yield self.proc.sleep(self.cal.standby_heartbeat_interval)
+            if self._ship_conn is not None:
+                _safe_send(
+                    self._ship_conn,
+                    protocol.ship_heartbeat(self.epoch, self.proc.env.now),
+                )
+
+    def fencer(self, target):
+        """Chase the ex-primary with a fence notice (promoted incarnations
+        only).  Daemons fence a reachable ex-primary through its own
+        sessions; this covers the one nobody else can reach — an ex-primary
+        isolated with zero daemons, still believing it is the broker."""
+        conn = yield from connect_forever(
+            self.proc,
+            target,
+            ports.SHIP,
+            counter=self.metrics.counter("fencing.notice_retries"),
+        )
+        _safe_send(conn, protocol.fence_notice(self.epoch))
+        try:
+            # Hold the session open until the peer acts on the notice (its
+            # demotion closes the connection).
+            yield conn.recv()
+        except ConnectionClosed:
+            pass
+        conn.close()
+
+    def _demote(self, witnessed, source, host=None) -> None:
+        """Fenced: a higher epoch exists, so this incarnation must stop
+        granting *now*.  Process death is the simplest correct way — every
+        session, sweeper and keeper dies with it, and grants already sent
+        are bounded by their leases."""
+        if self._demoted:
+            return
+        self._demoted = True
+        self.metrics.counter("broker.demotions").inc()
+        self.service.log(
+            event="broker_demoted",
+            epoch=self.epoch,
+            witnessed=witnessed,
+            source=source,
+            host=host,
+        )
+        self.proc.signal(SIGKILL)
 
     # -- liveness detection ---------------------------------------------------
 
@@ -229,7 +472,7 @@ class _BrokerControl:
         thread bounds only the staleness of the high-rate noise; it dies
         with the broker process, which is exactly the page-cache-loss
         semantics :meth:`BrokerJournal.discard_unflushed` models."""
-        journal = self.service.journal
+        journal = self.journal
         interval = self.cal.journal_flush_interval
         while True:
             yield self.proc.sleep(interval)
@@ -425,7 +668,7 @@ class _BrokerControl:
             and record.allocation.state is AllocationState.RECLAIMING
         )
         scanned = state.machines_scanned
-        journal = self.service.journal
+        journal = self.journal
 
         def metric_value(name: str) -> float:
             # Read without creating: a stats poll must not mint instruments
@@ -440,6 +683,27 @@ class _BrokerControl:
             "conflicts": metric_value("recovery.conflicts"),
             "latency_seconds": metric_value("recovery.latency_seconds"),
         }
+        if self._fencing:
+            # A promoted incarnation has no standby of its own (shipping
+            # off), but its fencing/promotion counters still belong here.
+            ship = (
+                journal.ship_stats()
+                if journal is not None and journal.ship_enabled
+                else {"enabled": False}
+            )
+            replication = {
+                **ship,
+                "sessions": metric_value("ship.sessions"),
+                "frames": metric_value("ship.frames"),
+                "snapshots": metric_value("ship.snapshots"),
+                "resends": metric_value("ship.resends"),
+                "promotions": metric_value("broker.promotions"),
+                "demotions": metric_value("broker.demotions"),
+                "fencing_rejections": metric_value("fencing.rejections"),
+                "double_grants": metric_value("fencing.double_grants"),
+            }
+        else:
+            replication = {"enabled": False}
         heap = self.proc.env.heap_stats()
         lane_detail = heap["lanes"]
         lane_clocks = [lane["clock"] for lane in lane_detail]
@@ -457,8 +721,9 @@ class _BrokerControl:
             "time": now,
             "kernel": kernel,
             "journal": journal.stats() if journal is not None else {"enabled": False},
+            "replication": replication,
             "recovery": recovery,
-            "epoch": self.service.epoch,
+            "epoch": self.epoch,
             "pending": len(state.pending),
             "dirty_pending": state.dirty_pending_count(),
             "machines": len(state.machines),
@@ -500,9 +765,22 @@ class _BrokerControl:
             )
         self._reconcile_recovered(record, hello.get("leases", ()))
         self._adopt_from_inventory(record, hello.get("leases", ()))
+        self._daemon_conns[host] = conn
+        if self._fencing:
+            # Stamp the session with this incarnation's epoch; a daemon that
+            # has witnessed a higher one answers with fence_reject, which
+            # demotes us (DESIGN.md §16).
+            _safe_send(conn, protocol.daemon_welcome(self.epoch))
         try:
             while True:
                 msg = yield conn.recv()
+                if msg.get("type") == "fence_reject":
+                    self._demote(
+                        witnessed=int(msg.get("witnessed", 0)),
+                        source="fence_reject",
+                        host=msg.get("host"),
+                    )
+                    return
                 if msg.get("type") != "daemon_report":
                     continue
                 was_reported = record.reported
@@ -544,10 +822,12 @@ class _BrokerControl:
                     yield from self._schedule()
         except ConnectionClosed:
             conn.close()
+            if self._daemon_conns.get(host) is conn:
+                del self._daemon_conns[host]
             # Monitoring lost: the machine may be down.  Treat it as unknown
             # (ineligible) until a daemon reports again.
             record.last_report = -1.0
-            down = self.service._daemon_down.get(host)
+            down = self._daemon_down.get(host)
             if down is not None and not down.triggered:
                 down.succeed()
 
@@ -568,6 +848,15 @@ class _BrokerControl:
             journal = self.state.journal
             if journal is not None:
                 journal.note_lease(record.host, allocation.lease_expires_at)
+            if self._fencing:
+                # Echo the renewal with our epoch stamp: a daemon holding a
+                # higher witness fences us before the stale lease can matter.
+                daemon = self._daemon_conns.get(record.host)
+                if daemon is not None:
+                    _safe_send(
+                        daemon,
+                        protocol.lease_renew(self.epoch, [allocation.jobid]),
+                    )
         elif allocation is None:
             self._adopt_from_inventory(record, leases)
 
@@ -644,11 +933,11 @@ class _BrokerControl:
             )
 
     def _note_ready(self, host) -> None:
-        if self.service.ready.triggered:
+        if self._ready.triggered:
             return
         self._reports_seen.add(host)
         if self._reports_seen >= self._managed_set:
-            self.service.ready.succeed()
+            self._ready.succeed()
 
     def _owner_priority(self, record) -> None:
         """Revoke an allocation when the machine's owner is at the console."""
@@ -691,7 +980,7 @@ class _BrokerControl:
             rsl=submit_msg["rsl"],
             argv=list(submit_msg["argv"]),
         )
-        _safe_send(conn, protocol.submit_ack(job.jobid, epoch=self.service.epoch))
+        _safe_send(conn, protocol.submit_ack(job.jobid, epoch=self.epoch))
         yield from self._session_loop(job, conn)
 
     def _session_loop(self, job, conn):
@@ -744,7 +1033,7 @@ class _BrokerControl:
             parent=protocol.trace_of(msg),
             actor="rbroker",
             jobid=jobid,
-            epoch=self.service.epoch,
+            epoch=self.epoch,
         )
         job = self.state.jobs.get(jobid)
         if job is None:
@@ -767,7 +1056,7 @@ class _BrokerControl:
             )
         if job.done:
             _safe_send(
-                conn, protocol.resume_ack(jobid, self.service.epoch, ok=False)
+                conn, protocol.resume_ack(jobid, self.epoch, ok=False)
             )
             span.end(outcome="rejected")
             conn.close()
@@ -858,12 +1147,12 @@ class _BrokerControl:
         self.service.log(
             event="session_resumed",
             jobid=jobid,
-            epoch=self.service.epoch,
+            epoch=self.epoch,
             holdings=sorted(claimed),
             pending=len(msg.get("pending", ())),
         )
         _safe_send(
-            conn, protocol.resume_ack(jobid, self.service.epoch, ok=True)
+            conn, protocol.resume_ack(jobid, self.epoch, ok=True)
         )
         span.end(outcome="resumed")
         # Requests that waited out the orphan period were skipped (not
@@ -1061,6 +1350,20 @@ class _BrokerControl:
             host=host,
             waited=waited,
         )
+        if self._fencing:
+            # Install the grant on the hosting daemon, epoch-stamped, before
+            # the app hears about it: a fenced (stale-epoch) incarnation is
+            # rejected here and demotes before its grant can double-allocate,
+            # and the daemon audits the machine for a second job's subapp
+            # (the double-grant counter the chaos harness pins at zero).
+            daemon = self._daemon_conns.get(host)
+            if daemon is not None:
+                _safe_send(
+                    daemon,
+                    protocol.grant_install(
+                        request.jobid, request.reqid, self.epoch
+                    ),
+                )
         if job.conn is not None:
             # The grant carries the request span's context so the app can
             # parent asynchronous module grows under the broker's decision.

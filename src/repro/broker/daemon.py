@@ -39,8 +39,33 @@ import json
 
 from repro.cluster import ports
 from repro.os.errors import ConnectionClosed, ConnectionRefused, NoSuchHost
-from repro.os.retry import connect_forever, connect_with_backoff
+from repro.os.retry import connect_any_forever, connect_any_with_backoff
 from repro.broker import protocol
+
+#: Per-machine fencing token: the highest broker epoch any process on this
+#: machine has witnessed, persisted so it survives daemon restarts (it must —
+#: a respawned daemon that forgot the epoch would accept a stale ex-primary).
+EPOCH_WITNESS_PATH = "/var/rb_epoch"
+
+
+def witnessed_epoch(machine) -> int:
+    """The highest broker epoch this machine has witnessed (0 = none)."""
+    if not machine.fs.exists(EPOCH_WITNESS_PATH):
+        return 0
+    try:
+        return int(machine.fs.read(EPOCH_WITNESS_PATH).strip())
+    except ValueError:
+        return 0
+
+
+def witness_epoch(machine, epoch: int) -> int:
+    """Raise (never lower) the machine's witnessed epoch; returns the new
+    witnessed value."""
+    current = witnessed_epoch(machine)
+    if epoch > current:
+        machine.fs.write(EPOCH_WITNESS_PATH, str(int(epoch)))
+        return int(epoch)
+    return current
 
 
 def leased_jobids(proc):
@@ -95,13 +120,46 @@ def _change_probe(proc):
     )
 
 
+def _handle_broker_message(proc, conn, msg, metrics) -> None:
+    """Epoch witnessing and fencing over the broker's chatter (DESIGN.md §16).
+
+    Epoch-stamped messages (``daemon_welcome``, ``grant_install``,
+    ``lease_renew`` — only sent when a warm standby is configured) raise the
+    machine's persisted witness; one stamped *below* the witness is answered
+    with :func:`~repro.broker.protocol.fence_reject`, which demotes the
+    sender.  ``grant_install`` additionally audits the machine for a live
+    subapp of another job — the double-grant counter the chaos harness pins
+    at zero.
+    """
+    kind = msg.get("type")
+    if kind not in ("daemon_welcome", "grant_install", "lease_renew"):
+        return
+    epoch = int(msg.get("epoch", 0))
+    witnessed = witnessed_epoch(proc.machine)
+    if epoch < witnessed:
+        metrics.counter("fencing.rejections").inc()
+        conn.send(protocol.fence_reject(epoch, witnessed, proc.machine.name))
+        return
+    witness_epoch(proc.machine, epoch)
+    if kind == "grant_install":
+        granted = int(msg.get("jobid", -1))
+        others = [j for j in leased_jobids(proc) if j != granted]
+        if others:
+            metrics.counter("fencing.double_grants").inc()
+
+
 def rbdaemon_main(proc):
-    """Program body: ``argv = ["rbdaemon", broker_host]``."""
+    """Program body: ``argv = ["rbdaemon", broker_host, *failover_hosts]``.
+
+    Extra argv entries are alternate broker addresses (the warm standby's
+    well-known secondary); every reconnect round dials them all so the
+    daemon finds whichever incarnation is alive within one backoff step.
+    """
     from repro.obs import metrics_of, tracer_of
 
     if len(proc.argv) < 2:
         return 1
-    broker_host = proc.argv[1]
+    broker_hosts = list(dict.fromkeys(proc.argv[1:]))
     cal = proc.machine.network.calibration
     boot = tracer_of(proc).start(
         "rbdaemon.boot",
@@ -115,9 +173,9 @@ def rbdaemon_main(proc):
     try:
         # The daemon may boot while the broker is still starting (or while
         # the LAN is partitioned); retry with backoff before giving up.
-        conn = yield from connect_with_backoff(
+        conn = yield from connect_any_with_backoff(
             proc,
-            broker_host,
+            broker_hosts,
             ports.BROKER,
             counter=metrics_of(proc).counter("rbdaemon.connect_retries"),
         )
@@ -163,13 +221,30 @@ def rbdaemon_main(proc):
                     last_probe = probe
                     cycles_since_full = 1
                 reports.inc()
-                timer = proc.sleep(cal.daemon_report_interval)
-                try:
-                    yield proc.env.any_of([timer, recv_ev])
-                finally:
-                    timer.cancel()
-                if recv_ev.processed:
-                    recv_ev = conn.recv()  # drain unexpected chatter
+                # Broker chatter (epoch stamps, with a standby configured) is
+                # handled without resetting the report *deadline* — the
+                # cadence the broker's liveness deadline counts on must not
+                # stretch or compress under fencing traffic.  Each wait arms
+                # a fresh timer for the remaining interval: a triggered
+                # any_of cancels its losing timeout, so a woken-by-recv pass
+                # cannot reuse the old one.
+                due = proc.env.now + cal.daemon_report_interval
+                while True:
+                    remaining = due - proc.env.now
+                    if remaining <= 0.0:
+                        break
+                    timer = proc.sleep(remaining)
+                    try:
+                        yield proc.env.any_of([timer, recv_ev])
+                    finally:
+                        timer.cancel()
+                    if recv_ev.processed:
+                        _handle_broker_message(
+                            proc, conn, recv_ev.value, metrics
+                        )
+                        recv_ev = conn.recv()
+                    if timer.processed:
+                        break
         except ConnectionClosed:
             conn.close()
             last_probe = None  # the next incarnation starts with a full report
@@ -177,9 +252,9 @@ def rbdaemon_main(proc):
         # Broker (or the path to it) is gone: re-register.  Redial forever —
         # the keeper of a live broker respawns daemons on *connection* loss,
         # so a daemon that exited here would never be replaced.
-        conn = yield from connect_forever(
+        conn = yield from connect_any_forever(
             proc,
-            broker_host,
+            broker_hosts,
             ports.BROKER,
             counter=metrics_of(proc).counter("rbdaemon.connect_retries"),
         )

@@ -45,6 +45,15 @@ drained by the broker's periodic flusher thread.  A :class:`~repro.faults
 .DiskStall` makes ``flush()`` a no-op for its duration (lag builds, the
 health watchdog fires); ops buffered when the broker dies are discarded,
 exactly like a page cache.
+
+Shipping
+--------
+With a warm standby configured, every character that reaches a WAL (flushes
+and compaction openers alike) is also accounted to a **ship stream** —
+identified by the primary incarnation's epoch, offset in characters — and
+retained until the standby acknowledges it, so the ship server can resend
+the tail on reconnect.  Appends are whole frames, so acknowledged offsets
+are always valid replay cut points (DESIGN.md §16).
 """
 
 from __future__ import annotations
@@ -238,6 +247,30 @@ def state_fingerprint(state: BrokerState) -> Dict[str, Any]:
     }
 
 
+def restamp_recovered(state: BrokerState, now: float, lease_ttl: float) -> None:
+    """Restart-time recovery policy over a rebuilt state (shared by journal
+    recovery and standby promotion).
+
+    Recovered machines keep their durable view but lose their *report* (no
+    grants until the daemon proves liveness again) and get a fresh silence
+    deadline; recovered leases are re-stamped at least one TTL out and marked
+    ``recovered`` so re-registration can confirm them or flag a
+    ``recovery.conflict``.
+    """
+    for record in state.machines.values():
+        if record.last_report >= 0.0:
+            record.last_report = -1.0
+        if record.last_seen >= 0.0 and not record.dead:
+            record.last_seen = now
+        allocation = record.allocation
+        if allocation is not None:
+            allocation.recovered = True
+            allocation.lease_expires_at = max(
+                allocation.lease_expires_at, now + lease_ttl
+            )
+    state.mark_all_pending_dirty()
+
+
 @dataclass
 class RecoveryInfo:
     """What one snapshot+replay recovery saw and produced."""
@@ -252,6 +285,191 @@ class RecoveryInfo:
     snapshot_fallbacks: int = 0
     skipped_ops: int = 0
     wal_files: List[int] = field(default_factory=list)
+
+
+# -- replay (module-level: shared by recovery and the warm standby's shadow
+# state, which applies shipped frames without owning a journal) --------------
+
+
+def _apply_machine_op(state: BrokerState, op: Dict[str, Any]) -> None:
+    record = state.add_machine(op["host"])
+    if record.platform != op["platform"]:
+        record.platform = op["platform"]
+    if record.kind != op["mkind"]:
+        record.kind = op["mkind"]
+    if record.owner != op["owner"]:
+        record.owner = op["owner"]
+    if record.console_active != op["console"]:
+        record.console_active = bool(op["console"])
+    if record.cpu_load != op["load"]:
+        record.cpu_load = int(op["load"])
+    record.n_processes = int(op["nproc"])
+    if op["reported"]:
+        record.last_report = float(op["seen"])
+    elif record.last_report >= 0.0:
+        record.last_report = -1.0
+    record.last_seen = float(op["seen"])
+    if record.dead != bool(op["dead"]):
+        record.dead = bool(op["dead"])
+    record.leases = tuple(int(j) for j in op.get("leases", ()))
+
+
+def _link_claim(state: BrokerState, allocation: Any, jobid: int, reqid: int) -> None:
+    for request in state.pending:
+        if request.jobid == jobid and request.reqid == reqid:
+            allocation.claimed_by = request
+            request.reserved_host = allocation.host
+            return
+    # The claimant is no longer pending (satisfied elsewhere, or its
+    # job's requests were dropped) while the reclaim it demanded is
+    # still in flight.  The live state keeps that dangling reference,
+    # so replay carries the claim on a detached request rather than
+    # silently forgetting who asked.
+    allocation.claimed_by = PendingRequest(
+        reqid=reqid,
+        jobid=jobid,
+        symbolic="",
+        firm=False,
+        arrived_at=-1.0,
+        reserved_host=allocation.host,
+    )
+
+
+def apply_snapshot(
+    state: BrokerState, doc: Dict[str, Any], info: RecoveryInfo
+) -> None:
+    """Rebuild ``state`` from one snapshot document (the replay baseline)."""
+    state._next_jobid = max(state._next_jobid, int(doc.get("next_jobid", 1)))
+    for op in doc.get("machines", ()):
+        _apply_machine_op(state, op)
+    for job in doc.get("jobs", ()):
+        record = state.adopt_job(
+            int(job["jobid"]),
+            job["user"],
+            job["home"],
+            job.get("rsl", ""),
+            list(job.get("argv", ())),
+            adaptive_hint=bool(job.get("adaptive")),
+        )
+        if job.get("done"):
+            record.done = True
+    for entry in doc.get("pending", ()):
+        request = PendingRequest(
+            reqid=int(entry["reqid"]),
+            jobid=int(entry["jobid"]),
+            symbolic=entry["symbolic"],
+            firm=bool(entry["firm"]),
+            arrived_at=float(entry["arrived"]),
+            reserved_host=entry.get("reserved"),
+        )
+        state.pending.append(request)
+    for entry in doc.get("allocations", ()):
+        host = entry["host"]
+        state.add_machine(host)
+        allocation = state.allocate(
+            host,
+            int(entry["jobid"]),
+            bool(entry["firm"]),
+            now=float(entry["granted"]),
+            lease_expires_at=float(entry["expires"]),
+        )
+        if entry.get("astate") == AllocationState.RECLAIMING.value:
+            allocation.state = AllocationState.RECLAIMING
+            allocation.reclaiming_since = float(entry.get("since", -1.0))
+        claim = entry.get("claim")
+        if claim:
+            _link_claim(state, allocation, claim[0], claim[1])
+
+
+def apply_op(state: BrokerState, op: Dict[str, Any], info: RecoveryInfo) -> None:
+    """Apply one replayed journal op to ``state``."""
+    kind = op["op"]
+    if kind == "epoch":
+        info.epoch = max(info.epoch, int(op["epoch"]))
+        state._next_jobid = max(state._next_jobid, int(op["first_jobid"]))
+    elif kind == "machine":
+        _apply_machine_op(state, op)
+    elif kind == "job":
+        state.adopt_job(
+            int(op["jobid"]),
+            op["user"],
+            op["home"],
+            op.get("rsl", ""),
+            list(op.get("argv", ())),
+            adaptive_hint=bool(op.get("adaptive")),
+        )
+    elif kind == "job_done":
+        if op.get("prune"):
+            state.jobs.pop(int(op["jobid"]), None)
+        else:
+            job = state.jobs.get(int(op["jobid"]))
+            if job is not None:
+                job.done = True
+    elif kind == "alloc":
+        state.add_machine(op["host"])
+        state.allocate(
+            op["host"],
+            int(op["jobid"]),
+            bool(op["firm"]),
+            now=float(op["granted"]),
+            lease_expires_at=float(op["expires"]),
+        )
+    elif kind == "release":
+        record = state.machines.get(op["host"])
+        if record is not None:
+            released = record.allocation
+            record.allocation = None
+            if released is not None and released.claimed_by is not None:
+                released.claimed_by.reserved_host = None
+    elif kind == "reclaim":
+        record = state.machines.get(op["host"])
+        allocation = record.allocation if record is not None else None
+        if allocation is not None:
+            allocation.state = AllocationState.RECLAIMING
+            allocation.reclaiming_since = float(op["since"])
+            claim = op.get("claim")
+            if claim:
+                _link_claim(state, allocation, claim[0], claim[1])
+    elif kind == "pend+":
+        state.pending.append(
+            PendingRequest(
+                reqid=int(op["reqid"]),
+                jobid=int(op["jobid"]),
+                symbolic=op["symbolic"],
+                firm=bool(op["firm"]),
+                arrived_at=float(op["arrived"]),
+            )
+        )
+    elif kind == "pend-":
+        for request in state.pending:
+            if request.reqid == op["reqid"] and request.jobid == op["jobid"]:
+                state.pending.remove(request)
+                break
+    elif kind == "leases":
+        for host, expires in op["leases"].items():
+            record = state.machines.get(host)
+            if record is not None and record.allocation is not None:
+                record.allocation.lease_expires_at = float(expires)
+    # Unknown ops (a newer writer) are ignored: forward-compatible replay.
+
+
+def apply_payloads(
+    state: BrokerState, payloads: List[str], info: RecoveryInfo
+) -> None:
+    """Apply a run of framed payloads (shipped or replayed) to ``state``,
+    with the same skip-on-inconsistency policy as WAL replay."""
+    for payload in payloads:
+        try:
+            op = json.loads(payload)
+        except ValueError:
+            info.corrupt_records += 1
+            break
+        try:
+            apply_op(state, op, info)
+        except Exception:
+            info.skipped_ops += 1
+            continue
+        info.records += 1
 
 
 class BrokerJournal:
@@ -300,6 +518,22 @@ class BrokerJournal:
         self.records_written = 0
         self.flushes = 0
         self.compactions = 0
+        #: WAL shipping to a warm standby.  The ship *stream* is the
+        #: concatenation of every character physically appended to a WAL
+        #: after :meth:`enable_shipping` (flushes and compaction openers
+        #: alike), identified by the enabling incarnation's epoch.  Offsets
+        #: are characters of that stream; every append is whole frames, so
+        #: chunk boundaries are always valid replay cut points.
+        self.ship_enabled = False
+        self.ship_stream = 0
+        self.flushed_offset = 0
+        self.acked_offset = 0
+        #: Flushed-but-unacked chunks ``(offset, data)``, retained for
+        #: resend on standby reconnect; trimmed as acks arrive.
+        self._ship_chunks: List[Tuple[int, str]] = []
+        #: Kick callable: invoked (if set) after each append so the ship
+        #: server wakes and drains new data within its in-flight window.
+        self._ship_kick: Optional[Callable[[], None]] = None
 
     # -- paths and generations ----------------------------------------------
 
@@ -412,6 +646,7 @@ class BrokerJournal:
         self._oldest_pending = -1.0
         self.fs.append(self._wal_path(self.generation), data)
         self._wal_bytes += len(data)
+        self._ship_append(data)
         self.flushes += 1
         if self.metrics is not None:
             self.metrics.counter("journal.flushes").inc()
@@ -458,6 +693,85 @@ class BrokerJournal:
         self._oldest_pending = -1.0
         self._stall_until = -1.0
 
+    # -- WAL shipping ---------------------------------------------------------
+
+    def enable_shipping(self, stream: int, kick: Optional[Callable[[], None]] = None) -> None:
+        """Start accounting appends as a ship stream identified by ``stream``
+        (the enabling incarnation's epoch).  Offsets restart at zero: a new
+        incarnation is a new stream, and a standby holding an old stream id
+        re-baselines from a snapshot."""
+        self.ship_enabled = True
+        self.ship_stream = stream
+        self.flushed_offset = 0
+        self.acked_offset = 0
+        self._ship_chunks = []
+        self._ship_kick = kick
+
+    def set_ship_kick(self, kick: Optional[Callable[[], None]]) -> None:
+        """Install (or clear) the new-data wakeup for the ship server."""
+        self._ship_kick = kick
+
+    def _ship_append(self, data: str) -> None:
+        if not self.ship_enabled or not data:
+            return
+        self._ship_chunks.append((self.flushed_offset, data))
+        self.flushed_offset += len(data)
+        if self.metrics is not None:
+            self.metrics.gauge("journal.ship_lag").set(self.ship_lag())
+        if self._ship_kick is not None:
+            self._ship_kick()
+
+    def note_ship_ack(self, offset: int) -> None:
+        """The standby has durably applied the stream up to ``offset``;
+        trim the retained resend tail."""
+        if offset <= self.acked_offset:
+            return
+        self.acked_offset = min(offset, self.flushed_offset)
+        self._ship_chunks = [
+            (start, data)
+            for start, data in self._ship_chunks
+            if start + len(data) > self.acked_offset
+        ]
+        if self.metrics is not None:
+            self.metrics.gauge("journal.ship_lag").set(self.ship_lag())
+
+    def ship_pending(self, from_offset: int) -> Optional[List[Tuple[int, str]]]:
+        """Retained chunks covering the stream from ``from_offset`` on, or
+        None when the stream cannot be resumed there (the tail was trimmed
+        past it) and the standby needs a snapshot baseline.
+
+        Acks land on chunk boundaries, so a resumable ``from_offset`` is
+        always one too; a mid-chunk offset is sliced defensively (frames
+        would still align — chunks are whole frames)."""
+        if from_offset >= self.flushed_offset:
+            return []
+        chunks = [
+            (start, data)
+            for start, data in self._ship_chunks
+            if start + len(data) > from_offset
+        ]
+        if not chunks or chunks[0][0] > from_offset:
+            return None
+        start, data = chunks[0]
+        if start < from_offset:
+            chunks[0] = (from_offset, data[from_offset - start :])
+        return chunks
+
+    def ship_lag(self) -> int:
+        """Characters flushed but not yet acknowledged by the standby."""
+        return max(0, self.flushed_offset - self.acked_offset)
+
+    def ship_stats(self) -> Dict[str, Any]:
+        """Replication-side view for the ``stats`` RPC."""
+        return {
+            "enabled": self.ship_enabled,
+            "stream": self.ship_stream,
+            "flushed_offset": self.flushed_offset,
+            "acked_offset": self.acked_offset,
+            "lag_chars": self.ship_lag(),
+            "retained_chars": sum(len(data) for _start, data in self._ship_chunks),
+        }
+
     # -- compaction ----------------------------------------------------------
 
     def _compact(self) -> None:
@@ -488,6 +802,7 @@ class BrokerJournal:
                 )
             )
         self.fs.write(self._wal_path(generation), opener)
+        self._ship_append(opener)
         self.generation = generation
         self._wal_bytes = len(opener)
         floor = generation - self.keep_generations
@@ -577,7 +892,7 @@ class BrokerJournal:
         state = BrokerState(first_jobid=first_jobid)
         state.use_indexes = use_indexes
         if base_state is not None:
-            self._apply_snapshot(state, base_state, info)
+            apply_snapshot(state, base_state, info)
         for generation in range(base_generation, top + 1):
             path = self._wal_path(generation)
             if not self.fs.exists(path):
@@ -586,21 +901,10 @@ class BrokerJournal:
             payloads, torn, corrupt = parse_frames(self.fs.read(path))
             info.torn_tails += torn
             info.corrupt_records += corrupt
-            for payload in payloads:
-                try:
-                    op = json.loads(payload)
-                except ValueError:
-                    info.corrupt_records += 1
-                    break
-                try:
-                    self._apply(state, op, info)
-                except Exception:
-                    # An op inconsistent with the rebuilt state (possible
-                    # only after a torn/corrupt prefix): skip it and let
-                    # reconciliation settle the difference.
-                    info.skipped_ops += 1
-                    continue
-                info.records += 1
+            # Ops inconsistent with the rebuilt state (possible only after
+            # a torn/corrupt prefix) are skipped inside; reconciliation
+            # settles the difference.
+            apply_payloads(state, payloads, info)
         return state, info
 
     def recover(
@@ -623,181 +927,8 @@ class BrokerJournal:
         if loaded is None:
             return None
         state, info = loaded
-        for record in state.machines.values():
-            if record.last_report >= 0.0:
-                record.last_report = -1.0
-            if record.last_seen >= 0.0 and not record.dead:
-                record.last_seen = now
-            allocation = record.allocation
-            if allocation is not None:
-                allocation.recovered = True
-                allocation.lease_expires_at = max(
-                    allocation.lease_expires_at, now + lease_ttl
-                )
-        state.mark_all_pending_dirty()
+        restamp_recovered(state, now, lease_ttl)
         return state, info
-
-    # -- replay --------------------------------------------------------------
-
-    def _apply_snapshot(
-        self, state: BrokerState, doc: Dict[str, Any], info: RecoveryInfo
-    ) -> None:
-        state._next_jobid = max(state._next_jobid, int(doc.get("next_jobid", 1)))
-        for op in doc.get("machines", ()):
-            self._apply_machine(state, op)
-        for job in doc.get("jobs", ()):
-            record = state.adopt_job(
-                int(job["jobid"]),
-                job["user"],
-                job["home"],
-                job.get("rsl", ""),
-                list(job.get("argv", ())),
-                adaptive_hint=bool(job.get("adaptive")),
-            )
-            if job.get("done"):
-                record.done = True
-        for entry in doc.get("pending", ()):
-            request = PendingRequest(
-                reqid=int(entry["reqid"]),
-                jobid=int(entry["jobid"]),
-                symbolic=entry["symbolic"],
-                firm=bool(entry["firm"]),
-                arrived_at=float(entry["arrived"]),
-                reserved_host=entry.get("reserved"),
-            )
-            state.pending.append(request)
-        for entry in doc.get("allocations", ()):
-            host = entry["host"]
-            state.add_machine(host)
-            allocation = state.allocate(
-                host,
-                int(entry["jobid"]),
-                bool(entry["firm"]),
-                now=float(entry["granted"]),
-                lease_expires_at=float(entry["expires"]),
-            )
-            if entry.get("astate") == AllocationState.RECLAIMING.value:
-                allocation.state = AllocationState.RECLAIMING
-                allocation.reclaiming_since = float(entry.get("since", -1.0))
-            claim = entry.get("claim")
-            if claim:
-                self._link_claim(state, allocation, claim[0], claim[1])
-
-    def _apply_machine(self, state: BrokerState, op: Dict[str, Any]) -> None:
-        record = state.add_machine(op["host"])
-        if record.platform != op["platform"]:
-            record.platform = op["platform"]
-        if record.kind != op["mkind"]:
-            record.kind = op["mkind"]
-        if record.owner != op["owner"]:
-            record.owner = op["owner"]
-        if record.console_active != op["console"]:
-            record.console_active = bool(op["console"])
-        if record.cpu_load != op["load"]:
-            record.cpu_load = int(op["load"])
-        record.n_processes = int(op["nproc"])
-        if op["reported"]:
-            record.last_report = float(op["seen"])
-        elif record.last_report >= 0.0:
-            record.last_report = -1.0
-        record.last_seen = float(op["seen"])
-        if record.dead != bool(op["dead"]):
-            record.dead = bool(op["dead"])
-        record.leases = tuple(int(j) for j in op.get("leases", ()))
-
-    def _link_claim(
-        self, state: BrokerState, allocation: Any, jobid: int, reqid: int
-    ) -> None:
-        for request in state.pending:
-            if request.jobid == jobid and request.reqid == reqid:
-                allocation.claimed_by = request
-                request.reserved_host = allocation.host
-                return
-        # The claimant is no longer pending (satisfied elsewhere, or its
-        # job's requests were dropped) while the reclaim it demanded is
-        # still in flight.  The live state keeps that dangling reference,
-        # so replay carries the claim on a detached request rather than
-        # silently forgetting who asked.
-        allocation.claimed_by = PendingRequest(
-            reqid=reqid,
-            jobid=jobid,
-            symbolic="",
-            firm=False,
-            arrived_at=-1.0,
-            reserved_host=allocation.host,
-        )
-
-    def _apply(
-        self, state: BrokerState, op: Dict[str, Any], info: RecoveryInfo
-    ) -> None:
-        kind = op["op"]
-        if kind == "epoch":
-            info.epoch = max(info.epoch, int(op["epoch"]))
-            state._next_jobid = max(state._next_jobid, int(op["first_jobid"]))
-        elif kind == "machine":
-            self._apply_machine(state, op)
-        elif kind == "job":
-            state.adopt_job(
-                int(op["jobid"]),
-                op["user"],
-                op["home"],
-                op.get("rsl", ""),
-                list(op.get("argv", ())),
-                adaptive_hint=bool(op.get("adaptive")),
-            )
-        elif kind == "job_done":
-            if op.get("prune"):
-                state.jobs.pop(int(op["jobid"]), None)
-            else:
-                job = state.jobs.get(int(op["jobid"]))
-                if job is not None:
-                    job.done = True
-        elif kind == "alloc":
-            state.add_machine(op["host"])
-            state.allocate(
-                op["host"],
-                int(op["jobid"]),
-                bool(op["firm"]),
-                now=float(op["granted"]),
-                lease_expires_at=float(op["expires"]),
-            )
-        elif kind == "release":
-            record = state.machines.get(op["host"])
-            if record is not None:
-                released = record.allocation
-                record.allocation = None
-                if released is not None and released.claimed_by is not None:
-                    released.claimed_by.reserved_host = None
-        elif kind == "reclaim":
-            record = state.machines.get(op["host"])
-            allocation = record.allocation if record is not None else None
-            if allocation is not None:
-                allocation.state = AllocationState.RECLAIMING
-                allocation.reclaiming_since = float(op["since"])
-                claim = op.get("claim")
-                if claim:
-                    self._link_claim(state, allocation, claim[0], claim[1])
-        elif kind == "pend+":
-            state.pending.append(
-                PendingRequest(
-                    reqid=int(op["reqid"]),
-                    jobid=int(op["jobid"]),
-                    symbolic=op["symbolic"],
-                    firm=bool(op["firm"]),
-                    arrived_at=float(op["arrived"]),
-                )
-            )
-        elif kind == "pend-":
-            for request in state.pending:
-                if request.reqid == op["reqid"] and request.jobid == op["jobid"]:
-                    state.pending.remove(request)
-                    break
-        elif kind == "leases":
-            for host, expires in op["leases"].items():
-                record = state.machines.get(host)
-                if record is not None and record.allocation is not None:
-                    record.allocation.lease_expires_at = float(expires)
-        # Unknown ops (a newer writer) are ignored: forward-compatible replay.
 
     # -- introspection -------------------------------------------------------
 

@@ -225,6 +225,99 @@ def job_done(jobid: int, code: Optional[int]) -> Message:
     return {"type": "job_done", "jobid": jobid, "code": code}
 
 
+# -- warm-standby replication and fencing ------------------------------------
+#
+# The primary broker serves a WAL-ship listener (``ports.SHIP``); the warm
+# standby dials it, announces how much of the stream it already holds, and
+# receives framed journal data plus heartbeats.  Promotion and the fencing
+# handshake ride the daemon connections: every broker->daemon message that
+# matters (welcome, grant install, lease renewal) is stamped with the sender's
+# epoch, daemons remember the highest epoch they have ever witnessed, and a
+# stale-epoch sender is answered with ``fence_reject`` — its cue to demote.
+
+
+def ship_hello(host: str, stream: int, acked: int) -> Message:
+    """Standby -> primary: subscribe to the WAL stream.
+
+    ``stream`` identifies the primary incarnation whose stream the standby
+    holds (its epoch); ``acked`` is how many characters of that stream it has
+    durably applied.  A primary with a different stream id answers with a
+    snapshot instead of a resend."""
+    return {"type": "ship_hello", "host": host, "stream": stream, "acked": acked}
+
+
+def ship_snapshot(stream: int, offset: int, state: Message, epoch: int) -> Message:
+    """Primary -> standby: a full-state baseline at ``offset`` of stream
+    ``stream`` — sent when the standby's stream id or offset cannot be
+    resumed (first contact, or the primary compacted past it)."""
+    return {
+        "type": "ship_snapshot",
+        "stream": stream,
+        "offset": offset,
+        "state": state,
+        "epoch": epoch,
+    }
+
+
+def ship_frame(stream: int, offset: int, data: str) -> Message:
+    """Primary -> standby: WAL characters ``[offset, offset + len(data))`` of
+    stream ``stream``, in journal frame encoding."""
+    return {"type": "ship_frame", "stream": stream, "offset": offset, "data": data}
+
+
+def ship_ack(stream: int, acked: int) -> Message:
+    """Standby -> primary: everything up to character ``acked`` of stream
+    ``stream`` is applied and locally persisted."""
+    return {"type": "ship_ack", "stream": stream, "acked": acked}
+
+
+def ship_heartbeat(epoch: int, time: float) -> Message:
+    """Primary -> standby: liveness beacon on the ship connection."""
+    return {"type": "ship_heartbeat", "epoch": epoch, "time": time}
+
+
+def daemon_welcome(epoch: int) -> Message:
+    """Broker -> daemon: reply to ``daemon_hello`` naming the broker's epoch.
+
+    The daemon records it as witnessed; a welcome from a *lower* epoch than
+    the daemon has witnessed is answered with :func:`fence_reject`."""
+    return {"type": "daemon_welcome", "epoch": epoch}
+
+
+def grant_install(jobid: int, reqid: int, epoch: int) -> Message:
+    """Broker -> daemon: a grant of this daemon's machine to ``jobid`` is
+    being issued under ``epoch``.  The fencing write: a daemon that has
+    witnessed a higher epoch rejects the install, and the grant never takes
+    effect on the machine that matters."""
+    return {"type": "grant_install", "jobid": jobid, "reqid": reqid, "epoch": epoch}
+
+
+def lease_renew(epoch: int, jobids: List[int]) -> Message:
+    """Broker -> daemon: the broker renewed these leases under ``epoch``
+    (echo of the daemon's own piggybacked renewal, stamped so a stale
+    ex-primary is detected on its very next renewal cycle)."""
+    return {"type": "lease_renew", "epoch": epoch, "jobids": sorted(jobids)}
+
+
+def fence_reject(stale_epoch: int, witnessed: int, host: str) -> Message:
+    """Daemon -> broker: the message stamped ``stale_epoch`` was refused
+    because this machine has witnessed ``witnessed``.  First such reply
+    demotes the ex-primary."""
+    return {
+        "type": "fence_reject",
+        "stale_epoch": stale_epoch,
+        "witnessed": witnessed,
+        "host": host,
+    }
+
+
+def fence_notice(epoch: int) -> Message:
+    """Promoted broker -> ex-primary (on the ship port): a higher epoch
+    exists; demote.  Closes the double-partition hole where an isolated
+    ex-primary has no daemon left to reject it."""
+    return {"type": "fence_notice", "epoch": epoch}
+
+
 # -- user queries and control (paper §4.1: "Users communicate with
 # ResourceBroker to query machine availability, to learn the status of
 # queued jobs ...") ----------------------------------------------------------

@@ -18,7 +18,8 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.broker.app import app_main, subapp_main
 from repro.broker.core import make_broker_main
 from repro.broker.daemon import rbdaemon_main
-from repro.broker.journal import BrokerJournal
+from repro.broker.journal import BrokerJournal, restamp_recovered
+from repro.broker.replica import make_standby_main
 from repro.broker.rshprime import rshprime_main
 from repro.broker.tools import rbctl_main, rbstat_main, rbtop_main, rbtrace_main
 from repro.broker.state import BrokerState, JobRecord
@@ -123,6 +124,7 @@ class BrokerService:
         broker_host: Optional[str] = None,
         scheduler_mode: Optional[str] = None,
         journal: Optional[bool] = None,
+        standby_host: Optional[str] = None,
         event_log_cap: Optional[int] = None,
         retain_done_jobs: bool = True,
     ) -> None:
@@ -171,9 +173,28 @@ class BrokerService:
         #: The live ``_BrokerControl`` once the broker program boots.
         self.control = None
         self._daemon_down: Dict[str, Any] = {}
-        #: Broker incarnation number; bumped by :meth:`restart_broker`.
-        #: Apps resume their sessions by (jobid, epoch).
+        #: Broker incarnation number; bumped by :meth:`restart_broker` and
+        #: :meth:`promote_standby`.  Apps resume their sessions by
+        #: (jobid, epoch).
         self.epoch = 1
+        #: Warm standby (DESIGN.md §16): with ``standby_host`` set, the
+        #: primary ships flushed WAL frames to an ``rbstandby`` process
+        #: there, grants and lease renewals carry epoch stamps (fencing),
+        #: and the standby promotes itself on primary death.
+        self.standby_host = standby_host
+        self.fencing = standby_host is not None
+        #: The well-known broker addresses, in dial order — stable across a
+        #: promotion so every daemon and app can alternate between them.
+        self.broker_addresses: List[str] = [self.broker_host]
+        if standby_host is not None:
+            if standby_host == self.broker_host:
+                raise ValueError("standby_host must differ from broker_host")
+            if standby_host not in cluster.machines:
+                raise ValueError(f"unknown standby_host {standby_host!r}")
+            self.broker_addresses.append(standby_host)
+        #: Ex-primary host a freshly promoted incarnation must fence (via
+        #: ``fence_notice`` on the ship port); None until a promotion.
+        self.fence_target: Optional[str] = None
 
         # The broker's program directory, shadowing the system's rsh.
         self.rb_bin = ProgramDirectory("rb")
@@ -182,6 +203,7 @@ class BrokerService:
         self.rb_bin.register("subapp", subapp_main)
         self.rb_bin.register("rbdaemon", rbdaemon_main)
         self.rb_bin.register("rbroker", make_broker_main(self))
+        self.rb_bin.register("rbstandby", make_standby_main(self))
         self.rb_bin.register("rbstat", rbstat_main)
         self.rb_bin.register("rbctl", rbctl_main)
         self.rb_bin.register("rbtrace", rbtrace_main)
@@ -194,6 +216,12 @@ class BrokerService:
         broker_machine = cluster.machines[self.broker_host]
         if self.rb_bin not in broker_machine.path:
             broker_machine.path = [self.rb_bin] + list(broker_machine.path)
+        if self.standby_host is not None:
+            standby_machine = cluster.machines[self.standby_host]
+            if self.rb_bin not in standby_machine.path:
+                standby_machine.path = [self.rb_bin] + list(
+                    standby_machine.path
+                )
 
         #: Durable write-ahead journal (DESIGN.md §14), off by default so
         #: the seed's in-memory-only behaviour is untouched; opt in per
@@ -210,6 +238,13 @@ class BrokerService:
                 compact_bytes=calibration.journal_compact_bytes,
             )
             self.journal.attach(self.state, epoch=self.epoch)
+            if self.fencing:
+                self.journal.enable_shipping(stream=self.epoch)
+        if self.fencing and self.journal is None:
+            raise ValueError(
+                "a warm standby replicates the WAL: standby_host requires "
+                "journal=True"
+            )
 
         self.broker_proc = OSProcess(
             broker_machine,
@@ -357,6 +392,10 @@ class BrokerService:
             )
         if self.journal is not None:
             self.journal.attach(self.state, epoch=self.epoch, compact=True)
+            if self.fencing:
+                # A restarted incarnation is a new ship stream; a standby
+                # holding the old one re-baselines from a snapshot.
+                self.journal.enable_shipping(stream=self.epoch)
         self.control = None
         self._daemon_down = {}
         self.metrics.counter("broker.restarts").inc()
@@ -369,6 +408,87 @@ class BrokerService:
             environ={"HOME": f"/home/{BROKER_UID}"},
         )
         return self.broker_proc
+
+    def promote_standby(
+        self,
+        state: BrokerState,
+        witnessed: int,
+        applied_records: int = 0,
+        acked_offset: int = 0,
+    ) -> OSProcess:
+        """Fail over to the warm standby (called by ``rbstandby`` when the
+        primary goes silent past the promotion deadline, DESIGN.md §16).
+
+        The shipped shadow ``state`` becomes the service's live state under
+        a strictly higher epoch than any the standby witnessed, with the
+        same restart-time recovery policy as journal recovery (leases
+        re-stamped and marked recovered, reports cleared so nothing is
+        granted until daemons re-prove liveness).  A fresh broker
+        incarnation then boots *on the standby machine* — the well-known
+        secondary address every daemon and app alternates toward — with a
+        fresh journal there, and fences the ex-primary by epoch: daemons
+        reject its stale-stamped grants and renewals, and the promoted
+        broker sends it a ``fence_notice`` for the case where no daemon is
+        left to do the rejecting.
+        """
+        if self.standby_host is None:
+            raise ValueError("promote_standby needs a configured standby")
+        now = self.env.now
+        calibration = self.cluster.network.calibration
+        old_primary = self.broker_host
+        self.epoch = max(self.epoch, witnessed) + 1
+        state._next_jobid = max(
+            state._next_jobid, max(state.jobs, default=0) + 1
+        )
+        restamp_recovered(state, now, calibration.lease_ttl)
+        self.state = state
+        for host in self.managed_hosts:
+            self.state.add_machine(host)
+        self.broker_host = self.standby_host
+        self.fence_target = old_primary
+        standby_machine = self.cluster.machines[self.broker_host]
+        self.journal = BrokerJournal(
+            fs=standby_machine.fs,
+            clock=lambda: self.env.now,
+            metrics=self.metrics,
+            compact_bytes=calibration.journal_compact_bytes,
+        )
+        self.journal.attach(self.state, epoch=self.epoch, compact=True)
+        self.ready = self.env.event()
+        self.control = None
+        self._daemon_down = {}
+        self.metrics.counter("broker.promotions").inc()
+        self.metrics.counter("recovery.from_standby").inc()
+        self.metrics.gauge("recovery.latency_seconds").set(0.0)
+        self.log(
+            event="broker_promoted",
+            epoch=self.epoch,
+            host=self.broker_host,
+            from_host=old_primary,
+            witnessed=witnessed,
+            applied_records=applied_records,
+            acked_offset=acked_offset,
+            jobs=len(state.jobs),
+            leases=len(state.leased_records()),
+            pending=len(state.pending),
+        )
+        self.broker_proc = OSProcess(
+            standby_machine,
+            ["rbroker"],
+            uid=BROKER_UID,
+            environ={"HOME": f"/home/{BROKER_UID}"},
+        )
+        return self.broker_proc
+
+    def _app_environ(self) -> Dict[str, str]:
+        """Broker-address environment for app processes."""
+        environ = {"RB_BROKER_HOST": self.broker_host}
+        alternates = [
+            host for host in self.broker_addresses if host != self.broker_host
+        ]
+        if alternates:
+            environ["RB_BROKER_STANDBY"] = alternates[0]
+        return environ
 
     def _require_broker(self, action: str) -> None:
         """Fail fast (not a silent dropped send) when the broker is down."""
@@ -405,7 +525,7 @@ class BrokerService:
             host,
             app_argv,
             uid=uid,
-            environ={"RB_BROKER_HOST": self.broker_host, **span.environ()},
+            environ={**self._app_environ(), **span.environ()},
         )
         proc.terminated.add_callback(
             lambda ev: span.end(code=ev.value) if not span.finished else None

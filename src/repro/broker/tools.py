@@ -8,8 +8,9 @@ program; these two cover the rest:
 * ``rbstat`` — query the broker and write a human-readable status report to
   ``~/.rbstat`` (machine availability, job table, queue depth).  With
   ``--stats`` it asks for the live telemetry snapshot instead (queue
-  depths, per-phase latency digests, obs self-metering).  Exit 0 on
-  success, 1 if the broker is unreachable.
+  depths, per-phase latency digests, warm-standby replication and fencing
+  counters, obs self-metering).  Exit 0 on success, 1 if the broker is
+  unreachable.
 * ``rbctl halt <jobid>`` — ask the broker to stop a job (delivered to the
   job's app, which uses the job's ``<module>_halt`` script when there is
   one).
@@ -184,6 +185,24 @@ def format_stats(stats: dict) -> str:
             f"bytes={journal.get('total_bytes', 0)} "
             f"lag={journal.get('flush_lag', 0.0):.3f}s"
             + (" STALLED" if journal.get("stalled") else "")
+        )
+    replication = stats.get("replication", {})
+    if replication.get("enabled"):
+        lines.append(
+            f"replication: stream={replication.get('stream', 0)} "
+            f"flushed={replication.get('flushed_offset', 0)} "
+            f"acked={replication.get('acked_offset', 0)} "
+            f"lag={replication.get('lag_chars', 0)} "
+            f"frames={replication.get('frames', 0):g} "
+            f"snapshots={replication.get('snapshots', 0):g} "
+            f"resends={replication.get('resends', 0):g}"
+        )
+    if "promotions" in replication:
+        lines.append(
+            f"fencing: promotions={replication.get('promotions', 0):g} "
+            f"demotions={replication.get('demotions', 0):g} "
+            f"rejections={replication.get('fencing_rejections', 0):g} "
+            f"double_grants={replication.get('double_grants', 0):g}"
         )
     recovery = stats.get("recovery", {})
     if recovery and any(recovery.values()):

@@ -189,6 +189,29 @@ class Calibration:
     #: snapshot every few seconds.
     journal_compact_bytes: int = 65536
 
+    #: Interval between heartbeats the primary broker sends on the WAL-ship
+    #: connection.  Several heartbeats fit inside the promotion deadline so a
+    #: single dropped message never triggers a failover.
+    standby_heartbeat_interval: float = 0.5
+
+    #: Silence (no heartbeat, no ship frame, redials refused) after which the
+    #: warm standby declares the primary dead and promotes itself.  Strictly
+    #: below the restart+recover path (crash detection plus the fault plan's
+    #: ~4 s restart delay plus replay) — that gap is the point of the warm
+    #: standby, and ``bench_failover`` pins it.
+    standby_promotion_deadline: float = 2.5
+
+    #: Bound (characters) on shipped-but-unacknowledged WAL data in flight to
+    #: the standby.  The primary stops shipping (retaining the tail for
+    #: resend) once this much is outstanding, so a slow or partitioned
+    #: standby backpressures the ship channel instead of growing it.
+    ship_window_chars: int = 8192
+
+    #: Replication lag (characters of flushed-but-unacked WAL) beyond which
+    #: the health monitor flags ``health.replication_lag``.  One full ship
+    #: window of lag means the channel is stalled, not merely busy.
+    replication_lag_chars: int = 8192
+
 
 #: The default calibration used across experiments, matching the paper's
 #: testbed as described above.

@@ -224,6 +224,7 @@ class Cluster:
         broker_host=None,
         scheduler_mode=None,
         journal=None,
+        standby_host=None,
         event_log_cap=None,
         retain_done_jobs=True,
     ):
@@ -231,8 +232,10 @@ class Cluster:
         :class:`repro.broker.service.BrokerService`.
 
         ``journal`` turns on the durable write-ahead journal (None reads
-        ``RB_JOURNAL``); ``event_log_cap`` and ``retain_done_jobs=False``
-        bound the service's memory for service-mode soaks."""
+        ``RB_JOURNAL``); ``standby_host`` places a warm standby there (WAL
+        shipping + fenced failover, requires the journal); ``event_log_cap``
+        and ``retain_done_jobs=False`` bound the service's memory for
+        service-mode soaks."""
         from repro.broker.service import BrokerService
 
         self.broker = BrokerService(
@@ -242,6 +245,7 @@ class Cluster:
             broker_host=broker_host,
             scheduler_mode=scheduler_mode,
             journal=journal,
+            standby_host=standby_host,
             event_log_cap=event_log_cap,
             retain_done_jobs=retain_done_jobs,
         )

@@ -6,5 +6,9 @@ RSHD = 514
 #: The network-wide ResourceBroker process.
 BROKER = 3000
 
+#: The WAL-shipping listener inside the primary broker; the warm standby
+#: dials it to pull journal frames and heartbeats.
+SHIP = 3001
+
 #: First ephemeral port; app/subapp/system daemons allocate upwards per host.
 EPHEMERAL_BASE = 40000

@@ -22,6 +22,7 @@ from __future__ import annotations
 from repro.cluster import Cluster, ClusterSpec
 from repro.experiments.results import ExperimentTable
 from repro.faults import FaultInjector, FaultPlan
+from repro.faults.plan import BrokerCrash, ShipLinkPartition, StandbyCrash
 from repro.obs import HealthMonitor
 
 
@@ -34,6 +35,7 @@ def run_chaos(
     partitions: int = 1,
     broker_crashes: int = 0,
     journal: bool = False,
+    standby: bool = False,
     trace=None,
 ) -> ExperimentTable:
     """Run the chaos experiment; see the module docstring.
@@ -50,9 +52,29 @@ def run_chaos(
     disk-stall window.  Restarts then recover from snapshot+replay first
     and reconcile against the daemons, instead of rebuilding from
     re-registration alone.
+
+    ``standby=True`` runs the warm-standby failover scenario instead of the
+    crash/restart one: an extra (unmanaged) machine hosts an ``rbstandby``
+    replica fed by WAL shipping, and the schedule stacks the worst sequence
+    the design must survive — a standby kill (keeper respawn + stream
+    resume), then a ship-link partition, then a primary SIGKILL *mid-ship*,
+    one second into the partition and before the promotion deadline, so
+    recovery can only come from promotion (there is no restart).  The table
+    grows promotion/fencing rows, and ``double grants`` must be zero.
     """
-    cluster = Cluster(ClusterSpec.uniform(machines + 1, seed=seed))
-    svc = cluster.start_broker(journal=journal)
+    standby_host = f"n{machines + 1:02d}" if standby else None
+    cluster = Cluster(
+        ClusterSpec.uniform(machines + (2 if standby else 1), seed=seed)
+    )
+    svc = cluster.start_broker(
+        # Shipping replicates the WAL, so the standby scenario is durable
+        # by construction; the journal *fault* extras stay opt-in.
+        journal=journal or standby,
+        standby_host=standby_host,
+        managed_hosts=(
+            [f"n{i:02d}" for i in range(machines + 1)] if standby else None
+        ),
+    )
     svc.wait_ready()
     monitor = HealthMonitor(svc).start()
     worker_hosts = [f"n{i:02d}" for i in range(1, machines + 1)]
@@ -67,17 +89,33 @@ def run_chaos(
     # host and runs the broker.  The broker *process* is fair game, though —
     # broker_crashes kills and restarts it without taking n00 down, which is
     # exactly the failure the lease/resume machinery exists for.
+    stream = cluster.env.rng.stream("faults.plan")
     plan = FaultPlan.generate(
-        cluster.env.rng.stream("faults.plan"),
+        stream,
         worker_hosts,
         start=5.0,
         window=45.0,
         crashes=crashes,
         partitions=partitions,
-        broker_crashes=broker_crashes,
+        # The standby scenario adds its own broker kill below, placed
+        # relative to the ship-link partition; a drawn crash (and its
+        # paired restart) would race the promotion.
+        broker_crashes=0 if standby else broker_crashes,
         torn_writes=1 if journal else 0,
         disk_stalls=1 if journal else 0,
     )
+    if standby:
+        # Drawn *after* every generate() draw, so the machine-level
+        # schedule is byte-identical to the non-standby run of this seed.
+        # The sequence is deliberate: kill the standby first (keeper
+        # respawn + stream resume from the persisted offset), then cut the
+        # ship link, then SIGKILL the primary one second in — mid-ship,
+        # inside the partition, before the promotion deadline — so the
+        # promoted replica is provably working from shipped state alone.
+        ship_at = float(stream.uniform(20.0, 35.0))
+        plan.add(StandbyCrash(at=max(2.0, ship_at - 8.0)))
+        plan.add(ShipLinkPartition(at=ship_at, duration=12.0))
+        plan.add(BrokerCrash(at=ship_at + 1.0))
     injector = FaultInjector(cluster, plan).start()
 
     handles = [
@@ -127,6 +165,30 @@ def run_chaos(
     table.add("latency spikes injected", plan.count("latency_spike"))
     table.add("broker crashes injected", plan.count("broker_crash"))
     table.add("broker restarts", counters.counter("broker.restarts").value)
+    if standby:
+        table.add("standby kills injected", plan.count("standby_crash"))
+        table.add(
+            "ship-link partitions injected", plan.count("ship_link_partition")
+        )
+        table.add(
+            "standby respawns", counters.counter("broker.standby_restarts").value
+        )
+        table.add(
+            "ship frames / snapshots / resends",
+            f"{counters.counter('ship.frames').value:g} / "
+            f"{counters.counter('ship.snapshots').value:g} / "
+            f"{counters.counter('ship.resends').value:g}",
+        )
+        table.add("promotions", counters.counter("broker.promotions").value)
+        table.add("demotions", counters.counter("broker.demotions").value)
+        table.add(
+            "fencing rejections",
+            counters.counter("fencing.rejections").value,
+        )
+        table.add(
+            "double grants (must be 0)",
+            counters.counter("fencing.double_grants").value,
+        )
     if journal:
         table.add("journal torn writes injected", plan.count("journal_torn_write"))
         table.add("disk stalls injected", plan.count("disk_stall"))
@@ -198,6 +260,17 @@ def run_chaos(
     table.meta["plan"] = plan.summary()
     table.meta["faults_injected"] = len(injector.injected)
     table.meta["journal"] = journal
+    table.meta["standby"] = standby
+    if standby:
+        table.meta["fencing"] = {
+            "promotions": counters.counter("broker.promotions").value,
+            "demotions": counters.counter("broker.demotions").value,
+            "rejections": counters.counter("fencing.rejections").value,
+            "double_grants": counters.counter("fencing.double_grants").value,
+        }
+        table.meta["double_grants"] = counters.counter(
+            "fencing.double_grants"
+        ).value
     if journal:
         table.meta["recovery"] = {
             "from_journal": counters.counter("recovery.from_journal").value,

@@ -17,7 +17,10 @@ performs each fault at its scheduled instant:
   (no-ops on a cluster that never started a broker);
 * ``journal_torn_write`` / ``disk_stall`` — truncates the tail of the
   broker journal's newest WAL file / freezes journal flushes for a window
-  (no-ops when the broker runs without a journal).
+  (no-ops when the broker runs without a journal);
+* ``standby_crash`` / ``ship_link_partition`` — SIGKILLs the warm-standby
+  replica / blocks just the primary↔standby link (the false-promotion
+  split-brain scenario); both no-ops without a configured standby.
 
 Every injection opens and ends an observability span (``fault.<kind>``) and
 bumps ``faults.injected`` plus a per-kind counter, so a chaos run's trace
@@ -104,6 +107,17 @@ class FaultInjector:
         elif kind == "broker_restart":
             if self.cluster.broker is not None:
                 self.cluster.broker.restart_broker()
+        elif kind == "standby_crash":
+            self._kill_standby()
+        elif kind == "ship_link_partition":
+            broker = self.cluster.broker
+            if broker is not None and broker.standby_host is not None:
+                # Cut the link between the two *well-known* addresses, not
+                # the current broker host — after a promotion both roles sit
+                # on the standby address and the cut is inert.
+                a, b = broker.broker_addresses[0], broker.broker_addresses[1]
+                self.faults.add_link_block(a, b, fault.duration)
+                self.network.sever(self.faults.partitioned)
         elif kind == "journal_torn_write":
             broker = self.cluster.broker
             if broker is not None and broker.journal is not None:
@@ -114,6 +128,20 @@ class FaultInjector:
                 broker.journal.stall(fault.duration)
         else:  # pragma: no cover - plan types are closed
             raise ValueError(f"unknown fault kind {kind!r}")
+
+    def _kill_standby(self) -> int:
+        broker = self.cluster.broker
+        if broker is None or broker.standby_host is None:
+            return 0
+        machine = self.cluster.machines.get(broker.standby_host)
+        if machine is None or not machine.up:
+            return 0
+        killed = 0
+        for proc in list(machine.procs.values()):
+            if proc.is_alive and proc.argv and proc.argv[0] == "rbstandby":
+                proc.signal(SIGKILL)
+                killed += 1
+        return killed
 
     def _kill_daemons(self, host: str) -> int:
         machine = self.cluster.machines.get(host)

@@ -37,6 +37,18 @@ class _PartitionRule:
 
 
 @dataclass
+class _LinkRule:
+    """Blocks exactly one host pair (a ship-link partition) — unlike
+    :class:`_PartitionRule`, traffic to and from every other host flows."""
+
+    pair: FrozenSet[str]
+    until: float
+
+    def cuts(self, a: Optional[str], b: Optional[str]) -> bool:
+        return a != b and a in self.pair and b in self.pair
+
+
+@dataclass
 class _DropRule:
     until: float
     probability: float
@@ -63,6 +75,7 @@ class NetworkFaults:
         self.env = network.env
         self._rng = self.env.rng.stream("faults.net")
         self._partitions: List[_PartitionRule] = []
+        self._links: List[_LinkRule] = []
         self._drops: List[_DropRule] = []
         self._spikes: List[_SpikeRule] = []
 
@@ -74,6 +87,13 @@ class NetworkFaults:
             hosts=frozenset(hosts), until=self.env.now + duration
         )
         self._partitions.append(rule)
+        return rule
+
+    def add_link_block(self, a: str, b: str, duration: float) -> _LinkRule:
+        """Cut just the ``a``↔``b`` link until now+``duration`` (every other
+        path stays up — the ship-link split-brain scenario)."""
+        rule = _LinkRule(pair=frozenset((a, b)), until=self.env.now + duration)
+        self._links.append(rule)
         return rule
 
     def add_drop_rule(
@@ -100,12 +120,16 @@ class NetworkFaults:
     # -- queries (hot path: called on every send) --------------------------
 
     def partitioned(self, a: Optional[str], b: Optional[str]) -> bool:
-        """True iff an active partition separates hosts ``a`` and ``b``."""
-        if not self._partitions:
+        """True iff an active partition or link block separates ``a`` and
+        ``b``."""
+        if not self._partitions and not self._links:
             return False
         now = self.env.now
         self._partitions = [p for p in self._partitions if p.until > now]
-        return any(p.cuts(a, b) for p in self._partitions)
+        if any(p.cuts(a, b) for p in self._partitions):
+            return True
+        self._links = [r for r in self._links if r.until > now]
+        return any(r.cuts(a, b) for r in self._links)
 
     def should_drop(
         self, src: Optional[str], dst: Optional[str], message: object
@@ -141,6 +165,7 @@ class NetworkFaults:
     def __repr__(self) -> str:
         return (
             f"<NetworkFaults partitions={len(self._partitions)} "
+            f"links={len(self._links)} "
             f"drops={len(self._drops)} spikes={len(self._spikes)}>"
         )
 

@@ -22,6 +22,11 @@ LatencySpike        all message latencies multiplied for a window
 BrokerCrash         SIGKILL the broker process (jobs run on, unmanaged)
 BrokerRestart       boot a fresh broker incarnation (epoch + 1); daemons
                     re-register and apps resume their sessions
+StandbyCrash        SIGKILL the warm-standby replica (keeper respawns it;
+                    it resumes the ship stream from its persisted offset)
+ShipLinkPartition   cut only the primary↔standby link for a window: the
+                    standby promotes falsely and fencing must resolve the
+                    split brain
 JournalTornWrite    truncate the tail of the broker's on-disk journal (a
                     partially persisted append, as after power loss)
 DiskStall           the broker's journal device stops accepting flushes for
@@ -122,6 +127,36 @@ class BrokerRestart:
 
 
 @dataclass(frozen=True)
+class StandbyCrash:
+    """SIGKILL the warm-standby replica process at ``at``.
+
+    Not host-targeted: the service harness knows where its standby lives.
+    The primary's standby keeper notices the dropped ship session and
+    respawns it; the respawned replica resumes the stream from its locally
+    persisted offset.  No-op on a cluster without a configured standby."""
+
+    at: float
+
+    kind = "standby_crash"
+
+
+@dataclass(frozen=True)
+class ShipLinkPartition:
+    """Cut just the primary↔standby link for ``duration`` seconds.
+
+    The nastiest failure in the warm-standby design: both brokers stay up
+    and both stay reachable from the daemons, but the ship stream (and its
+    heartbeats) goes dark — so the standby promotes *falsely* and the
+    epoch-fencing protocol must resolve the resulting split brain.  No-op
+    without a configured standby."""
+
+    at: float
+    duration: float = 12.0
+
+    kind = "ship_link_partition"
+
+
+@dataclass(frozen=True)
 class JournalTornWrite:
     """Drop the last ``drop_chars`` characters of the broker journal's
     newest WAL file at ``at`` — the on-disk shadow of an append that was
@@ -157,6 +192,8 @@ Fault = Union[
     LatencySpike,
     BrokerCrash,
     BrokerRestart,
+    StandbyCrash,
+    ShipLinkPartition,
     JournalTornWrite,
     DiskStall,
 ]
@@ -214,9 +251,13 @@ class FaultPlan:
         spike_factor: float = 25.0,
         broker_crashes: int = 0,
         broker_restart_after: float = 4.0,
+        broker_restarts: bool = True,
         torn_writes: int = 0,
         disk_stalls: int = 0,
         stall_duration: float = 6.0,
+        standby_crashes: int = 0,
+        ship_partitions: int = 0,
+        ship_partition_duration: float = 12.0,
     ) -> "FaultPlan":
         """Draw a random plan over ``hosts`` from ``rng`` (a numpy Generator,
         typically ``env.rng.stream("faults.plan")`` so the schedule is a pure
@@ -274,7 +315,11 @@ class FaultPlan:
             crash_at = when()
             crash_times.append(crash_at)
             plan.add(BrokerCrash(at=crash_at))
-            plan.add(BrokerRestart(at=crash_at + broker_restart_after))
+            # ``broker_restarts=False`` (warm-standby runs: recovery comes
+            # from promotion, not restart) consumes no draw, so flipping it
+            # leaves every other fault's schedule untouched.
+            if broker_restarts:
+                plan.add(BrokerRestart(at=crash_at + broker_restart_after))
         # Journal faults draw after the broker block for the same reason.
         # A torn write pairs with a broker crash when one is scheduled (the
         # tear fires at the same instant; sorted() is stable, so the crash —
@@ -289,6 +334,14 @@ class FaultPlan:
             )
         for _ in range(disk_stalls):
             plan.add(DiskStall(at=when(), duration=stall_duration))
+        # Warm-standby faults draw last of all (same schedule-stability rule:
+        # zero-count plans reproduce pre-standby schedules byte-for-byte).
+        for _ in range(standby_crashes):
+            plan.add(StandbyCrash(at=when()))
+        for _ in range(ship_partitions):
+            plan.add(
+                ShipLinkPartition(at=when(), duration=ship_partition_duration)
+            )
         return plan
 
     def __len__(self) -> int:

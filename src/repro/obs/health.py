@@ -16,7 +16,10 @@ broker state:
   threshold (demand outrunning supply, or a scheduler stall);
 * **journal flush lag** — on a durable broker, buffered journal records
   older than a few flush intervals (a stalled disk or wedged flusher:
-  exactly the state a crash would turn into lost durability).
+  exactly the state a crash would turn into lost durability);
+* **replication lag** — on a broker with a warm standby, flushed-but-unacked
+  ship-stream characters beyond the threshold (a slow, dead or partitioned
+  standby: exactly the window a failover would lose).
 
 Anomalies are edge-triggered into ``health.*`` counters and the broker
 event log, and summarised in an end-of-run :class:`HealthReport` — which is
@@ -37,8 +40,10 @@ class HealthThresholds:
 
     ``stuck_after`` defaults to the lease TTL (a reclaim outliving a whole
     lease is stuck), ``heartbeat_gap`` to the liveness deadline,
-    ``queue_high`` to ``max(4, managed machines)``, and ``journal_lag`` to
-    four flush intervals (a healthy flusher drains well within one).
+    ``queue_high`` to ``max(4, managed machines)``, ``journal_lag`` to
+    four flush intervals (a healthy flusher drains well within one), and
+    ``replication_lag`` to the calibration's ``replication_lag_chars``
+    (the in-flight ship window a healthy standby acks promptly).
     """
 
     check_interval: float = 5.0
@@ -46,6 +51,7 @@ class HealthThresholds:
     heartbeat_gap: Optional[float] = None
     queue_high: Optional[int] = None
     journal_lag: Optional[float] = None
+    replication_lag: Optional[int] = None
 
 
 @dataclass
@@ -69,6 +75,8 @@ class HealthReport:
     pending: int = 0
     journal_lag_events: int = 0
     max_journal_lag: float = 0.0
+    replication_lag_events: int = 0
+    max_replication_lag: int = 0
 
     @property
     def healthy(self) -> bool:
@@ -95,6 +103,8 @@ class HealthReport:
             "pending": self.pending,
             "journal_lag_events": self.journal_lag_events,
             "max_journal_lag": round(self.max_journal_lag, 6),
+            "replication_lag_events": self.replication_lag_events,
+            "max_replication_lag": self.max_replication_lag,
             "healthy": self.healthy,
         }
 
@@ -122,6 +132,11 @@ class HealthReport:
             lines.append(
                 f"journal lag: {self.journal_lag_events} events "
                 f"(max lag: {self.max_journal_lag:.3f}s)"
+            )
+        if self.replication_lag_events or self.max_replication_lag:
+            lines.append(
+                f"replication lag: {self.replication_lag_events} events "
+                f"(max lag: {self.max_replication_lag} chars)"
             )
         if self.allocated_hosts:
             lines.append("allocated at end: " + ", ".join(self.allocated_hosts))
@@ -166,6 +181,11 @@ class HealthMonitor:
             if given.journal_lag is not None
             else 4.0 * cal.journal_flush_interval
         )
+        self.replication_lag = (
+            given.replication_lag
+            if given.replication_lag is not None
+            else cal.replication_lag_chars
+        )
         self.checks = 0
         self.stuck_events = 0
         self.gap_events = 0
@@ -174,10 +194,13 @@ class HealthMonitor:
         self.max_heartbeat_gap = 0.0
         self.journal_lag_events = 0
         self.max_journal_lag = 0.0
+        self.replication_lag_events = 0
+        self.max_replication_lag = 0
         self._stuck_flagged: set = set()
         self._gap_flagged: set = set()
         self._queue_flagged = False
         self._journal_flagged = False
+        self._replication_flagged = False
         self._proc = None
 
     def start(self) -> "HealthMonitor":
@@ -272,6 +295,28 @@ class HealthMonitor:
             else:
                 self._journal_flagged = False
 
+        # Replication lag (the warm-standby watchdog): flushed ship-stream
+        # characters the standby has not acknowledged.  A promoted broker's
+        # fresh journal has shipping off, so the watchdog follows failovers
+        # transparently (and is inert entirely without a standby).
+        if journal is not None and journal.ship_enabled:
+            ship_lag = journal.ship_lag()
+            if ship_lag > self.max_replication_lag:
+                self.max_replication_lag = ship_lag
+            if ship_lag > self.replication_lag:
+                if not self._replication_flagged:
+                    self.replication_lag_events += 1
+                    self.metrics.counter("health.replication_lag").inc()
+                    self.service.log(
+                        event="health_replication_lag",
+                        lag_chars=ship_lag,
+                        acked_offset=journal.acked_offset,
+                        flushed_offset=journal.flushed_offset,
+                    )
+                self._replication_flagged = True
+            else:
+                self._replication_flagged = False
+
     def report(self) -> HealthReport:
         """Run a final check and summarise the whole run."""
         self.check()
@@ -294,6 +339,8 @@ class HealthMonitor:
             pending=len(state.pending),
             journal_lag_events=self.journal_lag_events,
             max_journal_lag=self.max_journal_lag,
+            replication_lag_events=self.replication_lag_events,
+            max_replication_lag=self.max_replication_lag,
         )
 
 

@@ -62,6 +62,90 @@ def connect_with_backoff(
     raise AssertionError("unreachable")  # pragma: no cover
 
 
+def connect_any_with_backoff(
+    proc,
+    hosts,
+    port: int,
+    attempts: int = None,
+    base: float = None,
+    cap: float = None,
+    counter=None,
+):
+    """:func:`connect_with_backoff` over a list of candidate hosts.
+
+    Each backoff round dials **every** candidate in order (primary first,
+    then the well-known secondary) before sleeping — a client of a service
+    that can fail over to a warm standby must not burn whole backoff
+    rounds on a dead primary while the promoted secondary is already
+    listening; that delay is directly client-visible failover disruption
+    (bench_failover measures it).  With a single host this is
+    byte-identical to :func:`connect_with_backoff`.
+    """
+    cal = proc.machine.network.calibration
+    if attempts is None:
+        attempts = cal.connect_retry_attempts
+    if base is None:
+        base = cal.connect_retry_base
+    if cap is None:
+        cap = cal.connect_retry_cap
+    hosts = list(hosts)
+    delay = base
+    for attempt in range(attempts):
+        error = None
+        for host in hosts:
+            try:
+                conn = yield proc.connect(host, port)
+                return conn
+            except (ConnectionRefused, NoSuchHost) as exc:
+                error = exc
+        if attempt == attempts - 1:
+            raise error
+        if counter is not None:
+            counter.inc()
+        backoff = proc.sleep(delay)
+        try:
+            yield backoff
+        finally:
+            backoff.cancel()
+        delay = min(delay * 2.0, cap)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def connect_any_forever(
+    proc,
+    hosts,
+    port: int,
+    base: float = None,
+    cap: float = None,
+    counter=None,
+):
+    """:func:`connect_forever` over a list of candidate hosts (see
+    :func:`connect_any_with_backoff` for the every-candidate-per-round
+    rule)."""
+    cal = proc.machine.network.calibration
+    if base is None:
+        base = cal.connect_retry_base
+    if cap is None:
+        cap = cal.connect_retry_cap
+    hosts = list(hosts)
+    delay = base
+    while True:
+        for host in hosts:
+            try:
+                conn = yield proc.connect(host, port)
+                return conn
+            except (ConnectionRefused, NoSuchHost):
+                pass
+        if counter is not None:
+            counter.inc()
+        backoff = proc.sleep(delay)
+        try:
+            yield backoff
+        finally:
+            backoff.cancel()
+        delay = min(delay * 2.0, cap)
+
+
 def connect_forever(
     proc,
     host: str,

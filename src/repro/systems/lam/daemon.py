@@ -260,11 +260,24 @@ def _remote_main(proc):
         return 1
     proc.daemonize()
 
+    # Fencing (DESIGN.md §16): same rule as the PVM slave — if this
+    # machine's witnessed broker epoch rises past the one we joined under,
+    # the universe holding us is stale; stop taking work and drop out.
+    # Inert (witness 0) outside warm-standby runs.
+    from repro.broker.daemon import witnessed_epoch
+
+    session_epoch = witnessed_epoch(proc.machine)
+
     tasks = []
     try:
         while True:
             msg = yield conn.recv()
             kind = msg.get("type")
+            if session_epoch and witnessed_epoch(proc.machine) > session_epoch:
+                from repro.obs import metrics_of
+
+                metrics_of(proc).counter("lam.slaves_fenced").inc()
+                break
             if kind == "lamd_spawn":
                 try:
                     task = proc.spawn(list(msg["argv"]))

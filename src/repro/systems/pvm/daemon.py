@@ -288,11 +288,27 @@ def _slave_main(proc):
     # Registered; detach so the master's rsh invocation returns.
     proc.daemonize()
 
+    # Fencing (DESIGN.md §16): on a broker-managed machine the slave joins
+    # under whatever broker epoch the machine has witnessed.  If the witness
+    # rises while we serve — the machine was re-granted under a *newer*
+    # broker — this universe's claim on the host is stale: stop accepting
+    # work and drop out, exactly as the broker's own daemons fence stale
+    # grants.  Zero when no epoch was ever witnessed (no warm standby
+    # configured), so the check is inert outside fencing runs.
+    from repro.broker.daemon import witnessed_epoch
+
+    session_epoch = witnessed_epoch(proc.machine)
+
     tasks = []
     try:
         while True:
             msg = yield conn.recv()
             kind = msg.get("type")
+            if session_epoch and witnessed_epoch(proc.machine) > session_epoch:
+                from repro.obs import metrics_of
+
+                metrics_of(proc).counter("pvm.slaves_fenced").inc()
+                break
             if kind == "pvmd_spawn":
                 pids = []
                 for _ in range(int(msg.get("count", 1))):

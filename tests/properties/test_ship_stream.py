@@ -1,0 +1,179 @@
+"""Properties of the WAL ship stream (DESIGN.md §16).
+
+Two families:
+
+* **Frame decoding is total** — :func:`parse_frames` is fed corrupted,
+  truncated, duplicated and garbage-spliced inputs (a torn disk, a buggy
+  resend, a hostile peer) and must never raise; it stops cleanly at the
+  first unreadable frame, and a pure truncation decodes to an exact prefix
+  of the original payloads.
+* **Ship-stream equivalence** — a fake standby consuming the primary
+  journal's shipped chunks (acking as it goes, exactly like ``rbstandby``)
+  reproduces the primary's :func:`state_fingerprint` at *every* flush
+  point, across compactions, for any ack cut point.  This is the invariant
+  that makes a promoted standby's state trustworthy.
+"""
+
+import random
+
+import pytest
+
+from repro.broker.journal import (
+    BrokerJournal,
+    RecoveryInfo,
+    _frame,
+    apply_payloads,
+    apply_snapshot,
+    parse_frames,
+    snapshot_state,
+    state_fingerprint,
+)
+from repro.broker.state import BrokerState
+from repro.os.filesystem import Filesystem
+from tests.properties.test_journal_replay import HOSTS, Clock, _random_ops
+
+
+def _random_payloads(rng):
+    alphabet = "abcdefghij{}\":,0123456789"
+    return [
+        "".join(rng.choice(alphabet) for _ in range(rng.randrange(0, 40)))
+        for _ in range(rng.randrange(1, 12))
+    ]
+
+
+def _mutate(data, rng):
+    """One random corruption of a framed stream."""
+    kind = rng.randrange(5)
+    if not data:
+        return data
+    if kind == 0:  # truncate anywhere (torn tail)
+        return data[: rng.randrange(len(data) + 1)]
+    if kind == 1:  # flip one character (bit rot)
+        i = rng.randrange(len(data))
+        return data[:i] + rng.choice("zq!#") + data[i + 1 :]
+    if kind == 2:  # duplicate a tail (a resend glued past the end)
+        k = rng.randrange(1, len(data) + 1)
+        return data + data[-k:]
+    if kind == 3:  # delete a middle slice (a lost chunk)
+        i = rng.randrange(len(data))
+        j = rng.randrange(i, len(data) + 1)
+        return data[:i] + data[j:]
+    return data + "".join(rng.choice("xyz123") for _ in range(rng.randrange(1, 20)))
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_frame_decoding_is_total_under_corruption(seed):
+    rng = random.Random(seed)
+    payloads = _random_payloads(rng)
+    data = "".join(_frame(p) for p in payloads)
+    for _ in range(rng.randrange(1, 4)):
+        data = _mutate(data, rng)
+    decoded, torn, corrupt = parse_frames(data)  # must never raise
+    # Parsing stops at the first unreadable frame: at most one bad record
+    # is ever charged, and nothing after it is trusted.
+    assert torn + corrupt <= 1
+    # Every decoded payload survived a CRC check; re-framing them must
+    # reproduce exactly the prefix of the input that was accepted.
+    reframed = "".join(_frame(p) for p in decoded)
+    assert data.startswith(reframed)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_truncation_decodes_to_an_exact_prefix(seed):
+    rng = random.Random(1000 + seed)
+    payloads = _random_payloads(rng)
+    data = "".join(_frame(p) for p in payloads)
+    cut = rng.randrange(len(data) + 1)
+    decoded, torn, corrupt = parse_frames(data[:cut])
+    assert corrupt == 0
+    assert decoded == payloads[: len(decoded)]
+    whole = sum(len(_frame(p)) for p in decoded)
+    # Either the cut landed on a frame boundary (clean prefix, no tear) or
+    # mid-frame (everything before it decoded, one torn tail).
+    assert (torn, whole) == ((0, cut) if whole == cut else (1, whole))
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_shipped_stream_reproduces_primary_fingerprint(seed):
+    """The fake-standby equivalence property behind fenced promotion."""
+    rng = random.Random(seed)
+    clock = Clock()
+    journal = BrokerJournal(
+        Filesystem(),
+        clock,
+        # Small enough that most runs compact mid-stream, so the shipped
+        # epoch openers are exercised, not just plain WAL appends.
+        compact_bytes=rng.choice([400, 1200, 65536]),
+    )
+    state = BrokerState()
+    for host in HOSTS:
+        state.add_machine(host)
+    journal.attach(state, epoch=1)
+    journal.enable_shipping(stream=1)
+
+    # The standby baselines from the snapshot the ship server sends at
+    # hello (offset 0 of the stream), then applies frames on top.
+    shadow = BrokerState()
+    info = RecoveryInfo()
+    apply_snapshot(shadow, snapshot_state(state), info)
+    consumed = 0
+    reqid = iter(range(1, 10_000))
+    for _ in range(8):
+        _random_ops(state, journal, clock, rng, steps=12, reqid=reqid)
+        journal.flush(force=True)
+        pending = journal.ship_pending(consumed)
+        assert pending is not None  # nothing acked was ever trimmed early
+        for start, data in pending:
+            assert start == consumed  # chunk starts are valid cut points
+            payloads, torn, corrupt = parse_frames(data)
+            assert torn == 0 and corrupt == 0  # chunks are whole frames
+            apply_payloads(shadow, payloads, info)
+            consumed += len(data)
+            journal.note_ship_ack(consumed)
+        assert consumed == journal.flushed_offset
+        assert journal.ship_lag() == 0
+        # The standby's shadow at the acked offset is the primary's state
+        # at the flush that produced it, field for field.
+        assert state_fingerprint(shadow) == state_fingerprint(state)
+    assert info.corrupt_records == 0
+    assert info.skipped_ops == 0
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_resend_after_partial_ack_converges(seed):
+    """An unacked tail resent from the last acked offset (the reconnect
+    path) applies cleanly on top of what the standby already has."""
+    rng = random.Random(4000 + seed)
+    clock = Clock()
+    journal = BrokerJournal(Filesystem(), clock, compact_bytes=65536)
+    state = BrokerState()
+    for host in HOSTS:
+        state.add_machine(host)
+    journal.attach(state, epoch=1)
+    journal.enable_shipping(stream=1)
+
+    shadow = BrokerState()
+    info = RecoveryInfo()
+    apply_snapshot(shadow, snapshot_state(state), info)
+    _random_ops(state, journal, clock, rng, steps=30)
+    journal.flush(force=True)
+    chunks = journal.ship_pending(0)
+    assert chunks
+
+    # Apply and ack only a prefix of the chunks ("the connection died").
+    acked = 0
+    for start, data in chunks[: len(chunks) // 2]:
+        payloads, _, _ = parse_frames(data)
+        apply_payloads(shadow, payloads, info)
+        acked = start + len(data)
+    journal.note_ship_ack(acked)
+
+    # Reconnect: the primary resends everything from the acked offset.
+    resend = journal.ship_pending(acked)
+    assert resend is not None
+    for start, data in resend:
+        assert start >= acked
+        payloads, torn, corrupt = parse_frames(data)
+        assert torn == 0 and corrupt == 0
+        apply_payloads(shadow, payloads, info)
+    assert state_fingerprint(shadow) == state_fingerprint(state)
