@@ -2,7 +2,7 @@
 
 export PYTHONPATH := src
 
-.PHONY: test lint check chaos chaos-smoke bench-smoke bench-broker bench-obs bench-lanes soak-smoke failover-smoke slo
+.PHONY: test lint check chaos chaos-smoke bench-smoke bench-broker bench-obs bench-lanes bench-federation soak-smoke failover-smoke slo
 
 test:  ## tier-1 test suite
 	python -m pytest -q tests
@@ -41,6 +41,9 @@ soak-smoke:  ## service-mode soak gate vs the pinned BENCH_soak.json
 
 failover-smoke:  ## warm-standby failover gate vs the pinned BENCH_failover.json
 	python benchmarks/bench_failover.py
+
+bench-federation:  ## federated control-plane gate vs the pinned BENCH_federation.json
+	python benchmarks/bench_federation.py
 
 slo:  ## churn workload under a health monitor; fails on any violated SLO
 	python -m repro slo

@@ -1,0 +1,322 @@
+"""Federation benchmark: sharded scheduling cost, borrow traffic, identity.
+
+Pins the three properties the federated control plane (DESIGN.md §17)
+exists to provide, all in exact simulated-time numbers:
+
+* **flat per-shard decision cost** — the same 4096-machine cluster run as
+  4 shards of 1024 and as 16 shards of 256 machines, with the same
+  per-shard workload.  A shard's machines-scanned-per-grant must not grow
+  with shard size (the indexed scheduler) and must stay flat across the
+  two shard counts: partitioning buys smaller control domains at no
+  per-decision cost.
+* **bounded borrow traffic** — a deliberately saturated 2-shard cluster
+  where a 4-wide adaptive job overflows its home shard.  Cross-shard
+  grants must happen (the protocol works) but stay a bounded fraction of
+  all grants (borrowing is the escape valve, not the common path), with
+  zero double grants.
+* **one-shard identity** — a federation of one is byte-identical to the
+  standalone broker on the same seed: the sha256 digest of the broker
+  event log must match between the two boot paths, and is pinned so any
+  future divergence of *either* path from the recorded history fails.
+
+Everything measured is simulated time over fixed seeds, so every field is
+exact and any drift is a behaviour change.
+
+Usage:
+    python benchmarks/bench_federation.py          # gate against baseline
+    python benchmarks/bench_federation.py --pin    # regenerate baseline
+"""
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+BASELINE = ROOT / "BENCH_federation.json"
+
+#: Total machines in the flatness scenario (>= 4096 per the PR contract).
+FLAT_MACHINES = 4096
+FLAT_SHARD_COUNTS = (4, 16)
+FLAT_JOBS_PER_SHARD = 4
+FLAT_SEED = 7
+
+BORROW_SEED = 3
+IDENTITY_SEED = 11
+
+#: Exact simulated-time fields compared against the baseline per scenario.
+EXACT = {
+    "flatness": (
+        "grants",
+        "max_scans_per_grant",
+        "mean_scans_per_grant",
+        "cross_shard_grants",
+    ),
+    "borrow": (
+        "grants",
+        "cross_shard_grants",
+        "loans_out",
+        "forwards",
+        "returns",
+        "double_grants",
+        "borrow_fraction",
+    ),
+    "identity": ("events", "digest"),
+}
+
+
+def _flatness(shards: int) -> dict:
+    from repro.cluster import Cluster, ClusterSpec
+
+    started = time.perf_counter()
+    cluster = Cluster(ClusterSpec.uniform(FLAT_MACHINES, seed=FLAT_SEED))
+    federation = cluster.start_federation(shards=shards)
+    federation.wait_ready()
+    handles = []
+    for service in federation.services:
+        for k in range(FLAT_JOBS_PER_SHARD):
+            handles.append(
+                federation.submit(
+                    service.broker_host,
+                    ["rsh", "anylinux", "compute", str(5 + k)],
+                    uid=f"u{k}",
+                )
+            )
+    cluster.env.run(until=cluster.env.now + 60.0)
+    assert all(h.exit_code == 0 for h in handles), "a flatness job failed"
+    cluster.assert_no_crashes()
+    # Per-shard decision cost: this shard's machines scanned over this
+    # shard's grants (the metrics registry is cluster-global, so the scan
+    # counter must come from each shard's own state).
+    ratios = []
+    grants_total = 0
+    for service in federation.services:
+        grants = len(service.events_of("grant"))
+        grants_total += grants
+        assert grants > 0, f"shard {service.shard.index} granted nothing"
+        ratios.append(service.state.machines_scanned / grants)
+    cross = sum(
+        blk["cross_shard_grants"] for blk in federation.federation_stats()
+    )
+    return {
+        "shards": shards,
+        "machines_per_shard": FLAT_MACHINES // shards,
+        "grants": grants_total,
+        "max_scans_per_grant": round(max(ratios), 6),
+        "mean_scans_per_grant": round(sum(ratios) / len(ratios), 6),
+        "cross_shard_grants": cross,
+        "wall_seconds": round(time.perf_counter() - started, 4),
+    }
+
+
+def _borrow() -> dict:
+    from repro.cluster import Cluster, ClusterSpec
+
+    started = time.perf_counter()
+    cluster = Cluster(ClusterSpec.uniform(8, seed=BORROW_SEED))
+    federation = cluster.start_federation(shards=2)
+    federation.wait_ready()
+    # Saturate: shard 0 (n00-n03) has three candidates for a 4-wide
+    # adaptive job, so the fourth must be borrowed from shard 1 — which
+    # is itself kept busy by sequential work.
+    handles = [
+        federation.submit(
+            "n00", ["calypso", "30", "2.0", "4"], rsl="+(adaptive)", uid="cal"
+        ),
+        federation.submit("n04", ["retrywork", "8"], uid="seq0"),
+        federation.submit("n04", ["retrywork", "10"], uid="seq1"),
+    ]
+    cluster.env.run(until=300.0)
+    assert all(h.exit_code == 0 for h in handles), "a borrow job failed"
+    cluster.assert_no_crashes()
+    stats = federation.federation_stats()
+    grants = sum(len(s.events_of("grant")) for s in federation.services)
+    cross = sum(blk["cross_shard_grants"] for blk in stats)
+    return {
+        "grants": grants,
+        "cross_shard_grants": cross,
+        "loans_out": sum(blk["loans_out"] for blk in stats),
+        "forwards": sum(blk["forwards"] for blk in stats),
+        "returns": sum(blk["returns"] for blk in stats),
+        "double_grants": sum(blk["double_grants"] for blk in stats),
+        "borrow_fraction": round(cross / grants, 6) if grants else 0.0,
+        "wall_seconds": round(time.perf_counter() - started, 4),
+    }
+
+
+def _identity_run(fed: bool) -> dict:
+    from repro.cluster import Cluster, ClusterSpec
+
+    cluster = Cluster(ClusterSpec.uniform(5, seed=IDENTITY_SEED))
+    if fed:
+        svc = cluster.start_federation(shards=1).services[0]
+    else:
+        svc = cluster.start_broker()
+    svc.wait_ready()
+    svc.submit("n00", ["calypso", "30", "2.0", "3"], rsl="+(adaptive)", uid="c")
+    svc.submit("n00", ["rsh", "anylinux", "compute", "10"], uid="s")
+    cluster.env.run(until=200.0)
+    cluster.assert_no_crashes()
+    blob = json.dumps(svc.events, sort_keys=True, default=str)
+    return {
+        "events": len(svc.events),
+        "digest": hashlib.sha256(blob.encode()).hexdigest(),
+    }
+
+
+def _identity() -> dict:
+    started = time.perf_counter()
+    plain = _identity_run(fed=False)
+    one_shard = _identity_run(fed=True)
+    entry = {
+        "events": plain["events"],
+        "digest": plain["digest"],
+        "one_shard_matches": one_shard == plain,
+        "wall_seconds": round(time.perf_counter() - started, 4),
+    }
+    return entry
+
+
+def measure() -> dict:
+    return {
+        "flatness": [_flatness(shards) for shards in FLAT_SHARD_COUNTS],
+        "borrow": _borrow(),
+        "identity": _identity(),
+    }
+
+
+def _print(results: dict) -> None:
+    for cell in results["flatness"]:
+        print(
+            f"flatness: {cell['shards']:2d} x {cell['machines_per_shard']} "
+            f"machines -> scans/grant max {cell['max_scans_per_grant']:.3f} "
+            f"mean {cell['mean_scans_per_grant']:.3f} "
+            f"({cell['grants']} grants, {cell['wall_seconds']:.1f}s wall)"
+        )
+    borrow = results["borrow"]
+    print(
+        f"borrow: {borrow['cross_shard_grants']:g}/{borrow['grants']:g} grants "
+        f"cross-shard ({100.0 * borrow['borrow_fraction']:.1f}%), "
+        f"{borrow['loans_out']:g} loans, {borrow['returns']:g} returns, "
+        f"{borrow['double_grants']:g} double grants"
+    )
+    identity = results["identity"]
+    print(
+        f"identity: {identity['events']} events, digest "
+        f"{identity['digest'][:12]}..., one-shard matches "
+        f"{identity['one_shard_matches']}"
+    )
+
+
+def _check(results: dict) -> list:
+    failures = []
+    four, sixteen = results["flatness"]
+    # Flat per-shard decision cost: 16 shards of 256 machines must not
+    # scan more per grant than 4 shards of 1024 (small absolute slack for
+    # integer effects), and both stay far below one full-shard scan.
+    if sixteen["max_scans_per_grant"] > 1.5 * four["max_scans_per_grant"] + 1.0:
+        failures.append(
+            f"per-shard scans/grant grew with shard count: "
+            f"{four['max_scans_per_grant']} at 4 shards -> "
+            f"{sixteen['max_scans_per_grant']} at 16"
+        )
+    for cell in results["flatness"]:
+        if cell["max_scans_per_grant"] > 16.0:
+            failures.append(
+                f"{cell['shards']} shards: {cell['max_scans_per_grant']} "
+                f"scans/grant is not flat — decision cost should be a "
+                f"small constant, independent of the "
+                f"{cell['machines_per_shard']} machines in the shard"
+            )
+    borrow = results["borrow"]
+    if borrow["cross_shard_grants"] < 1:
+        failures.append("borrow scenario never crossed a shard boundary")
+    if borrow["borrow_fraction"] > 0.5:
+        failures.append(
+            f"cross-shard grants are {100 * borrow['borrow_fraction']:.0f}% "
+            f"of all grants — borrowing is the common path, not the escape "
+            f"valve"
+        )
+    if borrow["double_grants"]:
+        failures.append(
+            f"{borrow['double_grants']:g} double grant(s) in the borrow "
+            f"scenario"
+        )
+    if not results["identity"]["one_shard_matches"]:
+        failures.append(
+            "one-shard federation diverged from the standalone broker"
+        )
+    return failures
+
+
+def pin() -> int:
+    results = measure()
+    _print(results)
+    failures = _check(results)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    BASELINE.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"pin: wrote {BASELINE}")
+    return 0
+
+
+def gate() -> int:
+    baseline = json.loads(BASELINE.read_text())
+    results = measure()
+    _print(results)
+    failures = _check(results)
+
+    def compare(tag: str, fields, ours: dict, pinned: dict) -> None:
+        for field in fields:
+            if ours[field] != pinned[field]:
+                failures.append(
+                    f"{tag}.{field} drifted: {ours[field]} != baseline "
+                    f"{pinned[field]} (federation behaviour changed; rerun "
+                    f"with --pin if intentional)"
+                )
+
+    for ours, pinned in zip(results["flatness"], baseline["flatness"]):
+        compare(f"flatness[{ours['shards']}]", EXACT["flatness"], ours, pinned)
+    compare("borrow", EXACT["borrow"], results["borrow"], baseline["borrow"])
+    compare(
+        "identity", EXACT["identity"], results["identity"], baseline["identity"]
+    )
+    # Determinism: the cheap scenarios rerun must reproduce exactly.
+    rerun_borrow = _borrow()
+    for field in EXACT["borrow"]:
+        if rerun_borrow[field] != results["borrow"][field]:
+            failures.append(
+                f"borrow.{field} is nondeterministic: "
+                f"{results['borrow'][field]} != {rerun_borrow[field]} on an "
+                f"identical rerun"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            "federation: OK (flat per-shard scans/grant, bounded borrow "
+            "traffic, one-shard identity, zero double grants)"
+        )
+    return 1 if failures else 0
+
+
+def main() -> int:
+    sys.path.insert(0, str(ROOT / "src"))
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--pin",
+        action="store_true",
+        help=f"regenerate {BASELINE.name} instead of gating against it",
+    )
+    args = parser.parse_args()
+    if args.pin:
+        return pin()
+    return gate()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

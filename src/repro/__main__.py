@@ -14,7 +14,9 @@ Commands
     (crashes, partitions, lost heartbeats); exits non-zero unless every job
     completes.  ``--standby`` swaps the crash/restart recovery path for
     warm-standby failover (WAL shipping, fenced promotion, zero double
-    grants).
+    grants).  ``--shards N`` runs the federated control plane instead:
+    N durable broker shards with cross-shard lease borrowing under a
+    shard-broker crash and an inter-shard link partition.
 ``sweep [--workers N]``
     Fan a deterministic (seed x cluster-size x workload) simulation grid
     across worker processes; merged results are byte-identical for any
@@ -141,6 +143,7 @@ def _cmd_chaos(args) -> int:
         broker_crashes=1 if args.broker_crash else 0,
         journal=args.journal,
         standby=args.standby,
+        shards=args.shards,
         trace=collector,
     )
     print(table)
@@ -149,9 +152,10 @@ def _cmd_chaos(args) -> int:
         print(table.meta["plan"])
     _write_collected(args, collector)
     # The whole point: every job survives the faults — and with a warm
-    # standby, fencing must have kept the split brain from double-granting.
+    # standby or a federation, fencing must have kept the machine from
+    # ever being granted twice.
     ok = table.meta["completed"] == table.meta["jobs"]
-    if args.standby:
+    if args.standby or args.shards >= 2:
         ok = ok and table.meta["double_grants"] == 0
     return 0 if ok else 1
 
@@ -297,6 +301,15 @@ def main(argv=None) -> int:
         "failover schedule: a standby kill, a ship-link partition, and a "
         "primary SIGKILL mid-ship with no restart — recovery must come "
         "from fenced promotion, with zero double grants",
+    )
+    chaos.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="run the federated scenario: partition the machines across "
+        "this many durable broker shards, force cross-shard borrowing, "
+        "and add a shard-broker SIGKILL plus an inter-shard link "
+        "partition — every job must complete with zero double grants",
     )
     chaos.add_argument(
         "--verbose", action="store_true", help="also print the fault plan"

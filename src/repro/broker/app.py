@@ -512,7 +512,9 @@ def _handle_rsh_request(proc, st, conn, msg):
     if not _send_broker(
         st,
         protocol.attach_trace(
-            protocol.machine_request(st.jobid, host, reqid, firm=st.firm),
+            protocol.machine_request(
+                st.jobid, host, reqid, firm=st.firm, hint=msg.get("hint")
+            ),
             wait_span.context,
         ),
     ):

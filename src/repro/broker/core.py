@@ -41,6 +41,8 @@ evaluate-everything scheduler as the reference that
 
 from __future__ import annotations
 
+import zlib
+
 from repro.broker import protocol
 from repro.broker.journal import snapshot_state
 from repro.broker.state import (
@@ -50,7 +52,7 @@ from repro.broker.state import (
 )
 from repro.cluster import ports
 from repro.obs.timeseries import windowed_rate
-from repro.os.errors import ConnectionClosed
+from repro.os.errors import ConnectionClosed, ConnectionRefused, NoSuchHost
 from repro.os.retry import connect_forever
 from repro.os.signals import SIGKILL
 
@@ -85,7 +87,7 @@ def make_broker_main(service):
                 lambda ev: recover.end() if not recover.finished else None
             )
         listener = proc.listen(ports.BROKER)
-        if service.fencing:
+        if service.replicated:
             # Warm-standby replication (DESIGN.md §16): serve the WAL ship
             # stream, heartbeat it, keep the standby process alive, and —
             # on a promoted incarnation — fence the ex-primary.
@@ -102,6 +104,14 @@ def make_broker_main(service):
                 and service.fence_target != proc.machine.name
             ):
                 proc.thread(ctl.fencer(service.fence_target), name="fencer")
+        if service.shard is not None and service.shard.count > 1:
+            # Federation (DESIGN.md §17): serve sibling shards' borrow
+            # requests on the federation port.
+            fed_listener = proc.listen(ports.FEDERATION)
+            proc.thread(
+                ctl.federation_acceptor(fed_listener),
+                name="federation-acceptor",
+            )
         for host in service.managed_hosts:
             proc.thread(ctl.daemon_keeper(host), name=f"daemon-keeper-{host}")
         proc.thread(ctl.liveness_sweeper(), name="liveness-sweeper")
@@ -180,6 +190,19 @@ class _BrokerControl:
         self._job_spans = {}  # jobid -> broker.job span
         self._request_spans = {}  # (jobid, reqid) -> broker.request span
         self._reclaim_spans = {}  # host -> broker.reclaim span
+        # -- federation (DESIGN.md §17) --------------------------------------
+        #: This broker's shard assignment, or None outside a federation.  A
+        #: one-shard federation keeps every federated behaviour switched off
+        #: so its timeline is byte-identical to a plain broker's.
+        self._shard = service.shard
+        self._fed_enabled = (
+            service.shard is not None and service.shard.count > 1
+        )
+        #: (jobid, reqid) pairs with a live borrow loop, so one queued
+        #: request never runs two concurrent loops.
+        self._borrowing = set()
+        #: Loaned-out hosts whose borrower already got a recall notice.
+        self._recalled = set()
 
     # -- daemon management ----------------------------------------------------
 
@@ -399,6 +422,464 @@ class _BrokerControl:
         )
         self.proc.signal(SIGKILL)
 
+    # -- federation: cross-shard lease borrowing (DESIGN.md §17) --------------
+
+    def federation_acceptor(self, listener):
+        """Accept sibling shards' sessions on the federation port."""
+        while True:
+            try:
+                conn = yield listener.accept()
+            except ConnectionClosed:
+                return
+            self.proc.thread(
+                self._serve_federation(conn), name="federation-session"
+            )
+
+    def _serve_federation(self, conn):
+        """Serve one sibling session: a borrow request (replied to on the
+        same connection) or a one-way loan-lifecycle notice."""
+        try:
+            msg = yield conn.recv()
+        except ConnectionClosed:
+            conn.close()
+            return
+        kind = msg.get("type")
+        if kind == "borrow_request":
+            yield from self._serve_borrow(conn, msg)
+        elif kind == "borrow_release":
+            yield from self._serve_borrow_release(msg)
+        elif kind == "borrow_recall":
+            yield from self._serve_borrow_recall(msg)
+        conn.close()
+
+    def _serve_borrow(self, conn, msg):
+        """Donor side of a loan: place a sibling's request on one of this
+        shard's idle machines, if any fits.
+
+        A successful pick is allocated *before* the reply leaves — state
+        ``MIGRATING``, the borrower's jobid, one ordinary lease TTL — and
+        the grant is installed on the hosting daemon under this
+        incarnation's epoch: the same fencing discipline as a local grant,
+        so the daemon's double-grant audit covers loans too.  The lease
+        then renews from the daemon's inventory once the borrower's subapp
+        lands, and expires (reclaiming the loan) if it never does; the
+        borrower is NOT trusted to renew, so a dead borrower can never pin
+        a donor machine for longer than one TTL."""
+        yield self.proc.sleep(self.cal.broker_decision)
+        borrower = int(msg["shard"])
+        jobid = int(msg["jobid"])
+        symbolic = msg["symbolic"]
+        rsl_text = msg.get("rsl", "")
+        adaptive = bool(msg.get("adaptive"))
+        record = (
+            None
+            if self._demoted
+            else self.state.best_idle_for_loan(symbolic, rsl_text, adaptive)
+        )
+        if record is None:
+            self.service.federation_counters["loan_refusals"] += 1
+            self.metrics.counter("federation.loan_refusals").inc()
+            _safe_send(
+                conn,
+                protocol.borrow_reply(
+                    ok=False,
+                    satisfiable=self.state.loan_satisfiable(
+                        symbolic, rsl_text, adaptive
+                    ),
+                    reported=self.state.all_reported(
+                        self.service.managed_hosts
+                    ),
+                    shard=self._shard.index,
+                ),
+            )
+            return
+        now = self.proc.env.now
+        allocation = self.state.allocate(
+            record.host,
+            jobid,
+            firm=bool(msg.get("firm")),
+            now=now,
+            lease_expires_at=now + self.cal.lease_ttl,
+        )
+        allocation.state = AllocationState.MIGRATING
+        allocation.loaned_to = borrower
+        journal = self.state.journal
+        if journal is not None:
+            journal.record(
+                {
+                    "op": "loan",
+                    "host": record.host,
+                    "jobid": jobid,
+                    "to": borrower,
+                }
+            )
+        self.service.federation_counters["loans_out"] += 1
+        self.metrics.counter("federation.loans_out").inc()
+        self.service.log(
+            event="loan_out", host=record.host, jobid=jobid, to_shard=borrower
+        )
+        daemon = self._daemon_conns.get(record.host)
+        if daemon is not None:
+            _safe_send(
+                daemon,
+                protocol.grant_install(
+                    jobid, int(msg.get("reqid", -1)), self.epoch
+                ),
+            )
+        _safe_send(
+            conn,
+            protocol.borrow_reply(
+                ok=True,
+                host=record.host,
+                platform=record.platform,
+                kind=record.kind,
+                shard=self._shard.index,
+            ),
+        )
+
+    def _serve_borrow_release(self, msg):
+        """Donor side: the borrower returned a loan — free the machine.
+
+        Stale-safe: the notice names the loan's jobid, so one that raced
+        with lease expiry (the machine possibly re-loaned or granted again
+        since) matches nothing and is ignored."""
+        host = str(msg["host"])
+        jobid = int(msg["jobid"])
+        record = self.state.machines.get(host)
+        allocation = record.allocation if record is not None else None
+        if (
+            allocation is None
+            or allocation.state is not AllocationState.MIGRATING
+            or allocation.jobid != jobid
+        ):
+            return
+        self.state.release(host)
+        self._recalled.discard(host)
+        self.metrics.counter("federation.loan_returns").inc()
+        self.service.log(
+            event="loan_release",
+            host=host,
+            jobid=jobid,
+            from_shard=int(msg.get("shard", -1)),
+        )
+        yield from self._schedule()
+
+    def _serve_borrow_recall(self, msg):
+        """Borrower side: the donor recalled a loan (owner at the console,
+        or the donor reclaimed a leak).
+
+        With a live holder the machine is revoked from its app exactly
+        like an owner reclaim; the release then travels the ordinary
+        return path.  With no live holder (orphaned or pruned job) the
+        borrowed record is dropped on the spot."""
+        host = str(msg["host"])
+        jobid = int(msg["jobid"])
+        record = self.state.machines.get(host)
+        if record is None or record.borrowed_from is None:
+            return
+        allocation = record.allocation
+        job = self.state.jobs.get(jobid)
+        if (
+            allocation is not None
+            and allocation.jobid == jobid
+            and allocation.state is AllocationState.ACTIVE
+            and job is not None
+            and not job.done
+            and job.conn is not None
+        ):
+            self.service.log(
+                event="loan_recalled",
+                host=host,
+                jobid=jobid,
+                from_shard=record.borrowed_from,
+            )
+            _safe_send(job.conn, protocol.revoke(host))
+            return
+        donor = record.borrowed_from
+        if allocation is not None:
+            self.state.release(host)
+            self._forget_loan(host, jobid, donor)
+        else:
+            self.state.forget_machine(host)
+        yield from self._schedule()
+
+    def _forget_loan(self, host, jobid, donor) -> None:
+        """Borrower side: drop a released borrowed record and send the
+        donor a best-effort return notice (a partitioned donor misses it
+        and reclaims the loan through lease expiry instead)."""
+        self.state.forget_machine(host)
+        self.service.federation_counters["returns"] += 1
+        self.metrics.counter("federation.returns").inc()
+        self.service.log(
+            event="loan_returned", host=host, jobid=jobid, to_shard=donor
+        )
+        self.proc.thread(
+            self._fed_notify(
+                donor, protocol.borrow_release(self._shard.index, host, jobid)
+            ),
+            name=f"borrow-return-{host}",
+        )
+
+    def _end_loan(self, host, allocation, outcome) -> None:
+        """Donor side: a loan ended without the borrower's release (lease
+        leak or machine death): free the machine and send the borrower a
+        best-effort recall so it drops its side too."""
+        borrower = allocation.loaned_to
+        jobid = allocation.jobid
+        self.state.release(host)
+        self._recalled.discard(host)
+        self.metrics.counter("federation.loans_reclaimed").inc()
+        self.service.log(
+            event="loan_reclaimed",
+            host=host,
+            jobid=jobid,
+            to_shard=borrower,
+            outcome=outcome,
+        )
+        if borrower is not None and self._fed_enabled:
+            self.proc.thread(
+                self._fed_notify(
+                    borrower, protocol.borrow_recall(host, jobid)
+                ),
+                name=f"loan-recall-{host}",
+            )
+
+    def _fed_notify(self, shard, message):
+        """Dial one sibling shard's federation port and deliver a one-way
+        notice, best-effort: a partitioned or down sibling misses it and
+        the loan self-heals through lease expiry instead."""
+        host = self._shard.broker_hosts[shard]
+        try:
+            conn = yield self.proc.connect(host, ports.FEDERATION)
+        except (ConnectionRefused, NoSuchHost):
+            self.metrics.counter("federation.notify_failures").inc()
+            return
+        if _safe_send(conn, message):
+            # Hold until the sibling closes (its handler is done) so the
+            # notice is never torn down in flight; the timer bounds a peer
+            # partitioned mid-session.
+            timer = self.proc.sleep(self.cal.federation_rpc_timeout)
+            recv_ev = conn.recv()
+            try:
+                yield self.proc.env.any_of([timer, recv_ev])
+            except ConnectionClosed:
+                pass
+            finally:
+                timer.cancel()
+        conn.close()
+
+    def _maybe_borrow(self, job, request, hint=None) -> None:
+        """Federated variant of the deny decision: before giving up on a
+        request the local shard cannot place, try to borrow a machine from
+        the sibling shards.
+
+        Spawns at most one borrow loop per queued request.  The plain
+        denial still exists — the loop issues it only on conclusive
+        evidence that no shard could *ever* satisfy the request, so
+        federation keeps the single-broker deny semantics stretched
+        across all shards."""
+        if request not in self.state.pending:
+            return  # already granted (or reclaimed-for) by the local pass
+        if hint is not None:
+            request.shard_hint = int(hint) % self._shard.count
+        key = (request.jobid, request.reqid)
+        if key in self._borrowing:
+            return
+        self._borrowing.add(key)
+        self.proc.thread(
+            self._borrow_for(job, request),
+            name=f"borrow-{request.jobid}-{request.reqid}",
+        )
+
+    def _borrow_for(self, job, request):
+        """Borrow loop for one queued request.
+
+        Runs while the request stays queued with no local prospect: each
+        round walks the sibling ring (starting at the request's locality
+        hint) until some shard lends a machine or all refuse.  Between
+        rounds it sleeps ``federation_borrow_retry`` — roughly one daemon
+        report interval, so newly idle donor machines are visible by the
+        next ask."""
+        key = (request.jobid, request.reqid)
+        interval = self.cal.federation_borrow_retry
+        try:
+            while True:
+                if (
+                    request not in self.state.pending
+                    or request.reserved_host is not None
+                    or job.done
+                    or job.conn is None
+                    or self._demoted
+                ):
+                    return
+                if self.state.all_reported(self.service.managed_hosts):
+                    if self.state.best_idle(request) is None:
+                        verdict = yield from self._borrow_round(job, request)
+                        if verdict == "granted":
+                            return
+                        if verdict == "hopeless" and not self._satisfiable(
+                            job, request.symbolic
+                        ):
+                            # Conclusively unsatisfiable on every shard.
+                            self._deny_request(job, request)
+                            return
+                yield self.proc.sleep(interval)
+        finally:
+            self._borrowing.discard(key)
+
+    def _borrow_round(self, job, request):
+        """One pass over the sibling ring.
+
+        Returns ``granted`` when a loan was adopted (or the request
+        resolved some other way mid-round), ``hopeless`` when every
+        sibling conclusively refused — answered, fully reported, and the
+        request unsatisfiable there even in the best case — and ``retry``
+        otherwise (somebody was unreachable, silent, or merely busy)."""
+        count = self._shard.count
+        start = request.shard_hint
+        if start is None or not 0 <= start < count:
+            start = zlib.crc32(request.symbolic.encode()) % count
+        hopeless = True
+        for step in range(count):
+            shard = (start + step) % count
+            if shard == self._shard.index:
+                continue
+            if (
+                request not in self.state.pending
+                or request.reserved_host is not None
+                or job.done
+                or job.conn is None
+            ):
+                return "granted"  # resolved while this round was running
+            reply = yield from self._borrow_rpc(shard, job, request)
+            if reply is None:
+                hopeless = False  # unreachable sibling: evidence incomplete
+                continue
+            if reply.get("ok"):
+                if self._adopt_borrowed(job, request, reply):
+                    return "granted"
+                # The request resolved while the RPC was in flight: hand
+                # the loaned machine straight back to its donor.
+                self.proc.thread(
+                    self._fed_notify(
+                        shard,
+                        protocol.borrow_release(
+                            self._shard.index,
+                            str(reply["host"]),
+                            request.jobid,
+                        ),
+                    ),
+                    name=f"borrow-return-{reply['host']}",
+                )
+                return "granted"
+            if not reply.get("reported") or reply.get("satisfiable"):
+                hopeless = False
+        return "hopeless" if hopeless else "retry"
+
+    def _borrow_rpc(self, shard, job, request):
+        """One borrow request/reply exchange with a sibling; None when the
+        sibling is unreachable, silent past the RPC deadline, or answered
+        garbage."""
+        host = self._shard.broker_hosts[shard]
+        self.service.federation_counters["forwards"] += 1
+        self.metrics.counter("federation.forwards").inc()
+        try:
+            conn = yield self.proc.connect(host, ports.FEDERATION)
+        except (ConnectionRefused, NoSuchHost):
+            return None
+        reply = None
+        if _safe_send(
+            conn,
+            protocol.borrow_request(
+                self._shard.index,
+                request.jobid,
+                request.symbolic,
+                job.rsl.source,
+                job.adaptive,
+                request.firm,
+                request.reqid,
+            ),
+        ):
+            timer = self.proc.sleep(self.cal.federation_rpc_timeout)
+            recv_ev = conn.recv()
+            try:
+                yield self.proc.env.any_of([timer, recv_ev])
+                if recv_ev.processed:
+                    reply = recv_ev.value
+            except ConnectionClosed:
+                pass
+            finally:
+                timer.cancel()
+        conn.close()
+        if reply is not None and reply.get("type") != "borrow_reply":
+            return None
+        return reply
+
+    def _adopt_borrowed(self, job, request, reply) -> bool:
+        """Install a sibling's loan as the grant for ``request``.
+
+        The borrowed machine joins this shard's table fully formed —
+        created, flagged ``borrowed_from``, allocated and touched with no
+        intervening yield — so no scheduler pass can ever see it idle and
+        it never joins the general candidate pool.  Its lease is infinite
+        on the borrower: renewal flows to the *donor* (the machine's
+        daemon reports there), which bounds the loan and recalls it if
+        this shard dies.  No ``grant_install`` is sent from here either —
+        the donor already installed the grant under its own epoch, the
+        one the machine's daemon actually witnesses."""
+        if (
+            request not in self.state.pending
+            or request.reserved_host is not None
+            or job.done
+            or job.conn is None
+            or self._demoted
+        ):
+            return False
+        host = str(reply["host"])
+        if host in self.state.machines:
+            return False  # never shadow a machine this shard already knows
+        now = self.proc.env.now
+        record = self.state.add_machine(host)
+        record.borrowed_from = int(reply.get("shard", -1))
+        if record.platform != reply.get("platform", ""):
+            record.platform = reply["platform"]
+        if record.kind != reply.get("kind", "public"):
+            record.kind = reply["kind"]
+        self.state.allocate(host, request.jobid, firm=request.firm, now=now)
+        record.touch(now)
+        self.state.pending.remove(request)
+        self._reqids.pop((request.jobid, request.reqid), None)
+        waited = now - request.arrived_at
+        span = self._request_spans.pop((request.jobid, request.reqid), None)
+        if span is not None:
+            span.end(
+                outcome="granted",
+                host=host,
+                waited=waited,
+                borrowed_from=record.borrowed_from,
+            )
+        self.metrics.counter("broker.grants").inc()
+        self.metrics.counter("federation.cross_shard_grants").inc()
+        self.service.federation_counters["cross_shard_grants"] += 1
+        self.metrics.histogram("broker.grant_wait").observe(waited)
+        self.metrics.gauge("broker.pending_requests").dec()
+        self.service.log(
+            event="grant",
+            jobid=request.jobid,
+            reqid=request.reqid,
+            host=host,
+            waited=waited,
+            borrowed_from=record.borrowed_from,
+        )
+        _safe_send(
+            job.conn,
+            protocol.attach_trace(
+                protocol.machine_grant(request.reqid, host),
+                span.context if span is not None else None,
+            ),
+        )
+        return True
+
     # -- liveness detection ---------------------------------------------------
 
     def liveness_sweeper(self):
@@ -434,6 +915,10 @@ class _BrokerControl:
             for record in tracked:
                 if record.dead or record.last_seen < 0.0:
                     continue  # already handled / never heard from at all
+                if record.borrowed_from is not None:
+                    # A borrowed machine's daemon reports to its donor
+                    # shard; the donor's sweepers own its liveness.
+                    continue
                 if now - record.last_seen > deadline:
                     overdue.append(record)
                 else:
@@ -492,7 +977,14 @@ class _BrokerControl:
             event="machine_dead", host=record.host, silent_for=silence
         )
         allocation = record.allocation
-        if allocation is not None and allocation.state is AllocationState.ACTIVE:
+        if (
+            allocation is not None
+            and allocation.state is AllocationState.MIGRATING
+        ):
+            # A loaned machine died: free it donor-side and recall the
+            # borrower (whose app sees the severed subapp regardless).
+            self._end_loan(record.host, allocation, outcome="machine_dead")
+        elif allocation is not None and allocation.state is AllocationState.ACTIVE:
             victim = self.state.jobs.get(allocation.jobid)
             if victim is not None and not victim.done and victim.conn is not None:
                 # Reclaim via the normal revocation path: the victim's subapp
@@ -577,6 +1069,11 @@ class _BrokerControl:
         if allocation.state is AllocationState.RECLAIMING:
             victim = self.state.jobs.get(allocation.jobid)
             return victim is None or victim.done or victim.conn is None
+        if allocation.state is AllocationState.MIGRATING:
+            # A loan renews from the machine's own daemon inventory (the
+            # borrower's jobid appears once its subapp lands); expiry means
+            # the loan leaked and the donor takes the machine back.
+            return True
         return False
 
     def _expire_lease(self, record):
@@ -594,7 +1091,10 @@ class _BrokerControl:
             event="lease_expired", host=record.host, jobid=allocation.jobid
         )
         victim = self.state.jobs.get(allocation.jobid)
-        if (
+        if allocation.state is AllocationState.MIGRATING:
+            # A leaked loan: reclaim the machine and recall the borrower.
+            self._end_loan(record.host, allocation, outcome="lease_expired")
+        elif (
             allocation.state is AllocationState.ACTIVE
             and victim is not None
             and not victim.done
@@ -683,7 +1183,7 @@ class _BrokerControl:
             "conflicts": metric_value("recovery.conflicts"),
             "latency_seconds": metric_value("recovery.latency_seconds"),
         }
-        if self._fencing:
+        if self.service.replicated:
             # A promoted incarnation has no standby of its own (shipping
             # off), but its fencing/promotion counters still belong here.
             ship = (
@@ -704,6 +1204,31 @@ class _BrokerControl:
             }
         else:
             replication = {"enabled": False}
+        if self._fed_enabled:
+            borrowed = 0
+            loaned = 0
+            for record in leased:
+                allocation = record.allocation
+                if record.borrowed_from is not None:
+                    borrowed += 1
+                elif (
+                    allocation is not None
+                    and allocation.state is AllocationState.MIGRATING
+                ):
+                    loaned += 1
+            federation = {
+                "enabled": True,
+                "shard": self._shard.index,
+                "shards": self._shard.count,
+                "owned_machines": len(state.machines) - borrowed,
+                "borrowed_machines": borrowed,
+                "loaned_machines": loaned,
+                "fencing_rejections": metric_value("fencing.rejections"),
+                "double_grants": metric_value("fencing.double_grants"),
+                **self.service.federation_counters,
+            }
+        else:
+            federation = {"enabled": False}
         heap = self.proc.env.heap_stats()
         lane_detail = heap["lanes"]
         lane_clocks = [lane["clock"] for lane in lane_detail]
@@ -722,6 +1247,7 @@ class _BrokerControl:
             "kernel": kernel,
             "journal": journal.stats() if journal is not None else {"enabled": False},
             "replication": replication,
+            "federation": federation,
             "recovery": recovery,
             "epoch": self.epoch,
             "pending": len(state.pending),
@@ -880,6 +1406,13 @@ class _BrokerControl:
                 self.proc.env.now + self.cal.lease_ttl,
             )
             return
+        if allocation.state is AllocationState.MIGRATING:
+            # A recovered loan: its confirming signal — the borrower's
+            # subapp in this inventory — may legitimately lag the crash
+            # (the borrower's rsh could still be in flight), so never drop
+            # it on disagreement; lease expiry bounds a loan that truly
+            # died with the previous incarnation.
+            return
         self._drop_recovered(record, trusted=sorted(int(j) for j in leases))
 
     def _drop_recovered(self, record, trusted) -> None:
@@ -952,6 +1485,32 @@ class _BrokerControl:
                 event="owner_reclaim", host=record.host, jobid=allocation.jobid
             )
             self._start_reclaim(record.host, claimed_by=None)
+        elif (
+            record.console_active
+            and allocation is not None
+            and allocation.state is AllocationState.MIGRATING
+            and record.host not in self._recalled
+        ):
+            # Owner back on a loaned machine: recall the loan gracefully.
+            # The donor does NOT release here — the loan ends through the
+            # borrower's release (or lease expiry as the backstop), so the
+            # machine is never grantable on two shards at once.
+            self._recalled.add(record.host)
+            self.service.federation_counters["recalls"] += 1
+            self.metrics.counter("federation.recalls").inc()
+            self.service.log(
+                event="loan_recall",
+                host=record.host,
+                jobid=allocation.jobid,
+                to_shard=allocation.loaned_to,
+            )
+            self.proc.thread(
+                self._fed_notify(
+                    allocation.loaned_to,
+                    protocol.borrow_recall(record.host, allocation.jobid),
+                ),
+                name=f"loan-recall-{record.host}",
+            )
 
     # -- app sessions --------------------------------------------------------
 
@@ -1160,6 +1719,12 @@ class _BrokerControl:
         # deliverable again they must be re-examined.
         self.state.mark_job_requests_dirty(jobid)
         yield from self._schedule()
+        if self._fed_enabled:
+            # Requeued requests lost their borrow loops with the old
+            # incarnation (or never had one): restart them.
+            for request in list(self.state.pending):
+                if request.jobid == jobid:
+                    self._maybe_borrow(job, request)
         yield from self._session_loop(job, conn)
 
     def _app_message(self, job, msg):
@@ -1193,7 +1758,13 @@ class _BrokerControl:
                 firm=request.firm,
             )
             yield from self._schedule()
-            self._deny_if_unsatisfiable(job, request)
+            if not self._fed_enabled:
+                self._deny_if_unsatisfiable(job, request)
+            else:
+                # Federated deny semantics: before giving up, ask the
+                # sibling shards (the borrow loop issues the denial itself
+                # once unsatisfiability is conclusive federation-wide).
+                self._maybe_borrow(job, request, hint=msg.get("hint"))
         elif kind == "released":
             yield from self._on_released(job, msg["host"])
         elif kind == "job_done":
@@ -1214,6 +1785,10 @@ class _BrokerControl:
             return  # incomplete knowledge: keep waiting
         if self._satisfiable(job, request.symbolic):
             return  # satisfiable in principle; stay queued
+        self._deny_request(job, request)
+
+    def _deny_request(self, job, request) -> None:
+        """Issue the denial for a conclusively unsatisfiable request."""
         self.state.pending.remove(request)
         self._reqids.pop((job.jobid, request.reqid), None)
         span = self._request_spans.pop((job.jobid, request.reqid), None)
@@ -1433,6 +2008,14 @@ class _BrokerControl:
             return
         if record.allocation.jobid != job.jobid:
             return  # stale release from a previous holder
+        if record.borrowed_from is not None:
+            # Returning a loan: the record leaves this shard's table
+            # entirely (the donor resumes scheduling over the machine).
+            donor = record.borrowed_from
+            self.state.release(host)
+            self._forget_loan(host, job.jobid, donor)
+            yield from self._schedule()
+            return
         allocation = self.state.release(host)
         reclaim = self._reclaim_spans.pop(host, None)
         if reclaim is not None:
@@ -1469,6 +2052,7 @@ class _BrokerControl:
         for key in [k for k in self._reqids if k[0] == job.jobid]:
             self._reqids.pop(key, None)
         for allocation in self.state.allocations_of(job.jobid):
+            record = self.state.machines.get(allocation.host)
             released = self.state.release(allocation.host)
             reclaim = self._reclaim_spans.pop(allocation.host, None)
             if reclaim is not None:
@@ -1476,6 +2060,10 @@ class _BrokerControl:
             claim = released.claimed_by if released else None
             if claim is not None:
                 claim.reserved_host = None
+            if record is not None and record.borrowed_from is not None:
+                self._forget_loan(
+                    allocation.host, job.jobid, record.borrowed_from
+                )
         span = self._job_spans.pop(job.jobid, None)
         if span is not None:
             span.end(code=code)

@@ -131,6 +131,7 @@ def _machine_op(record: MachineRecord) -> Dict[str, Any]:
         "seen": record.last_seen,
         "dead": record.dead,
         "leases": list(record.leases),
+        "borrowed": record.borrowed_from,
     }
 
 
@@ -154,6 +155,7 @@ def snapshot_state(state: BrokerState) -> Dict[str, Any]:
                 "expires": allocation.lease_expires_at,
                 "since": allocation.reclaiming_since,
                 "claim": claim,
+                "loan": allocation.loaned_to,
             }
         )
     return {
@@ -229,6 +231,7 @@ def state_fingerprint(state: BrokerState) -> Dict[str, Any]:
                         record.allocation.claimed_by.reqid,
                     ]
                 ),
+                "loan": record.allocation.loaned_to,
             }
             for record in state.machines.values()
             if record.allocation is not None
@@ -312,6 +315,7 @@ def _apply_machine_op(state: BrokerState, op: Dict[str, Any]) -> None:
     if record.dead != bool(op["dead"]):
         record.dead = bool(op["dead"])
     record.leases = tuple(int(j) for j in op.get("leases", ()))
+    record.borrowed_from = op.get("borrowed")
 
 
 def _link_claim(state: BrokerState, allocation: Any, jobid: int, reqid: int) -> None:
@@ -376,6 +380,9 @@ def apply_snapshot(
         if entry.get("astate") == AllocationState.RECLAIMING.value:
             allocation.state = AllocationState.RECLAIMING
             allocation.reclaiming_since = float(entry.get("since", -1.0))
+        elif entry.get("astate") == AllocationState.MIGRATING.value:
+            allocation.state = AllocationState.MIGRATING
+            allocation.loaned_to = entry.get("loan")
         claim = entry.get("claim")
         if claim:
             _link_claim(state, allocation, claim[0], claim[1])
@@ -450,6 +457,18 @@ def apply_op(state: BrokerState, op: Dict[str, Any], info: RecoveryInfo) -> None
             record = state.machines.get(host)
             if record is not None and record.allocation is not None:
                 record.allocation.lease_expires_at = float(expires)
+    elif kind == "loan":
+        # Donor side of a cross-shard borrow: the machine stays allocated
+        # (to the borrower's jobid, leased as usual) but is marked out on
+        # loan so the recovered donor excludes it from its own scheduling.
+        record = state.machines.get(op["host"])
+        allocation = record.allocation if record is not None else None
+        if allocation is not None:
+            allocation.state = AllocationState.MIGRATING
+            allocation.loaned_to = op.get("to")
+    elif kind == "forget":
+        # Borrower side of a loan ending: the borrowed record vanishes.
+        state.forget_machine(op["host"])
     # Unknown ops (a newer writer) are ignored: forward-compatible replay.
 
 
@@ -600,6 +619,17 @@ class BrokerJournal:
         self._lease_dirty[host] = expires_at
         if self._oldest_pending < 0.0:
             self._oldest_pending = self.clock()
+
+    def note_forget(self, host: str) -> None:
+        """Durably forget a machine (a borrowed record whose loan ended).
+
+        Any coalesced notes still pending for the host are dropped first:
+        ``flush`` drains notes into the same append as structural ops, so a
+        surviving note would re-create the record right after the forget on
+        replay."""
+        self._machine_dirty.pop(host, None)
+        self._lease_dirty.pop(host, None)
+        self.record({"op": "forget", "host": host})
 
     def _drain_notes(self) -> None:
         if self._machine_dirty:

@@ -180,16 +180,27 @@ def resume_ack(jobid: int, epoch: int, ok: bool = True) -> Message:
 
 
 def machine_request(
-    jobid: int, symbolic: str, reqid: int, firm: bool
+    jobid: int,
+    symbolic: str,
+    reqid: int,
+    firm: bool,
+    hint: Optional[int] = None,
 ) -> Message:
-    """App -> broker: the job wants one more machine."""
-    return {
+    """App -> broker: the job wants one more machine.
+
+    ``hint`` is the federated routing hint (the shard index ``rshprime``
+    hashed the symbolic name to); the key is omitted entirely outside
+    federation so non-federated message bytes are unchanged."""
+    message = {
         "type": "machine_request",
         "jobid": jobid,
         "symbolic": symbolic,
         "reqid": reqid,
         "firm": firm,
     }
+    if hint is not None:
+        message["hint"] = int(hint)
+    return message
 
 
 def machine_grant(reqid: int, host: str) -> Message:
@@ -318,6 +329,93 @@ def fence_notice(epoch: int) -> Message:
     return {"type": "fence_notice", "epoch": epoch}
 
 
+# -- federation: cross-shard machine borrowing --------------------------------
+#
+# Each broker shard serves a federation listener (``ports.FEDERATION``); a
+# shard that cannot satisfy a request locally dials a sibling and asks to
+# borrow one machine.  The donor revokes the machine into ``MIGRATING``
+# (keeping the lease, renewed by the machine's daemon against the borrower's
+# jobid) and installs an epoch-stamped grant on the daemon, so the PR-9
+# witness fencing covers cross-shard grants exactly as local ones.  Every
+# borrow exchange is one request/reply on a transient connection.
+
+
+def borrow_request(
+    shard: int,
+    jobid: int,
+    symbolic: str,
+    rsl: str,
+    adaptive: bool,
+    firm: bool,
+    reqid: int,
+) -> Message:
+    """Borrower shard -> donor shard: lend one machine for this request.
+
+    ``shard`` is the borrower's index (for the loan record and the return
+    path); ``jobid``/``reqid`` identify the borrower-side request the grant
+    will serve; ``symbolic``/``rsl``/``adaptive`` let the donor run its own
+    eligibility machinery over its own machines."""
+    return {
+        "type": "borrow_request",
+        "shard": shard,
+        "jobid": jobid,
+        "symbolic": symbolic,
+        "rsl": rsl,
+        "adaptive": bool(adaptive),
+        "firm": bool(firm),
+        "reqid": reqid,
+    }
+
+
+def borrow_reply(
+    ok: bool,
+    host: str = "",
+    platform: str = "",
+    kind: str = "public",
+    satisfiable: bool = False,
+    reported: bool = True,
+    shard: int = -1,
+) -> Message:
+    """Donor shard -> borrower shard: the loan decision.
+
+    On ``ok`` the donor has already marked ``host`` MIGRATING and installed
+    the fencing grant on its daemon; ``platform``/``kind`` seed the
+    borrower's record of the machine.  On refusal, ``satisfiable`` says
+    whether any donor machine could *ever* match (the borrower denies the
+    app only once every shard answers False with ``reported`` True —
+    i.e. with complete knowledge of its partition)."""
+    return {
+        "type": "borrow_reply",
+        "ok": bool(ok),
+        "host": host,
+        "platform": platform,
+        "kind": kind,
+        "satisfiable": bool(satisfiable),
+        "reported": bool(reported),
+        "shard": shard,
+    }
+
+
+def borrow_release(shard: int, host: str, jobid: int) -> Message:
+    """Borrower shard -> donor shard: the loan of ``host`` ended (the
+    borrower's job released it or finished); the donor may reclaim it for
+    its own scheduling.  ``jobid`` guards against a stale release racing a
+    re-loan of the same machine."""
+    return {
+        "type": "borrow_release",
+        "shard": shard,
+        "host": host,
+        "jobid": jobid,
+    }
+
+
+def borrow_recall(host: str, jobid: int) -> Message:
+    """Donor shard -> borrower shard: the donor is taking ``host`` back
+    (owner at the console, lease expired, or the machine died).  The
+    borrower revokes it from its job and forgets the record."""
+    return {"type": "borrow_recall", "host": host, "jobid": jobid}
+
+
 # -- user queries and control (paper §4.1: "Users communicate with
 # ResourceBroker to query machine availability, to learn the status of
 # queued jobs ...") ----------------------------------------------------------
@@ -366,9 +464,22 @@ def halt() -> Message:
 # -- application layer -----------------------------------------------------
 
 
-def rsh_request(host: str, argv: List[str], user: str) -> Message:
-    """rsh' -> app: an intercepted rsh (host may be symbolic)."""
-    return {"type": "rsh_request", "host": host, "argv": list(argv), "user": user}
+def rsh_request(
+    host: str, argv: List[str], user: str, hint: Optional[int] = None
+) -> Message:
+    """rsh' -> app: an intercepted rsh (host may be symbolic).
+
+    ``hint`` carries the federated routing hint (see
+    :func:`machine_request`); the key is omitted outside federation."""
+    message = {
+        "type": "rsh_request",
+        "host": host,
+        "argv": list(argv),
+        "user": user,
+    }
+    if hint is not None:
+        message["hint"] = int(hint)
+    return message
 
 
 def rsh_exec(

@@ -127,10 +127,16 @@ class BrokerService:
         standby_host: Optional[str] = None,
         event_log_cap: Optional[int] = None,
         retain_done_jobs: bool = True,
+        shard: Optional[Any] = None,
     ) -> None:
         self.cluster = cluster
         self.env = cluster.env
         self.policy = policy if policy is not None else DefaultPolicy()
+        #: Federation membership (:class:`~repro.broker.federation.ShardConfig`)
+        #: or ``None`` for a standalone broker.  A one-shard federation keeps
+        #: ``shard.count == 1`` and every federation behaviour gated off, so
+        #: it is byte-identical to a standalone broker.
+        self.shard = shard
         self.managed_hosts: List[str] = list(
             managed_hosts if managed_hosts is not None else cluster.machines
         )
@@ -148,7 +154,14 @@ class BrokerService:
                 f"not {scheduler_mode!r}"
             )
         self.scheduler_mode = scheduler_mode
-        self.state = BrokerState()
+        #: First jobid this broker may issue.  Federated shards stride their
+        #: jobid spaces a million apart so ids are globally unique without
+        #: coordination (a daemon inventory or borrowed lease names its shard
+        #: implicitly); shard 0 — and every standalone broker — starts at 1.
+        self._first_jobid = 1
+        if shard is not None and shard.count > 1:
+            self._first_jobid = 1 + shard.index * 1_000_000
+        self.state = BrokerState(first_jobid=self._first_jobid)
         self.state.use_indexes = scheduler_mode == "indexed"
         #: ``event_log_cap`` bounds the event log for service-mode runs (a
         #: soak would otherwise grow it without limit); ``None`` keeps the
@@ -182,7 +195,29 @@ class BrokerService:
         #: there, grants and lease renewals carry epoch stamps (fencing),
         #: and the standby promotes itself on primary death.
         self.standby_host = standby_host
-        self.fencing = standby_host is not None
+        #: True when a warm standby replicates this broker's WAL (gates the
+        #: ship listener, heartbeats and the promotion machinery).
+        self.replicated = standby_host is not None
+        #: True when grants and renewals carry epoch stamps that daemons
+        #: witness-check: under replication (a promoted standby must fence
+        #: the ex-primary) and in any multi-shard federation (a cross-shard
+        #: grant installs on the donor's daemon under the donor's epoch, so
+        #: a stale shard incarnation is fenced exactly as a stale primary).
+        self.fencing = self.replicated or (
+            shard is not None and shard.count > 1
+        )
+        #: Cross-shard traffic counters (the ``stats`` federation block).
+        #: Service-level, not metrics-registry, because the registry is
+        #: shared network-wide and these are per-shard; surviving broker
+        #: restarts is intentional (they count the shard, not the process).
+        self.federation_counters: Dict[str, int] = {
+            "forwards": 0,
+            "cross_shard_grants": 0,
+            "loans_out": 0,
+            "loan_refusals": 0,
+            "recalls": 0,
+            "returns": 0,
+        }
         #: The well-known broker addresses, in dial order — stable across a
         #: promotion so every daemon and app can alternate between them.
         self.broker_addresses: List[str] = [self.broker_host]
@@ -238,9 +273,9 @@ class BrokerService:
                 compact_bytes=calibration.journal_compact_bytes,
             )
             self.journal.attach(self.state, epoch=self.epoch)
-            if self.fencing:
+            if self.replicated:
                 self.journal.enable_shipping(stream=self.epoch)
-        if self.fencing and self.journal is None:
+        if self.replicated and self.journal is None:
             raise ValueError(
                 "a warm standby replicates the WAL: standby_host requires "
                 "journal=True"
@@ -328,7 +363,9 @@ class BrokerService:
                 self.journal.discard_unflushed()
         self.epoch += 1
         restarted_at = self.env.now
-        next_jobid = max(self.state.jobs, default=0) + 1
+        next_jobid = max(
+            max(self.state.jobs, default=0) + 1, self._first_jobid
+        )
         recovered = None
         if self.journal is not None:
             self.journal.discard_unflushed()
@@ -344,6 +381,22 @@ class BrokerService:
             self.epoch = max(self.epoch, info.epoch + 1)
             for host in self.managed_hosts:
                 self.state.add_machine(host)
+            # Recovered borrowed records (federation loans held from a
+            # sibling shard) never re-report here — their daemons report to
+            # the donor — so re-mark them reported immediately; one without
+            # an allocation lost its release-side forget to the crash and
+            # is dropped outright (the pre-attach forget never journals,
+            # and the compacting snapshot below excludes it).
+            for borrowed_host in sorted(
+                host
+                for host, rec in state.machines.items()
+                if rec.borrowed_from is not None
+            ):
+                rec = state.machines[borrowed_host]
+                if rec.allocation is not None:
+                    rec.touch(restarted_at)
+                else:
+                    state.forget_machine(borrowed_host)
             self.metrics.counter("recovery.from_journal").inc()
             self.metrics.counter("recovery.replayed_records").inc(info.records)
             if info.torn_tails:
@@ -392,7 +445,7 @@ class BrokerService:
             )
         if self.journal is not None:
             self.journal.attach(self.state, epoch=self.epoch, compact=True)
-            if self.fencing:
+            if self.replicated:
                 # A restarted incarnation is a new ship stream; a standby
                 # holding the old one re-baselines from a snapshot.
                 self.journal.enable_shipping(stream=self.epoch)
@@ -488,6 +541,11 @@ class BrokerService:
         ]
         if alternates:
             environ["RB_BROKER_STANDBY"] = alternates[0]
+        if self.shard is not None and self.shard.count > 1:
+            # rsh' hashes symbolic names to a shard index when this is set
+            # (the federated routing hint); absent otherwise so standalone
+            # and one-shard messages stay byte-identical.
+            environ["RB_FED_SHARDS"] = str(self.shard.count)
         return environ
 
     def _require_broker(self, action: str) -> None:

@@ -45,6 +45,7 @@ class AllocationState(enum.Enum):
 
     ACTIVE = "active"  # granted; the job may occupy it
     RECLAIMING = "reclaiming"  # revoke sent, waiting for release
+    MIGRATING = "migrating"  # loaned to a sibling broker shard (donor side)
 
 
 @dataclass
@@ -72,6 +73,11 @@ class Allocation:
     #: the daemon's lease list) clears it; a disagreeing inventory resolves
     #: toward the live side and counts a ``recovery.conflicts``.
     recovered: bool = field(default=False, compare=False)
+    #: When MIGRATING: index of the sibling broker shard this machine has
+    #: been loaned to.  ``None`` for ordinary allocations.  The donor keeps
+    #: the machine leased (daemon heartbeats renew against the borrower's
+    #: jobid) but excludes it from its own scheduling until the loan ends.
+    loaned_to: Optional[int] = field(default=None, compare=False)
 
 
 #: MachineRecord fields that feed the RSL / symbolic matching view (and so
@@ -112,6 +118,12 @@ class MachineRecord:
     #: the machine always changes its process table, which forces the daemon
     #: to send a full report, so the stored list is never stale.
     leases: Tuple[int, ...] = field(default=(), compare=False)
+    #: Index of the sibling broker shard this record was borrowed from, or
+    #: ``None`` for a machine this broker owns.  Deliberately *not* a tracked
+    #: field: a borrowed record is created fully formed (allocated before it
+    #: could ever enter an idle bucket) and is excluded from every
+    #: eligibility query, so no index needs to observe the flag.
+    borrowed_from: Optional[int] = field(default=None, compare=False)
     #: Cached :meth:`snapshot_view` dict; invalidated whenever a view field
     #: changes (so eligibility checks stop rebuilding it per candidate).
     _view: Optional[Dict[str, Any]] = field(
@@ -239,6 +251,11 @@ class PendingRequest:
     dirty: bool = field(default=True, compare=False)
     #: Maintained by :class:`_PendingQueue`; True while queued.
     queued: bool = field(default=False, compare=False)
+    #: Federated routing hint: the shard index ``rshprime`` hashed the
+    #: symbolic name to, used to pick which sibling to try first when
+    #: borrowing.  ``None`` outside federation (and on resumed sessions —
+    #: the borrower recomputes the same hash from ``symbolic``).
+    shard_hint: Optional[int] = field(default=None, compare=False)
 
 
 class _PendingQueue(list):
@@ -810,6 +827,11 @@ class BrokerState:
     ) -> bool:
         """Per-request eligibility filters not captured by the index
         partition (home host, full RSL constraints, private/adaptive)."""
+        if record.borrowed_from is not None:
+            # A borrowed machine serves exactly the request it was borrowed
+            # for; it never joins this broker's general candidate pool (the
+            # donor still schedules over it once the loan ends).
+            return False
         if record.host == job.home_host:
             # The job already runs on its home machine; growing means
             # acquiring *another* one (and PVM-style systems cannot
@@ -858,6 +880,8 @@ class BrokerState:
         self.machines_scanned += len(self.machines)
         for record in self.machines.values():
             if not record.reported:
+                continue
+            if record.borrowed_from is not None:
                 continue
             if record.host == job.home_host:
                 continue
@@ -908,6 +932,14 @@ class BrokerState:
         instead of O(n²).  Entries popped past (request-filtered, e.g. the
         job's home host) are pushed back, so the heaps stay complete."""
         job = self.jobs[request.jobid]
+        return self._best_idle_for(job, request)
+
+    def _best_idle_for(
+        self, job: JobRecord, request: PendingRequest
+    ) -> Optional[MachineRecord]:
+        """Heap-walk behind :meth:`best_idle`, shared with the federation
+        donor path (which evaluates a *foreign* job that has no entry in
+        :attr:`jobs`)."""
         pairs = [
             (platform, bucket)
             for platform, bucket in self._idle_by_platform.items()
@@ -943,6 +975,84 @@ class BrokerState:
         for platform, entry in popped:
             heapq.heappush(self._idle_heap[platform], entry)
         return result
+
+    def _loan_probe(
+        self, symbolic: str, rsl_text: str, adaptive: bool
+    ) -> Tuple[JobRecord, PendingRequest]:
+        """Transient (job, request) pair modelling a *foreign* job for the
+        federation donor path: no home host to exclude, the borrower's RSL
+        and adaptivity carried over verbatim.  Never registered in
+        :attr:`jobs` or :attr:`pending`."""
+        job = JobRecord(
+            jobid=-1,
+            user="federation",
+            home_host="",
+            rsl=parse_rsl(rsl_text or ""),
+            argv=[],
+            adaptive=bool(adaptive),
+        )
+        request = PendingRequest(
+            reqid=-1,
+            jobid=-1,
+            symbolic=symbolic,
+            firm=False,
+            arrived_at=0.0,
+        )
+        return job, request
+
+    def best_idle_for_loan(
+        self, symbolic: str, rsl_text: str, adaptive: bool
+    ) -> Optional[MachineRecord]:
+        """The machine this broker would lend a sibling shard for
+        ``(symbolic, rsl)``: its own :meth:`best_idle` choice for an
+        equivalent foreign request.  Only idle machines are ever lent —
+        a donor never preempts its own jobs for a sibling."""
+        job, request = self._loan_probe(symbolic, rsl_text, adaptive)
+        return self._best_idle_for(job, request)
+
+    def loan_satisfiable(
+        self, symbolic: str, rsl_text: str, adaptive: bool
+    ) -> bool:
+        """Could any reported machine here *ever* satisfy a sibling's
+        ``(symbolic, rsl)``?  Drives the borrower's deny decision: a request
+        is hopeless only once every shard answers False."""
+        job, _ = self._loan_probe(symbolic, rsl_text, adaptive)
+        return self.satisfiable_somewhere(symbolic, job)
+
+    def forget_machine(self, host: str) -> None:
+        """Remove a *borrowed* record entirely (the loan ended).
+
+        Detaches the record from index maintenance first, then evicts it
+        from every index by hand: borrowed records never enter idle buckets
+        (allocated at creation), so the idle heap needs no repair beyond its
+        usual lazy deletion."""
+        record = self.machines.pop(host, None)
+        if record is None:
+            return
+        record._state = None
+        self._machine_rank.pop(host, None)
+        for buckets in (
+            self._reported_by_platform,
+            self._usable_by_platform,
+            self._idle_by_platform,
+        ):
+            bucket = buckets.get(record.platform)
+            if bucket is not None:
+                bucket.pop(host, None)
+        allocation = record.allocation
+        if allocation is not None:
+            held = self._allocations_by_jobid.get(allocation.jobid)
+            if held is not None:
+                held.pop(host, None)
+                if not held:
+                    del self._allocations_by_jobid[allocation.jobid]
+        self._leased.pop(host, None)
+        self._tracked.pop(host, None)
+        if not record.reported:
+            self._unreported_count -= 1
+        self.capability_version += 1
+        if self.journal is not None:
+            self.journal.note_forget(host)
 
     def held_eligible(self, request: PendingRequest) -> List[MachineRecord]:
         """Eligible machines that currently hold an allocation — the victim
@@ -980,6 +1090,8 @@ class BrokerState:
             for record in self.machines.values():
                 if not record.reported or record.host == job.home_host:
                     continue
+                if record.borrowed_from is not None:
+                    continue
                 view = record.snapshot_view()
                 if symbolic_matches(symbolic, view) and job.rsl.matches_machine(
                     view
@@ -992,6 +1104,8 @@ class BrokerState:
             self.machines_scanned += len(bucket)
             for record in bucket.values():
                 if record.host == job.home_host:
+                    continue
+                if record.borrowed_from is not None:
                     continue
                 if job.rsl.matches_machine(record.snapshot_view()):
                     return True

@@ -9,8 +9,9 @@ program; these two cover the rest:
   ``~/.rbstat`` (machine availability, job table, queue depth).  With
   ``--stats`` it asks for the live telemetry snapshot instead (queue
   depths, per-phase latency digests, warm-standby replication and fencing
-  counters, obs self-metering).  Exit 0 on success, 1 if the broker is
-  unreachable.
+  counters, the shard's federation block — owned/borrowed/loaned machine
+  counts and cross-shard borrow traffic — and obs self-metering).  Exit 0
+  on success, 1 if the broker is unreachable.
 * ``rbctl halt <jobid>`` — ask the broker to stop a job (delivered to the
   job's app, which uses the job's ``<module>_halt`` script when there is
   one).
@@ -203,6 +204,27 @@ def format_stats(stats: dict) -> str:
             f"demotions={replication.get('demotions', 0):g} "
             f"rejections={replication.get('fencing_rejections', 0):g} "
             f"double_grants={replication.get('double_grants', 0):g}"
+        )
+    federation = stats.get("federation", {})
+    if federation.get("enabled"):
+        lines.append(
+            f"federation: shard={federation.get('shard', 0)}/"
+            f"{federation.get('shards', 1)} "
+            f"owned={federation.get('owned_machines', 0)} "
+            f"borrowed={federation.get('borrowed_machines', 0)} "
+            f"loaned={federation.get('loaned_machines', 0)}"
+        )
+        lines.append(
+            f"  borrows: forwards={federation.get('forwards', 0):g} "
+            f"cross_grants={federation.get('cross_shard_grants', 0):g} "
+            f"loans_out={federation.get('loans_out', 0):g} "
+            f"refusals={federation.get('loan_refusals', 0):g} "
+            f"recalls={federation.get('recalls', 0):g} "
+            f"returns={federation.get('returns', 0):g}"
+        )
+        lines.append(
+            f"  fencing: rejections={federation.get('fencing_rejections', 0):g} "
+            f"double_grants={federation.get('double_grants', 0):g}"
         )
     recovery = stats.get("recovery", {})
     if recovery and any(recovery.values()):

@@ -212,6 +212,18 @@ class Calibration:
     #: window of lag means the channel is stalled, not merely busy.
     replication_lag_chars: int = 8192
 
+    #: Deadline on one cross-shard borrow RPC (connect + request + reply).
+    #: Partitioned sends drop silently on this LAN, so the borrower arms a
+    #: timer around every sibling dial; past it the sibling counts as
+    #: unreachable for this round and the borrower moves on.
+    federation_rpc_timeout: float = 3.0
+
+    #: Pause between borrow rounds while a request stays locally
+    #: unsatisfiable and no sibling could lend.  Roughly one daemon report
+    #: interval: the soonest new capacity (a release, a rejoin) could show
+    #: up on either side of the federation.
+    federation_borrow_retry: float = 2.0
+
 
 #: The default calibration used across experiments, matching the paper's
 #: testbed as described above.

@@ -129,6 +129,7 @@ class Cluster:
                 machine, ["rshd"], uid="root", startup_delay=0.0
             )
         self.broker = None  # set by start_broker()
+        self.federation = None  # set by start_federation()
 
     def _install_parallel_systems(self) -> None:
         # Imported lazily: the systems packages use the OS layer defined
@@ -250,6 +251,42 @@ class Cluster:
             retain_done_jobs=retain_done_jobs,
         )
         return self.broker
+
+    def start_federation(
+        self,
+        shards: int,
+        policy_factory=None,
+        managed_hosts=None,
+        scheduler_mode=None,
+        journal=None,
+        event_log_cap=None,
+        retain_done_jobs=True,
+    ):
+        """Boot a federated broker control plane over this cluster; see
+        :class:`repro.broker.federation.FederationService`.
+
+        The machines partition into ``shards`` contiguous slices (aligned
+        with the kernel's event lanes when ``shards == lanes``), each run
+        by its own broker; shards borrow machines from each other through
+        lease migration.  ``shards=1`` degenerates to a single broker with
+        every federated behaviour switched off."""
+        from repro.broker.federation import FederationService
+
+        federation = FederationService(
+            self,
+            shards=shards,
+            policy_factory=policy_factory,
+            managed_hosts=managed_hosts,
+            scheduler_mode=scheduler_mode,
+            journal=journal,
+            event_log_cap=event_log_cap,
+            retain_done_jobs=retain_done_jobs,
+        )
+        if shards == 1:
+            # The degenerate federation *is* a broker; keep the standalone
+            # handle pointing at it so tools and tests need no special case.
+            self.broker = federation.services[0]
+        return federation
 
     def assert_no_crashes(self) -> None:
         """Raise if any simulated process died with an unhandled exception."""

@@ -10,5 +10,9 @@ BROKER = 3000
 #: dials it to pull journal frames and heartbeats.
 SHIP = 3001
 
+#: The federation listener inside a broker shard; sibling shards dial it to
+#: borrow machines (one request/reply per transient connection).
+FEDERATION = 3002
+
 #: First ephemeral port; app/subapp/system daemons allocate upwards per host.
 EPHEMERAL_BASE = 40000

@@ -36,6 +36,7 @@ def run_chaos(
     broker_crashes: int = 0,
     journal: bool = False,
     standby: bool = False,
+    shards: int = 0,
     trace=None,
 ) -> ExperimentTable:
     """Run the chaos experiment; see the module docstring.
@@ -61,23 +62,56 @@ def run_chaos(
     one second into the partition and before the promotion deadline, so
     recovery can only come from promotion (there is no restart).  The table
     grows promotion/fencing rows, and ``double grants`` must be zero.
+
+    ``shards >= 2`` runs the federated scenario (DESIGN.md §17): the
+    machines partition across that many durable broker shards (the journal
+    is forced on so "loan" ops survive restarts), jobs are submitted from
+    hosts on different shards so saturation forces cross-shard borrowing,
+    and the schedule adds a SIGKILL/restart of shard 1's broker plus a
+    :class:`~repro.faults.plan.ShardLinkPartition` between shards 0 and 1.
+    Every job must still complete and ``double grants`` must stay zero —
+    a loan the partition cuts off self-heals through lease expiry, never
+    by the machine being grantable on two shards at once.
     """
+    fed = shards >= 2
+    if fed and standby:
+        raise ValueError("the standby and federated scenarios are exclusive")
+    if fed:
+        # Federated chaos runs durable: loans are journalled ("loan" ops),
+        # so a crashed shard recovers its side of every in-flight migration
+        # instead of rebuilding from re-registration and dropping it.
+        journal = True
     standby_host = f"n{machines + 1:02d}" if standby else None
     cluster = Cluster(
         ClusterSpec.uniform(machines + (2 if standby else 1), seed=seed)
     )
-    svc = cluster.start_broker(
-        # Shipping replicates the WAL, so the standby scenario is durable
-        # by construction; the journal *fault* extras stay opt-in.
-        journal=journal or standby,
-        standby_host=standby_host,
-        managed_hosts=(
-            [f"n{i:02d}" for i in range(machines + 1)] if standby else None
-        ),
-    )
-    svc.wait_ready()
-    monitor = HealthMonitor(svc).start()
-    worker_hosts = [f"n{i:02d}" for i in range(1, machines + 1)]
+    if fed:
+        federation = cluster.start_federation(shards=shards, journal=True)
+        services = federation.services
+        svc = services[0]
+        federation.wait_ready()
+        events_of = federation.events_of
+    else:
+        federation = None
+        svc = cluster.start_broker(
+            # Shipping replicates the WAL, so the standby scenario is durable
+            # by construction; the journal *fault* extras stay opt-in.
+            journal=journal or standby,
+            standby_host=standby_host,
+            managed_hosts=(
+                [f"n{i:02d}" for i in range(machines + 1)] if standby else None
+            ),
+        )
+        services = [svc]
+        svc.wait_ready()
+        events_of = svc.events_of
+    monitors = [HealthMonitor(service).start() for service in services]
+    broker_hosts = {service.broker_host for service in services}
+    worker_hosts = [
+        f"n{i:02d}"
+        for i in range(1, machines + 1)
+        if f"n{i:02d}" not in broker_hosts
+    ]
 
     if journal:
         # A durable broker that never crashes proves nothing: guarantee at
@@ -103,6 +137,12 @@ def run_chaos(
         broker_crashes=0 if standby else broker_crashes,
         torn_writes=1 if journal else 0,
         disk_stalls=1 if journal else 0,
+        # Federated runs crash shard 1's broker (keeping the adaptive
+        # master's home shard up so recovery is observable) and cut the
+        # shard 0 <-> shard 1 control link.  Both parameters draw nothing
+        # when zero, so every pre-existing schedule reproduces byte-for-byte.
+        broker_crash_shard=1 if fed else 0,
+        shard_link_partitions=1 if fed else 0,
     )
     if standby:
         # Drawn *after* every generate() draw, so the machine-level
@@ -118,8 +158,14 @@ def run_chaos(
         plan.add(BrokerCrash(at=ship_at + 1.0))
     injector = FaultInjector(cluster, plan).start()
 
+    # Submissions route by locality in a federation; spreading the
+    # sequential jobs across shard broker hosts loads every shard, so the
+    # adaptive job's width pushes shard 0 into borrowing.  Standalone runs
+    # have a single broker host and submit everything from n00, as before.
+    submit = federation.submit if fed else svc.submit
+    submit_hosts = sorted(broker_hosts)
     handles = [
-        svc.submit(
+        submit(
             "n00",
             ["calypso", "60", "2.0", "4"],
             rsl="+(adaptive)",
@@ -128,7 +174,11 @@ def run_chaos(
     ]
     for i in range(sequential_jobs):
         handles.append(
-            svc.submit("n00", ["retrywork", f"{6 + 3 * i:g}"], uid=f"seq{i}")
+            submit(
+                submit_hosts[(i + 1) % len(submit_hosts)],
+                ["retrywork", f"{6 + 3 * i:g}"],
+                uid=f"seq{i}",
+            )
         )
 
     deadline = cluster.now + horizon
@@ -165,6 +215,38 @@ def run_chaos(
     table.add("latency spikes injected", plan.count("latency_spike"))
     table.add("broker crashes injected", plan.count("broker_crash"))
     table.add("broker restarts", counters.counter("broker.restarts").value)
+    if fed:
+        table.add("broker shards", shards)
+        table.add(
+            "shard-link partitions injected",
+            plan.count("shard_link_partition"),
+        )
+        table.add(
+            "borrow forwards", counters.counter("federation.forwards").value
+        )
+        table.add(
+            "cross-shard grants",
+            counters.counter("federation.cross_shard_grants").value,
+        )
+        table.add(
+            "loans out / refusals",
+            f"{counters.counter('federation.loans_out').value:g} / "
+            f"{counters.counter('federation.loan_refusals').value:g}",
+        )
+        table.add(
+            "loan recalls / returns / reclaims",
+            f"{counters.counter('federation.recalls').value:g} / "
+            f"{counters.counter('federation.returns').value:g} / "
+            f"{counters.counter('federation.loans_reclaimed').value:g}",
+        )
+        table.add(
+            "fencing rejections",
+            counters.counter("fencing.rejections").value,
+        )
+        table.add(
+            "double grants (must be 0)",
+            counters.counter("fencing.double_grants").value,
+        )
     if standby:
         table.add("standby kills injected", plan.count("standby_crash"))
         table.add(
@@ -218,7 +300,11 @@ def run_chaos(
         )
         table.add(
             "journal compactions",
-            svc.journal.compactions if svc.journal is not None else 0,
+            sum(
+                service.journal.compactions
+                for service in services
+                if service.journal is not None
+            ),
         )
     table.add(
         "daemon re-registrations",
@@ -243,24 +329,58 @@ def run_chaos(
         "connections severed",
         counters.counter("net.severed_connections").value,
     )
-    table.add("revocations", len(svc.events_of("revoke")))
-    table.add("grants", len(svc.events_of("grant")))
-    health = monitor.report()
-    table.add("machines allocated at end", health.stuck_allocations)
-    table.add("health checks run", health.checks)
-    table.add("stuck-allocation events", health.stuck_events)
-    table.add("heartbeat-gap events", health.heartbeat_gap_events)
-    table.add("max heartbeat gap (s)", round(health.max_heartbeat_gap, 3))
-    table.add("queue high watermark", health.queue_high_watermark)
+    table.add("revocations", len(events_of("revoke")))
+    table.add("grants", len(events_of("grant")))
+    reports = [monitor.report() for monitor in monitors]
+    stuck_allocations = sum(r.stuck_allocations for r in reports)
+    table.add("machines allocated at end", stuck_allocations)
+    table.add("health checks run", sum(r.checks for r in reports))
+    table.add(
+        "stuck-allocation events", sum(r.stuck_events for r in reports)
+    )
+    table.add(
+        "heartbeat-gap events",
+        sum(r.heartbeat_gap_events for r in reports),
+    )
+    table.add(
+        "max heartbeat gap (s)",
+        round(max(r.max_heartbeat_gap for r in reports), 3),
+    )
+    table.add(
+        "queue high watermark",
+        max(r.queue_high_watermark for r in reports),
+    )
     table.add("finished at (s)", round(finished_at, 3))
     table.meta["jobs"] = len(handles)
     table.meta["completed"] = completed
-    table.meta["stuck_allocations"] = health.stuck_allocations
-    table.meta["health"] = health.to_dict()
+    table.meta["stuck_allocations"] = stuck_allocations
+    table.meta["health"] = reports[0].to_dict()
+    if fed:
+        table.meta["shard_health"] = [r.to_dict() for r in reports]
     table.meta["plan"] = plan.summary()
     table.meta["faults_injected"] = len(injector.injected)
     table.meta["journal"] = journal
     table.meta["standby"] = standby
+    table.meta["shards"] = shards if fed else 0
+    if fed:
+        table.meta["federation"] = {
+            "shards": shards,
+            "forwards": counters.counter("federation.forwards").value,
+            "cross_shard_grants": counters.counter(
+                "federation.cross_shard_grants"
+            ).value,
+            "loans_out": counters.counter("federation.loans_out").value,
+            "loan_refusals": counters.counter(
+                "federation.loan_refusals"
+            ).value,
+            "recalls": counters.counter("federation.recalls").value,
+            "returns": counters.counter("federation.returns").value,
+            "reclaims": counters.counter("federation.loans_reclaimed").value,
+        }
+        table.meta["shard_stats"] = federation.federation_stats()
+        table.meta["double_grants"] = counters.counter(
+            "fencing.double_grants"
+        ).value
     if standby:
         table.meta["fencing"] = {
             "promotions": counters.counter("broker.promotions").value,

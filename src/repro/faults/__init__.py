@@ -29,6 +29,9 @@ from repro.faults.plan import (
     MachineCrash,
     MessageDrop,
     Partition,
+    ShardLinkPartition,
+    ShipLinkPartition,
+    StandbyCrash,
 )
 
 __all__ = [
@@ -45,5 +48,8 @@ __all__ = [
     "MessageDrop",
     "NetworkFaults",
     "Partition",
+    "ShardLinkPartition",
+    "ShipLinkPartition",
+    "StandbyCrash",
     "install",
 ]

@@ -20,7 +20,10 @@ performs each fault at its scheduled instant:
   (no-ops when the broker runs without a journal);
 * ``standby_crash`` / ``ship_link_partition`` — SIGKILLs the warm-standby
   replica / blocks just the primary↔standby link (the false-promotion
-  split-brain scenario); both no-ops without a configured standby.
+  split-brain scenario); both no-ops without a configured standby;
+* ``shard_link_partition`` — blocks just the link between two federated
+  shards' brokers (borrow RPCs and loan notices go dark; loans across the
+  cut self-heal through lease expiry); a no-op without a federation.
 
 Every injection opens and ends an observability span (``fault.<kind>``) and
 bumps ``faults.injected`` plus a per-kind counter, so a chaos run's trace
@@ -102,11 +105,13 @@ class FaultInjector:
         elif kind == "latency_spike":
             self.faults.add_latency_spike(fault.duration, fault.factor)
         elif kind == "broker_crash":
-            if self.cluster.broker is not None:
-                self.cluster.broker.crash_broker()
+            service = self._broker_service(getattr(fault, "shard", 0))
+            if service is not None:
+                service.crash_broker()
         elif kind == "broker_restart":
-            if self.cluster.broker is not None:
-                self.cluster.broker.restart_broker()
+            service = self._broker_service(getattr(fault, "shard", 0))
+            if service is not None:
+                service.restart_broker()
         elif kind == "standby_crash":
             self._kill_standby()
         elif kind == "ship_link_partition":
@@ -118,6 +123,18 @@ class FaultInjector:
                 a, b = broker.broker_addresses[0], broker.broker_addresses[1]
                 self.faults.add_link_block(a, b, fault.duration)
                 self.network.sever(self.faults.partitioned)
+        elif kind == "shard_link_partition":
+            federation = self.cluster.federation
+            if federation is not None and federation.shards > 1:
+                a, b = fault.shards
+                host_a = federation.broker_host_of(a % federation.shards)
+                host_b = federation.broker_host_of(b % federation.shards)
+                if host_a != host_b:
+                    # Cut only the broker↔broker link: every machine keeps
+                    # its own shard's daemons and apps; just the borrow/loan
+                    # control traffic between these two shards goes dark.
+                    self.faults.add_link_block(host_a, host_b, fault.duration)
+                    self.network.sever(self.faults.partitioned)
         elif kind == "journal_torn_write":
             broker = self.cluster.broker
             if broker is not None and broker.journal is not None:
@@ -128,6 +145,15 @@ class FaultInjector:
                 broker.journal.stall(fault.duration)
         else:  # pragma: no cover - plan types are closed
             raise ValueError(f"unknown fault kind {kind!r}")
+
+    def _broker_service(self, shard: int):
+        """The broker service a shard-indexed fault targets: the federated
+        shard when a federation runs, else the standalone broker (ignoring
+        the index), else None."""
+        federation = self.cluster.federation
+        if federation is not None:
+            return federation.services[shard % federation.shards]
+        return self.cluster.broker
 
     def _kill_standby(self) -> int:
         broker = self.cluster.broker

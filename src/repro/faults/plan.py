@@ -27,11 +27,19 @@ StandbyCrash        SIGKILL the warm-standby replica (keeper respawns it;
 ShipLinkPartition   cut only the primary↔standby link for a window: the
                     standby promotes falsely and fencing must resolve the
                     split brain
+ShardLinkPartition  cut one inter-shard broker↔broker link for a window: a
+                    federated shard keeps serving its own machines but its
+                    borrow RPCs to (and loan notices from) one sibling go
+                    dark; loans across the cut self-heal via lease expiry
 JournalTornWrite    truncate the tail of the broker's on-disk journal (a
                     partially persisted append, as after power loss)
 DiskStall           the broker's journal device stops accepting flushes for
                     a window (hung disk / saturated write cache)
 ==================  ========================================================
+
+``BrokerCrash`` and ``BrokerRestart`` carry a ``shard`` index (default 0):
+against a federation they target that shard's broker, against a standalone
+broker the index is ignored, so existing plans replay unchanged.
 """
 
 from __future__ import annotations
@@ -105,11 +113,13 @@ class LatencySpike:
 class BrokerCrash:
     """SIGKILL the broker process at ``at``.
 
-    Not host-targeted: there is one broker per cluster, and the service
-    harness knows where it lives.  Jobs keep running unmanaged until a
+    Not host-targeted: the service harness knows where its broker lives.
+    ``shard`` picks which federated shard's broker to kill (ignored by a
+    standalone broker).  Jobs keep running unmanaged until a
     :class:`BrokerRestart` brings a new incarnation up."""
 
     at: float
+    shard: int = 0
 
     kind = "broker_crash"
 
@@ -119,9 +129,12 @@ class BrokerRestart:
     """Boot a fresh broker incarnation at ``at`` (epoch + 1, blank state).
 
     Recovery is driven by the peers: daemons re-register with their lease
-    inventories and apps resume their sessions by (jobid, epoch)."""
+    inventories and apps resume their sessions by (jobid, epoch).
+    ``shard`` picks which federated shard to restart (ignored by a
+    standalone broker)."""
 
     at: float
+    shard: int = 0
 
     kind = "broker_restart"
 
@@ -154,6 +167,25 @@ class ShipLinkPartition:
     duration: float = 12.0
 
     kind = "ship_link_partition"
+
+
+@dataclass(frozen=True)
+class ShardLinkPartition:
+    """Cut just the link between two federated shards' brokers for
+    ``duration`` seconds.
+
+    Every machine stays reachable from its own shard — only the
+    borrow/loan control traffic between ``shards[0]`` and ``shards[1]``
+    goes dark.  Borrow RPCs across the cut fail fast or time out (the
+    borrower walks on around the ring), loan-return notices are lost (the
+    donor reclaims via lease expiry), and no machine may ever end up
+    grantable on both sides.  No-op without a multi-shard federation."""
+
+    at: float
+    duration: float = 12.0
+    shards: Tuple[int, int] = (0, 1)
+
+    kind = "shard_link_partition"
 
 
 @dataclass(frozen=True)
@@ -194,6 +226,7 @@ Fault = Union[
     BrokerRestart,
     StandbyCrash,
     ShipLinkPartition,
+    ShardLinkPartition,
     JournalTornWrite,
     DiskStall,
 ]
@@ -258,6 +291,10 @@ class FaultPlan:
         standby_crashes: int = 0,
         ship_partitions: int = 0,
         ship_partition_duration: float = 12.0,
+        broker_crash_shard: int = 0,
+        shard_link_partitions: int = 0,
+        shard_link_duration: float = 12.0,
+        shard_link_pair: Tuple[int, int] = (0, 1),
     ) -> "FaultPlan":
         """Draw a random plan over ``hosts`` from ``rng`` (a numpy Generator,
         typically ``env.rng.stream("faults.plan")`` so the schedule is a pure
@@ -314,12 +351,17 @@ class FaultPlan:
         for _ in range(broker_crashes):
             crash_at = when()
             crash_times.append(crash_at)
-            plan.add(BrokerCrash(at=crash_at))
+            plan.add(BrokerCrash(at=crash_at, shard=broker_crash_shard))
             # ``broker_restarts=False`` (warm-standby runs: recovery comes
             # from promotion, not restart) consumes no draw, so flipping it
             # leaves every other fault's schedule untouched.
             if broker_restarts:
-                plan.add(BrokerRestart(at=crash_at + broker_restart_after))
+                plan.add(
+                    BrokerRestart(
+                        at=crash_at + broker_restart_after,
+                        shard=broker_crash_shard,
+                    )
+                )
         # Journal faults draw after the broker block for the same reason.
         # A torn write pairs with a broker crash when one is scheduled (the
         # tear fires at the same instant; sorted() is stable, so the crash —
@@ -341,6 +383,16 @@ class FaultPlan:
         for _ in range(ship_partitions):
             plan.add(
                 ShipLinkPartition(at=when(), duration=ship_partition_duration)
+            )
+        # Federation faults draw last of all (the same stability rule again:
+        # zero-count plans reproduce pre-federation schedules byte-for-byte).
+        for _ in range(shard_link_partitions):
+            plan.add(
+                ShardLinkPartition(
+                    at=when(),
+                    duration=shard_link_duration,
+                    shards=tuple(shard_link_pair),
+                )
             )
         return plan
 

@@ -252,6 +252,12 @@ class HealthMonitor:
         for record in state.tracked_records():
             if record.last_seen < 0.0:
                 continue
+            if record.borrowed_from is not None:
+                # A borrowed machine's daemon heartbeats to the shard that
+                # *owns* it; the borrowing shard's record refreshes only on
+                # loan events, so a gap here is the loan working, not
+                # detection lagging.
+                continue
             gap = now - record.last_seen
             if gap > self.max_heartbeat_gap:
                 self.max_heartbeat_gap = gap
